@@ -1,0 +1,135 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (sections 4.1-4.3.1) and then times the
+   library's core operations with Bechamel.
+
+   Set WMM_FAST=1 to run a reduced version (fewer samples, smaller
+   sweeps) in under a minute. *)
+
+open Wmm_experiments
+
+let section name f =
+  let t0 = Unix.gettimeofday () in
+  print_endline (f ());
+  Printf.printf "[section %s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Litmus summary: the semantic layer's health, printed first because
+   the performance results are only meaningful if the fencing
+   strategies are semantically correct.                                *)
+(* ------------------------------------------------------------------ *)
+
+let litmus_summary () =
+  let open Wmm_litmus in
+  let open Wmm_model in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (Exp_common.header "Litmus battery (semantic substrate)");
+  Buffer.add_char buffer '\n';
+  let sound = ref 0 and total = ref 0 in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun model ->
+          match Test.expected_under test model with
+          | None -> ()
+          | Some _ ->
+              let config =
+                match model with
+                | Axiomatic.Sc -> Wmm_machine.Relaxed.sc_config
+                | Axiomatic.Tso -> Wmm_machine.Relaxed.tso_config
+                | Axiomatic.Arm | Axiomatic.Power -> Wmm_machine.Relaxed.relaxed_config
+              in
+              let v =
+                if Exp_common.fast () then Check.run_random ~iterations:200 model config test
+                else Check.run_exhaustive model config test
+              in
+              incr total;
+              if Check.sound v then incr sound
+              else Buffer.add_string buffer (Check.describe v ^ "\n"))
+        Axiomatic.all_models)
+    Library.all;
+  Buffer.add_string buffer
+    (Printf.sprintf "%d/%d test/model verdicts sound (operational vs axiomatic)" !sound
+       !total);
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one per experiment family, timing the
+   computational kernel that regenerates it.                           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_section () =
+  let open Bechamel in
+  let open Toolkit in
+  let mp = Option.get (Wmm_litmus.Library.by_name "MP") in
+  let sb = Option.get (Wmm_litmus.Library.by_name "SB") in
+  let spark_streams =
+    Wmm_workload.Generate.streams ~units_override:40 Wmm_workload.Dacapo.spark
+      (Exp_common.jvm_nop_base Wmm_isa.Arch.Armv8)
+      ~seed:3
+  in
+  let xs = Array.init 12 (fun i -> float_of_int (1 lsl i)) in
+  let ys = Array.map (fun a -> Wmm_core.Sensitivity.performance ~k:0.003 ~a) xs in
+  let tests =
+    [
+      Test.make ~name:"fig1/4: sensitivity curve fit"
+        (Staged.stage (fun () -> Wmm_core.Sensitivity.fit_k ~xs ~ys));
+      Test.make ~name:"fig5/6/9: simulator run (spark slice, 8 cores)"
+        (Staged.stage (fun () ->
+             Wmm_machine.Perf.run
+               (Wmm_machine.Perf.config ~seed:5 Wmm_isa.Arch.Armv8)
+               spark_streams));
+      Test.make ~name:"litmus: axiomatic enumeration (MP)"
+        (Staged.stage (fun () ->
+             Wmm_model.Enumerate.allowed_outcomes Wmm_model.Axiomatic.Arm
+               mp.Wmm_litmus.Test.program));
+      Test.make ~name:"litmus: operational exhaustive (SB)"
+        (Staged.stage (fun () ->
+             Wmm_machine.Relaxed.enumerate Wmm_machine.Relaxed.relaxed_config
+               sb.Wmm_litmus.Test.program));
+      Test.make ~name:"fig2-4: cost function calibration"
+        (Staged.stage (fun () ->
+             Wmm_costfn.Cost_function.calibrate Wmm_isa.Arch.Armv8 [ 1; 16; 256; 1024 ]));
+      Test.make ~name:"T2/T6: microbenchmark of a fence sequence"
+        (Staged.stage (fun () ->
+             Wmm_machine.Perf.sequence_cost_ns ~repetitions:200
+               (Wmm_machine.Timing.for_arch Wmm_isa.Arch.Power7)
+               [ Wmm_machine.Uop.Fence_full ]));
+    ]
+  in
+  print_endline (Exp_common.header "Bechamel: core operation timings");
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let instances = Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+          (Instance.monotonic_clock :> Measure.witness)
+          results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-48s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-48s (no estimate)\n" name)
+        analysis)
+    tests;
+  print_newline ()
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "WMM-Bench: reproducing 'Benchmarking Weak Memory Models' (PPoPP 2016)\n";
+  Printf.printf "mode: %s\n\n" (if Exp_common.fast () then "FAST (WMM_FAST set)" else "full");
+  section "litmus" litmus_summary;
+  section "fig1" Fig1.report;
+  section "fig2_3" Fig2_3.report;
+  section "fig4" Fig4.report;
+  section "fig5" Fig5.report;
+  section "fig6" Fig6.report;
+  section "jvm_tables" Jvm_tables.report;
+  section "rankings" Rankings.report;
+  section "rbd" Rbd.report;
+  section "counters" Counters.report;
+  section "optimizer" Optimizer_exp.report;
+  bechamel_section ();
+  Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0)

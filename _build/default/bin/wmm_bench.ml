@@ -1,0 +1,362 @@
+(* Command-line interface to the benchmark suite.
+
+   Subcommands:
+     list        - enumerate benchmarks, litmus tests and experiments
+     litmus      - run litmus tests (operational vs axiomatic)
+     asm         - show a litmus test or cost function as assembly
+     micro       - microbenchmark fence instruction sequences
+     sensitivity - fit a benchmark's sensitivity to a code path
+     figure      - regenerate one of the paper's figures/tables *)
+
+open Cmdliner
+
+let arch_conv =
+  let parse s =
+    match Wmm_isa.Arch.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown architecture %S (arm | power)" s))
+  in
+  Arg.conv (parse, Wmm_isa.Arch.pp)
+
+let arch_arg =
+  Arg.(value & opt arch_conv Wmm_isa.Arch.Armv8 & info [ "arch" ] ~doc:"arm or power")
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "JVM benchmarks (DaCapo subset + spark):";
+    List.iter
+      (fun (p : Wmm_workload.Profile.t) -> Printf.printf "  %s\n" p.Wmm_workload.Profile.name)
+      Wmm_workload.Dacapo.all;
+    print_endline "Kernel benchmarks:";
+    List.iter
+      (fun (p : Wmm_workload.Profile.t) -> Printf.printf "  %s\n" p.Wmm_workload.Profile.name)
+      Wmm_workload.Kernelbench.all;
+    print_endline "Litmus tests:";
+    List.iter
+      (fun (t : Wmm_litmus.Test.t) ->
+        Printf.printf "  %-24s %s\n" t.Wmm_litmus.Test.name t.Wmm_litmus.Test.description)
+      Wmm_litmus.Library.all;
+    print_endline "Experiments (see `figure`):";
+    List.iter (Printf.printf "  %s\n")
+      [
+        "fig1"; "fig2_3"; "fig4"; "fig5"; "fig6"; "jvm_tables"; "rankings"; "rbd";
+        "counters"; "optimizer";
+      ]
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, litmus tests and experiments")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* litmus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let litmus_cmd =
+  let open Wmm_litmus in
+  let open Wmm_model in
+  let test_arg =
+    Arg.(value & opt (some string) None & info [ "test" ] ~doc:"Run a single named test")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~doc:"Run a test from a litmus-format file")
+  in
+  let exhaustive_arg =
+    Arg.(value & flag & info [ "exhaustive" ] ~doc:"Exhaustive state-space exploration")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 2000 & info [ "iterations" ] ~doc:"Random-run count")
+  in
+  let run test_name file exhaustive iterations =
+    let tests =
+      match (test_name, file) with
+      | _, Some path -> (
+          match Parse.parse_file path with
+          | Ok p -> [ p.Parse.test ]
+          | Error e -> failwith (Printf.sprintf "%s: %s" path e))
+      | None, None -> Library.all
+      | Some name, None -> (
+          match Library.by_name name with
+          | Some t -> [ t ]
+          | None -> failwith (Printf.sprintf "unknown litmus test %S" name))
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun test ->
+        List.iter
+          (fun model ->
+            let selected =
+              if file <> None then
+                (* File tests carry no annotations: check them under
+                   every model (or the hinted architecture's). *)
+                Test.expected_under test model <> None
+                || model = Axiomatic.Arm || model = Axiomatic.Power
+              else Test.expected_under test model <> None
+            in
+            match selected with
+            | false -> ()
+            | true ->
+                let config =
+                  match model with
+                  | Axiomatic.Sc -> Wmm_machine.Relaxed.sc_config
+                  | Axiomatic.Tso -> Wmm_machine.Relaxed.tso_config
+                  | Axiomatic.Arm | Axiomatic.Power -> Wmm_machine.Relaxed.relaxed_config
+                in
+                let v =
+                  if exhaustive then Check.run_exhaustive model config test
+                  else Check.run_random ~iterations model config test
+                in
+                (* File-loaded tests have a placeholder annotation:
+                   only forbidden-observed counts as unsound there. *)
+                let unsound =
+                  if file <> None then v.Check.observed && not v.Check.axiomatic_allowed
+                  else not (Check.sound v)
+                in
+                if unsound then incr failures;
+                print_endline (Check.describe v))
+          Axiomatic.all_models)
+      tests;
+    if !failures > 0 then begin
+      Printf.printf "%d unsound verdicts\n" !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Run litmus tests on the operational machine and the models")
+    Term.(const run $ test_arg $ file_arg $ exhaustive_arg $ iterations_arg)
+
+(* ------------------------------------------------------------------ *)
+(* litmus-table                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let litmus_table_cmd =
+  let open Wmm_litmus in
+  let open Wmm_model in
+  let run () =
+    let table =
+      Wmm_util.Table.create
+        [ "test"; "SC"; "TSO"; "ARMv8"; "POWER"; "description" ]
+        ~aligns:
+          Wmm_util.Table.[ Left; Right; Right; Right; Right; Left ]
+    in
+    List.iter
+      (fun (t : Test.t) ->
+        let cell model =
+          match Test.expected_under t model with
+          | None -> "-"
+          | Some _ -> if Check.axiomatic_allowed model t then "allow" else "forbid"
+        in
+        Wmm_util.Table.add_row table
+          [
+            t.Test.name;
+            cell Axiomatic.Sc;
+            cell Axiomatic.Tso;
+            cell Axiomatic.Arm;
+            cell Axiomatic.Power;
+            t.Test.description;
+          ])
+      Library.all;
+    Wmm_util.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "litmus-table"
+       ~doc:"Print the full litmus verdict matrix (axiomatic models)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* asm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let asm_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Litmus test name, or 'costfn'")
+  in
+  let run arch name =
+    if name = "costfn" then begin
+      let cf = Wmm_costfn.Cost_function.make arch 1024 in
+      List.iter print_endline (Wmm_costfn.Cost_function.assembly cf)
+    end
+    else begin
+      match Wmm_litmus.Library.by_name name with
+      | Some t -> print_string (Wmm_isa.Asm.program arch t.Wmm_litmus.Test.program)
+      | None -> failwith (Printf.sprintf "unknown litmus test %S" name)
+    end
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Print a litmus test or the cost function as assembly")
+    Term.(const run $ arch_arg $ name_arg)
+
+(* ------------------------------------------------------------------ *)
+(* micro                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let micro_cmd =
+  let run arch =
+    let open Wmm_machine in
+    let timing = Timing.for_arch arch in
+    let sequences =
+      match arch with
+      | Wmm_isa.Arch.Armv8 ->
+          [
+            ("dmb ish", [ Uop.Fence_full ]);
+            ("dmb ishld", [ Uop.Fence_load ]);
+            ("dmb ishst", [ Uop.Fence_store ]);
+            ("isb", [ Uop.Fence_pipeline ]);
+            ("ldar", [ Uop.Load_acquire 0 ]);
+            ("stlr", [ Uop.Store_release 0 ]);
+          ]
+      | Wmm_isa.Arch.Power7 ->
+          [
+            ("sync", [ Uop.Fence_full ]);
+            ("lwsync", [ Uop.Fence_lw ]);
+            ("eieio", [ Uop.Fence_store ]);
+            ("isync", [ Uop.Fence_pipeline ]);
+          ]
+    in
+    List.iter
+      (fun (name, sequence) ->
+        Printf.printf "%-10s %6.1f ns\n" name (Perf.sequence_cost_ns timing sequence))
+      sequences
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Microbenchmark fence sequences on the simulated machine")
+    Term.(const run $ arch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sensitivity_cmd =
+  let bench_arg =
+    Arg.(
+      value & opt string "spark" & info [ "bench" ] ~doc:"Benchmark name (JVM or kernel)")
+  in
+  let path_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "path" ]
+          ~doc:
+            "Code path: 'all', an elemental barrier (StoreStore, ...), or a kernel macro \
+             (smp_mb, read_barrier_depends, ...)")
+  in
+  let samples_arg = Arg.(value & opt int 6 & info [ "samples" ] ~doc:"Samples per point") in
+  let run arch bench path samples =
+    let open Wmm_experiments in
+    let open Wmm_core in
+    let light = Exp_common.light_for arch in
+    let jvm_profile = Wmm_workload.Dacapo.by_name bench in
+    let kernel_profile = Wmm_workload.Kernelbench.by_name bench in
+    let sweep =
+      match (jvm_profile, Wmm_platform.Kernel.macro_of_name path) with
+      | Some profile, None ->
+          let elementals =
+            if path = "all" then Wmm_platform.Barrier.all_elementals
+            else
+              [
+                (match
+                   List.find_opt
+                     (fun e -> Wmm_platform.Barrier.elemental_name e = path)
+                     Wmm_platform.Barrier.all_elementals
+                 with
+                | Some e -> e
+                | None -> failwith (Printf.sprintf "unknown code path %S" path));
+              ]
+          in
+          let inject uops = List.map (fun e -> (e, uops)) elementals in
+          Experiment.sweep ~samples ~light ~code_path:path
+            ~base:
+              (Exp_common.jvm_platform
+                 ~inject:(inject [ Exp_common.nop_uop arch ~light ])
+                 arch)
+            ~inject:(fun cf ->
+              Exp_common.jvm_platform
+                ~inject:(inject [ Wmm_costfn.Cost_function.uop cf ])
+                arch)
+            profile
+      | None, Some macro -> (
+          match kernel_profile with
+          | Some profile ->
+              Experiment.sweep ~samples ~code_path:path
+                ~base:
+                  (Exp_common.kernel_platform
+                     ~inject:[ (macro, [ Exp_common.nop_uop arch ~light:false ]) ]
+                     arch)
+                ~inject:(fun cf ->
+                  Exp_common.kernel_platform
+                    ~inject:[ (macro, [ Wmm_costfn.Cost_function.uop cf ]) ]
+                    arch)
+                profile
+          | None -> failwith (Printf.sprintf "unknown kernel benchmark %S" bench))
+      | Some _, Some _ | None, None ->
+          failwith
+            (Printf.sprintf "cannot resolve benchmark %S with code path %S" bench path)
+    in
+    Printf.printf "%s / %s / %s:\n" bench (Wmm_isa.Arch.name arch) path;
+    List.iter
+      (fun (pt : Experiment.sweep_point) ->
+        Printf.printf "  a=%7.1f ns  p=%.4f\n" pt.Experiment.cost_ns
+          pt.Experiment.relative.Wmm_util.Stats.gmean)
+      sweep.Experiment.points;
+    Printf.printf "fit: %s%s\n"
+      (Exp_common.fmt_fit sweep.Experiment.fit)
+      (if Sensitivity.well_suited sweep.Experiment.fit then "" else "  (unstable)")
+  in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc:"Fit a benchmark's sensitivity to a code path (eq. 1)")
+    Term.(const run $ arch_arg $ bench_arg $ path_arg $ samples_arg)
+
+(* ------------------------------------------------------------------ *)
+(* figure                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let figure_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id")
+  in
+  let run id =
+    let open Wmm_experiments in
+    let report =
+      match id with
+      | "fig1" -> Fig1.report
+      | "fig2_3" | "fig2" | "fig3" -> Fig2_3.report
+      | "fig4" -> Fig4.report
+      | "fig5" -> Fig5.report
+      | "fig6" -> Fig6.report
+      | "jvm_tables" | "t1" | "t2" | "t3" | "t4" -> Jvm_tables.report
+      | "rankings" | "fig7" | "fig8" | "t5" -> Rankings.report
+      | "rbd" | "fig9" | "fig10" | "t6" -> Rbd.report
+      | "counters" -> Counters.report
+      | "optimizer" -> Optimizer_exp.report
+      | other -> failwith (Printf.sprintf "unknown experiment %S (try `list`)" other)
+    in
+    print_endline (report ())
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures or tables")
+    Term.(const run $ id_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "wmm_bench" ~version:"1.0.0"
+      ~doc:"Benchmarking weak memory models (PPoPP 2016) - reproduction suite"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            list_cmd;
+            litmus_cmd;
+            litmus_table_cmd;
+            asm_cmd;
+            micro_cmd;
+            sensitivity_cmd;
+            figure_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/fence_comparison.ml: Arch Barrier Dacapo Experiment Generate Jvm List Perf Printf Profile Sensitivity Timing Uop Wmm_core Wmm_costfn Wmm_isa Wmm_machine Wmm_platform Wmm_util Wmm_workload

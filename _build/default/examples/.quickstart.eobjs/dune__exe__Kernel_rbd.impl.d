@@ -1,0 +1,1 @@
+examples/kernel_rbd.ml: Arch Experiment Generate Kernel Kernelbench List Printf Sensitivity Wmm_core Wmm_costfn Wmm_isa Wmm_platform Wmm_util Wmm_workload

@@ -1,0 +1,1 @@
+examples/litmus_tour.ml: Arch Asm Axiomatic Check Library List Option Printf Relaxed Test Wmm_isa Wmm_litmus Wmm_machine Wmm_model

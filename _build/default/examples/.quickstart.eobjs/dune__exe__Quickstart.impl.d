@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Barrier Bench_runner Dacapo Experiment Generate Jvm List Perf Printf Sensitivity Uop Wmm_core Wmm_costfn Wmm_isa Wmm_machine Wmm_platform Wmm_util Wmm_workload

@@ -1,0 +1,1 @@
+examples/spark_sensitivity.ml: Arch Barrier Dacapo Experiment Generate Jvm List Printf Sensitivity Wmm_core Wmm_costfn Wmm_isa Wmm_platform Wmm_workload

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Arch Array Bench_runner Cost_function Float Generate Hashtbl List Profile Sensitivity Stats Wmm_costfn Wmm_isa Wmm_util Wmm_workload

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Arch Generate Profile Sensitivity Stats Wmm_costfn Wmm_isa Wmm_machine Wmm_util Wmm_workload

@@ -1,0 +1,1 @@
+lib/core/instrumentation.ml: Array Barrier Bench_runner Generate Jvm List Uop Wmm_machine Wmm_platform Wmm_util Wmm_workload

@@ -1,0 +1,1 @@
+lib/core/instrumentation.mli: Arch Generate Profile Uop Wmm_isa Wmm_machine Wmm_platform Wmm_workload

@@ -1,0 +1,112 @@
+open Wmm_util
+open Wmm_isa
+open Wmm_costfn
+open Wmm_workload
+
+type measure = Throughput | Response_mean | Response_max
+
+let measure_of_profile (p : Profile.t) =
+  match p.Profile.measurement with
+  | Profile.Throughput -> Throughput
+  | Profile.Response _ -> Response_mean
+
+let value_of measure (r : Bench_runner.result) =
+  match measure with
+  | Throughput -> r.Bench_runner.throughput
+  | Response_mean -> 1. /. r.Bench_runner.response_mean_ns
+  | Response_max -> 1. /. r.Bench_runner.response_max_ns
+
+let performance_summary ?(samples = 6) ?(warmups = 2) ?(seed = 11) ?measure profile platform =
+  let measure = match measure with Some m -> m | None -> measure_of_profile profile in
+  (* Warm-up runs are discarded, as the paper does for JIT warm-up;
+     for the simulator they only advance the seed sequence, which
+     keeps sample seeds aligned between base and test cases. *)
+  let seeds = List.init samples (fun i -> seed + ((warmups + i) * 1009)) in
+  let results = Bench_runner.samples profile platform ~seeds in
+  Stats.summarise (Array.of_list (List.map (value_of measure) results))
+
+let relative_performance ?(samples = 6) ?(seed = 11) ?measure profile ~base ~test =
+  let t = performance_summary ~samples ~seed ?measure profile test in
+  let b = performance_summary ~samples ~seed ?measure profile base in
+  Stats.ratio_summary ~test:t ~base:b
+
+type sweep_point = { iterations : int; cost_ns : float; relative : Stats.summary }
+
+type sweep = {
+  benchmark : string;
+  arch : Arch.t;
+  code_path : string;
+  points : sweep_point list;
+  fit : Sensitivity.fit;
+}
+
+let default_iteration_counts = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ]
+
+let sweep ?(samples = 6) ?(seed = 11) ?(light = false) ?iteration_counts ~code_path ~base
+    ~inject profile =
+  let arch = Generate.platform_arch base in
+  let counts =
+    match iteration_counts with Some c -> c | None -> default_iteration_counts
+  in
+  let base_summary = performance_summary ~samples ~seed profile base in
+  let points =
+    List.map
+      (fun n ->
+        let cf = Cost_function.make ~light arch n in
+        let test_summary = performance_summary ~samples ~seed profile (inject cf) in
+        {
+          iterations = n;
+          cost_ns = Cost_function.standalone_ns cf;
+          relative = Stats.ratio_summary ~test:test_summary ~base:base_summary;
+        })
+      counts
+  in
+  let xs = Array.of_list (List.map (fun p -> p.cost_ns) points) in
+  let ys = Array.of_list (List.map (fun p -> p.relative.Stats.gmean) points) in
+  let fit = Sensitivity.fit_k ~xs ~ys in
+  { benchmark = profile.Profile.name; arch; code_path; points; fit }
+
+type cell = { benchmark : string; code_path : string; relative : Stats.summary }
+
+let ranking_matrix ?(samples = 3) ?(seed = 23) ?(spin_iterations = 1024) ~paths ~benchmarks ()
+    =
+  List.concat_map
+    (fun ((profile : Profile.t), base_builder) ->
+      let arch = Generate.platform_arch (base_builder []) in
+      let cf = Cost_function.make arch spin_iterations in
+      let base_platform = base_builder [ Cost_function.nop_padding arch cf ] in
+      let base = performance_summary ~samples ~seed profile base_platform in
+      List.map
+        (fun (path_name, path_builder) ->
+          let test_platform = path_builder [ Cost_function.uop cf ] in
+          let test = performance_summary ~samples ~seed profile test_platform in
+          {
+            benchmark = profile.Profile.name;
+            code_path = path_name;
+            relative = Stats.ratio_summary ~test ~base;
+          })
+        paths)
+    benchmarks
+
+let sum_grouped key cells =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun cell ->
+      let k = key cell in
+      let current = try Hashtbl.find table k with Not_found -> 0. in
+      Hashtbl.replace table k (current +. cell.relative.Stats.gmean))
+    cells;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let sum_by_code_path cells = sum_grouped (fun c -> c.code_path) cells
+let sum_by_benchmark cells = sum_grouped (fun c -> c.benchmark) cells
+
+let inferred_cost_ns (fit : Sensitivity.fit) (relative : Stats.summary) =
+  Sensitivity.cost_of_change ~k:fit.Sensitivity.k ~p:relative.Stats.gmean
+
+type divergence = { micro_ns : float; macro_ns : float }
+
+let divergence_interesting ?(threshold = 0.5) d =
+  let denom = Float.max (abs_float d.micro_ns) 1e-9 in
+  abs_float (d.macro_ns -. d.micro_ns) /. denom > threshold

@@ -1,0 +1,110 @@
+open Wmm_util
+open Wmm_isa
+open Wmm_workload
+
+(** Running benchmarks across fencing strategies and extracting the
+    paper's measurements: relative performance with compounded
+    errors, variable-cost sensitivity sweeps with fitted [k], and
+    fixed-cost ranking matrices. *)
+
+type measure = Throughput | Response_mean | Response_max
+
+val measure_of_profile : Profile.t -> measure
+(** [Response_mean] for response-mode profiles, else [Throughput]. *)
+
+val performance_summary :
+  ?samples:int ->
+  ?warmups:int ->
+  ?seed:int ->
+  ?measure:measure ->
+  Profile.t ->
+  Generate.platform ->
+  Stats.summary
+(** Geometric-mean performance over [samples] runs (default 6) after
+    [warmups] discarded runs (default 2), matching the paper's
+    methodology.  Higher is better for every measure (response times
+    are inverted). *)
+
+val relative_performance :
+  ?samples:int ->
+  ?seed:int ->
+  ?measure:measure ->
+  Profile.t ->
+  base:Generate.platform ->
+  test:Generate.platform ->
+  Stats.summary
+(** Normalised performance of [test] against [base] with the paper's
+    pessimistic error compounding. *)
+
+(** {1 Variable-cost sensitivity sweeps} *)
+
+type sweep_point = {
+  iterations : int;  (** Cost-function loop count. *)
+  cost_ns : float;  (** Its calibrated standalone execution time. *)
+  relative : Stats.summary;  (** Performance relative to the nop base case. *)
+}
+
+type sweep = {
+  benchmark : string;
+  arch : Arch.t;
+  code_path : string;
+  points : sweep_point list;
+  fit : Sensitivity.fit;
+}
+
+val sweep :
+  ?samples:int ->
+  ?seed:int ->
+  ?light:bool ->
+  ?iteration_counts:int list ->
+  code_path:string ->
+  base:Generate.platform ->
+  inject:(Wmm_costfn.Cost_function.t -> Generate.platform) ->
+  Profile.t ->
+  sweep
+(** Run the benchmark across increasing cost-function sizes injected
+    by [inject], normalise each against the nop-padded [base], and
+    fit the sensitivity model.  Default iteration counts are powers
+    of two from 1 to 512 (covering the paper's 2^0..2^8 ns x-axis). *)
+
+(** {1 Fixed-cost rankings (paper Figs. 7 and 8)} *)
+
+type cell = { benchmark : string; code_path : string; relative : Stats.summary }
+
+val ranking_matrix :
+  ?samples:int ->
+  ?seed:int ->
+  ?spin_iterations:int ->
+  paths:(string * (Wmm_machine.Uop.t list -> Generate.platform)) list ->
+  benchmarks:(Profile.t * (Wmm_machine.Uop.t list -> Generate.platform)) list ->
+  unit ->
+  cell list
+(** For every (code path, benchmark) pair, the relative performance
+    of injecting a fixed large cost function (default 1024
+    iterations) into that path.  [paths] maps a path name to a
+    platform builder given the injected uops; [benchmarks] carries a
+    per-benchmark builder for the nop base case. *)
+
+val sum_by_code_path : cell list -> (string * float) list
+(** Paper Fig. 7: sum of relative performance per code path across
+    benchmarks, ascending (most impact first). *)
+
+val sum_by_benchmark : cell list -> (string * float) list
+(** Paper Fig. 8. *)
+
+(** {1 Cost inference (eq. 2) and micro/macro divergence} *)
+
+val inferred_cost_ns : Sensitivity.fit -> Stats.summary -> float
+(** Per-invocation cost (ns) a fencing change must have to explain
+    the observed relative performance, given the benchmark's fitted
+    sensitivity. *)
+
+type divergence = {
+  micro_ns : float;  (** In-vitro: microbenchmark of the sequences. *)
+  macro_ns : float;  (** In-vivo: inferred from the benchmark. *)
+}
+
+val divergence_interesting : ?threshold:float -> divergence -> bool
+(** True when in-vitro and in-vivo disagree by more than [threshold]
+    (default 50%) relatively - which the paper reads as the benchmark
+    exercising memory-system state that microbenchmarks cannot. *)

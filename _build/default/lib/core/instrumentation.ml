@@ -1,0 +1,51 @@
+open Wmm_machine
+open Wmm_platform
+open Wmm_workload
+
+type counter_kind = Shared_counter | Per_thread_counter | Register_counter
+
+let counter_uop kind ~path_index =
+  match kind with
+  | Shared_counter -> Uop.Counter_shared path_index
+  | Per_thread_counter -> Uop.Counter_private path_index
+  | Register_counter ->
+      (* An ideal register counter: one ALU op, no memory traffic. *)
+      Uop.Busy 1
+
+let counted_jvm_platform kind (config : Jvm.config) =
+  let config, _ =
+    List.fold_left
+      (fun (c, i) elemental ->
+        (Jvm.with_injection c elemental [ counter_uop kind ~path_index:i ], i + 1))
+      (config, 0) Barrier.all_elementals
+  in
+  Generate.Jvm_platform config
+
+type perturbation = {
+  kind : counter_kind;
+  overhead : float;
+  cv_base : float;
+  cv_counted : float;
+}
+
+let coefficient_of_variation samples =
+  Wmm_util.Stats.std samples /. Wmm_util.Stats.mean samples
+
+let throughputs profile platform ~samples ~seed =
+  Array.of_list
+    (List.map
+       (fun (r : Bench_runner.result) -> r.Bench_runner.throughput)
+       (Bench_runner.samples profile platform
+          ~seeds:(List.init samples (fun i -> seed + (i * 613)))))
+
+let measure_perturbation ?(samples = 8) ?(seed = 31) arch profile kind =
+  let base_platform = Generate.Jvm_platform (Jvm.default arch) in
+  let counted_platform = counted_jvm_platform kind (Jvm.default arch) in
+  let base = throughputs profile base_platform ~samples ~seed in
+  let counted = throughputs profile counted_platform ~samples ~seed in
+  {
+    kind;
+    overhead = 1. -. (Wmm_util.Stats.geometric_mean counted /. Wmm_util.Stats.geometric_mean base);
+    cv_base = coefficient_of_variation base;
+    cv_counted = coefficient_of_variation counted;
+  }

@@ -1,0 +1,46 @@
+open Wmm_isa
+open Wmm_machine
+open Wmm_workload
+
+(** Counter-based instrumentation, and why the paper rejects it.
+
+    Section 3 of the paper considers instrumenting code paths with
+    invocation counters and dismisses the approach: counters have an
+    unpredictable performance cost, and their memory traffic perturbs
+    the memory subsystem of multi-threaded programs - precisely the
+    thing being measured.  This module implements counter
+    instrumentation over the simulator so the claim can be
+    demonstrated quantitatively: see the comparison experiment in
+    [Wmm_experiments.Counters]. *)
+
+type counter_kind =
+  | Shared_counter  (** One memory counter per code path, shared by all threads
+                        (maximum perturbation: the cache line bounces). *)
+  | Per_thread_counter  (** Per-thread counter lines (cheaper, still memory traffic). *)
+  | Register_counter  (** An ideal register counter (no memory traffic; not
+                          generally implementable in real platforms). *)
+
+val counter_uop : counter_kind -> path_index:int -> Uop.t
+(** The micro-op of one counter increment; the simulator resolves
+    per-core counter lines for [Per_thread_counter]. *)
+
+val counted_jvm_platform :
+  counter_kind -> Wmm_platform.Jvm.config -> Generate.platform
+(** The JVM platform with a counter increment injected into every
+    elemental barrier.
+
+    Note: counter locations live in a reserved range above any
+    workload location so they never alias application data. *)
+
+type perturbation = {
+  kind : counter_kind;
+  overhead : float;  (** Relative slowdown caused by the instrumentation itself. *)
+  cv_base : float;  (** Coefficient of variation without counters. *)
+  cv_counted : float;  (** With counters: instability added by the probe. *)
+}
+
+val measure_perturbation :
+  ?samples:int -> ?seed:int -> Arch.t -> Profile.t -> counter_kind -> perturbation
+(** Run the benchmark with and without counter instrumentation and
+    report the probe's own cost and the change in run-to-run
+    stability. *)

@@ -1,0 +1,40 @@
+(** The paper's sensitivity model (section 3).
+
+    The normalised performance [p] of a benchmark whose code path is
+    loaded with an injected per-invocation cost of [a] nanoseconds is
+    modelled as
+
+    {[ p = 1 / ((1 - k) + k * a) ]}            (paper eq. 1)
+
+    where [k] is the benchmark's dimensionless sensitivity to the
+    code path.  Inverting for [a] converts an observed relative
+    performance into an equivalent per-invocation cost change:
+
+    {[ a = -(((1 - k) * p) - 1) / (k * p) ]}    (paper eq. 2)
+
+    [1/((1-k) + ka)] rather than [1/(1 + ka)] because the baseline is
+    nop-padded: [a] is never quite zero. *)
+
+val performance : k:float -> a:float -> float
+(** Eq. 1.  [a] in nanoseconds. *)
+
+val cost_of_change : k:float -> p:float -> float
+(** Eq. 2: the per-invocation cost (ns) that explains relative
+    performance [p] given sensitivity [k]. *)
+
+type fit = {
+  k : float;
+  k_error_percent : float;  (** Standard error as % of [k], as reported in the figures. *)
+  residual_ss : float;
+  converged : bool;
+}
+
+val fit_k : xs:float array -> ys:float array -> fit
+(** Non-linear least-squares fit of eq. 1 to (cost-function size in
+    ns, relative performance) samples.  Raises [Invalid_argument] on
+    fewer than two points. *)
+
+val well_suited : ?max_error_percent:float -> ?min_k:float -> fit -> bool
+(** The paper's usefulness criterion: a benchmark suits a code path
+    when [k] is comparatively high and the fit variance low.
+    Defaults: error below 15%, k at least 1e-4. *)

@@ -1,0 +1,1 @@
+lib/costfn/cost_function.ml: Arch List Timing Uop Wmm_isa Wmm_machine

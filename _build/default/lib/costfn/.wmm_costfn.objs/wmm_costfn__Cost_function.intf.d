@@ -1,0 +1,1 @@
+lib/costfn/cost_function.mli: Arch Uop Wmm_isa Wmm_machine

@@ -1,0 +1,47 @@
+open Wmm_isa
+open Wmm_machine
+
+type t = { arch : Arch.t; light : bool; iterations : int }
+
+let make ?(light = false) arch iterations =
+  if iterations < 0 then invalid_arg "Cost_function.make: negative iteration count";
+  (* The scratch-register variant only exists where a scratch register
+     is guaranteed; the paper uses it for OpenJDK on ARMv8 (x9). *)
+  let light = light && arch = Arch.Armv8 in
+  { arch; light; iterations }
+
+let assembly t =
+  let n = string_of_int t.iterations in
+  match (t.arch, t.light) with
+  | Arch.Armv8, false ->
+      [
+        "stp x9, xzr, [sp, #-16]!";
+        "mov x9, #" ^ n;
+        "subs x9, x9, #1";
+        "bne -4";
+        "ldp x9, xzr, [sp], #16";
+      ]
+  | Arch.Armv8, true -> [ "mov x9, #" ^ n; "subs x9, x9, #1"; "bne -4" ]
+  | Arch.Power7, _ ->
+      [
+        "std r11, -8, r1";
+        "li r11, " ^ n;
+        "addi r11, r11, -1";
+        "cmpwi cr7, r11, 0";
+        "bne cr7, -8";
+        "ld r11, -8, r1";
+      ]
+
+let instruction_count t = List.length (assembly t)
+
+let uop t =
+  if t.light then Uop.Spin_light t.iterations else Uop.Spin t.iterations
+
+let nop_padding _arch t = Uop.Nops (instruction_count t)
+
+let standalone_ns t =
+  let timing = Timing.for_arch t.arch in
+  Timing.ns_of_cycles timing (Timing.spin_cycles timing ~light:t.light t.iterations)
+
+let calibrate ?(light = false) arch counts =
+  List.map (fun n -> (n, standalone_ns (make ~light arch n))) counts

@@ -1,0 +1,44 @@
+open Wmm_isa
+open Wmm_machine
+
+(** Cost functions: the spin loops of the paper's Figures 2 and 3.
+
+    A cost function is a small instruction sequence with a parameter
+    [n] (the loop iteration count) controlling how much time it
+    takes.  It is injected inline into a code path; because it only
+    touches a register (and, when no scratch register is available,
+    one stack slot), it perturbs the memory subsystem as little as
+    possible.  The [light] variant applies when the platform has a
+    scratch register available (OpenJDK on ARMv8 has x9), eliding the
+    stack spill. *)
+
+type t = {
+  arch : Arch.t;
+  light : bool;  (** Scratch register available: no stack spill. *)
+  iterations : int;
+}
+
+val make : ?light:bool -> Arch.t -> int -> t
+
+val assembly : t -> string list
+(** The exact instruction listing, matching the paper's Fig. 2 (ARM)
+    and Fig. 3 (POWER). *)
+
+val uop : t -> Uop.t
+(** The simulator micro-op representing an inline injection. *)
+
+val nop_padding : Arch.t -> t -> Uop.t
+(** The placeholder [nop] sequence of equal instruction count used in
+    base cases to keep binary layout identical. *)
+
+val instruction_count : t -> int
+
+val standalone_ns : t -> float
+(** Execution time measured standalone in a timing loop, as used for
+    the paper's Fig. 4 calibration.  Non-linear for small [n] due to
+    the pipeline floor. *)
+
+val calibrate : ?light:bool -> Arch.t -> int list -> (int * float) list
+(** [(n, ns)] calibration table over the given iteration counts - the
+    data behind Fig. 4.  Costs are subsequently expressed in ns using
+    this table, matching the paper's methodology. *)

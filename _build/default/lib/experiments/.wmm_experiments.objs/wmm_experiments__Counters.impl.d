@@ -1,0 +1,1 @@
+lib/experiments/counters.ml: Arch Dacapo Exp_common Instrumentation List Printf Profile String Table Wmm_core Wmm_isa Wmm_util Wmm_workload

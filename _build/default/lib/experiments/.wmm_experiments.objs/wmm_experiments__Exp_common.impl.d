@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Arch Generate Jvm Kernel List Printf Sensitivity String Sys Wmm_core Wmm_costfn Wmm_isa Wmm_platform Wmm_util Wmm_workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Arch Barrier Generate Jvm Kernel Sensitivity Uop Wmm_core Wmm_isa Wmm_machine Wmm_platform Wmm_util Wmm_workload

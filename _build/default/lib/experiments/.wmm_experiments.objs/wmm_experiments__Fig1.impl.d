@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Exp_common Float List Printf Rng Sensitivity String Table Wmm_core Wmm_util

@@ -1,0 +1,1 @@
+lib/experiments/fig2_3.ml: Arch Cost_function Exp_common List String Wmm_costfn Wmm_isa

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Arch Cost_function Exp_common List String Table Wmm_costfn Wmm_isa Wmm_util

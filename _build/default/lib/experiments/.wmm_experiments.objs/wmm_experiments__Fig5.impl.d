@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Arch Array Buffer Cost_function Dacapo Exp_common Experiment List Printf Profile Sensitivity Stats Table Wmm_core Wmm_costfn Wmm_isa Wmm_util Wmm_workload

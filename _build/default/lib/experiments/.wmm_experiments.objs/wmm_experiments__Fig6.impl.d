@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Arch Barrier Cost_function Dacapo Exp_common Experiment List String Table Wmm_core Wmm_costfn Wmm_isa Wmm_platform Wmm_util Wmm_workload

@@ -1,0 +1,1 @@
+lib/experiments/rankings.ml: Arch Array Exp_common Experiment Kernel Kernelbench List Printf Profile Stats String Table Wmm_core Wmm_costfn Wmm_isa Wmm_platform Wmm_util Wmm_workload

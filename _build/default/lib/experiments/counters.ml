@@ -1,0 +1,56 @@
+(** The paper's section 3 argument against counter instrumentation,
+    made quantitative.
+
+    "There is an inherent performance cost from counter
+    instrumentation which might be hard to predict or unstable, [and]
+    counters may have subtle effects on the performance of the memory
+    subsystem in multi-threaded programs."
+
+    We instrument every elemental JVM barrier with (a) a shared
+    per-code-path counter (what naive instrumentation does), (b)
+    per-thread counter lines, and (c) an ideal register counter, and
+    compare their overhead and the run-to-run instability they add,
+    against the nop-padded cost-function baseline whose overhead is
+    small and predictable. *)
+
+open Wmm_isa
+open Wmm_util
+open Wmm_core
+open Wmm_workload
+
+let kinds =
+  [
+    (Instrumentation.Shared_counter, "shared counter");
+    (Instrumentation.Per_thread_counter, "per-thread counter");
+    (Instrumentation.Register_counter, "register counter (ideal)");
+  ]
+
+let report () =
+  let arch = Arch.Armv8 in
+  let samples = if Exp_common.fast () then 3 else 8 in
+  let table =
+    Table.create [ "instrumentation"; "benchmark"; "overhead"; "cv base"; "cv instrumented" ]
+  in
+  List.iter
+    (fun (profile : Profile.t) ->
+      List.iter
+        (fun (kind, label) ->
+          let p = Instrumentation.measure_perturbation ~samples arch profile kind in
+          Table.add_row table
+            [
+              label;
+              profile.Profile.name;
+              Table.percent_cell p.Instrumentation.overhead;
+              Printf.sprintf "%.4f" p.Instrumentation.cv_base;
+              Printf.sprintf "%.4f" p.Instrumentation.cv_counted;
+            ])
+        kinds)
+    [ Dacapo.spark; Dacapo.h2 ];
+  String.concat "\n"
+    [
+      Exp_common.header "Section 3: counter instrumentation vs cost functions";
+      "Shared counters bounce cache lines between cores: their overhead is";
+      "large and workload-dependent, unlike the predictable nop/cost-function";
+      "probes the paper adopts.";
+      Table.render table;
+    ]

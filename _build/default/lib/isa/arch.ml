@@ -1,0 +1,28 @@
+type t = Armv8 | Power7
+
+let all = [ Armv8; Power7 ]
+
+let name = function Armv8 -> "arm" | Power7 -> "power"
+
+let long_name = function
+  | Armv8 -> "ARMv8 (X-Gene 1, 8 cores @ 2.4GHz)"
+  | Power7 -> "POWER7 (12 cores @ 3.7GHz)"
+
+let clock_ghz = function Armv8 -> 2.4 | Power7 -> 3.7
+
+let cycle_ns t = 1. /. clock_ghz t
+
+let core_count = function Armv8 -> 8 | Power7 -> 12
+
+let cycles_of_ns t ns = max 0 (int_of_float (Float.round (ns /. cycle_ns t)))
+
+let ns_of_cycles t cycles = float_of_int cycles *. cycle_ns t
+
+let has_smt_interference = function Armv8 -> false | Power7 -> true
+
+let of_string = function
+  | "arm" | "armv8" -> Some Armv8
+  | "power" | "power7" -> Some Power7
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,39 @@
+(** Target architecture descriptors.
+
+    The paper evaluates on an X-Gene 1 ARMv8 (8 cores @ 2.4 GHz) and a
+    POWER7 (12 cores @ 3.7 GHz).  We model both.  An [t] value is
+    carried through every layer - fencing strategies, timing models
+    and the simulator are all parameterised by it. *)
+
+type t = Armv8 | Power7
+
+val all : t list
+
+val name : t -> string
+(** Short lowercase name: ["arm"] or ["power"], matching the paper's
+    figure legends. *)
+
+val long_name : t -> string
+
+val clock_ghz : t -> float
+(** Paper hardware: 2.4 GHz ARMv8 X-Gene 1; 3.7 GHz POWER7. *)
+
+val cycle_ns : t -> float
+(** Nanoseconds per cycle, [1 / clock_ghz]. *)
+
+val core_count : t -> int
+(** Cores used in the paper's experiments (8 on ARM, 12 on POWER). *)
+
+val cycles_of_ns : t -> float -> int
+(** Round a duration in ns to cycles (at least 0). *)
+
+val ns_of_cycles : t -> int -> float
+
+val has_smt_interference : t -> bool
+(** The paper attributes xalan's instability on POWER to the CPU's
+    symmetric multithreading strategy; the POWER model carries an SMT
+    interference noise source. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+let reg_name arch r =
+  match arch with
+  | Arch.Armv8 -> "x" ^ string_of_int r
+  | Arch.Power7 -> "r" ^ string_of_int r
+
+let operand arch = function
+  | Instr.Imm v -> "#" ^ string_of_int v
+  | Instr.Reg r -> reg_name arch r
+
+let address arch names = function
+  | Instr.Imm l -> "&" ^ names l
+  | Instr.Reg r -> ( match arch with Arch.Armv8 -> "[" ^ reg_name arch r ^ "]" | Arch.Power7 -> "0(" ^ reg_name arch r ^ ")")
+
+let instr_named arch names i =
+  let reg = reg_name arch in
+  match (arch, i) with
+  | Arch.Armv8, Instr.Load { dst; addr; order } ->
+      let mnemonic =
+        match order with Instr.Plain -> "ldr" | Instr.Acquire -> "ldar" | Instr.Release -> "ldr"
+      in
+      Printf.sprintf "%s %s, %s" mnemonic (reg dst) (address arch names addr)
+  | Arch.Armv8, Instr.Store { src; addr; order } ->
+      let mnemonic =
+        match order with Instr.Plain -> "str" | Instr.Release -> "stlr" | Instr.Acquire -> "str"
+      in
+      Printf.sprintf "%s %s, %s" mnemonic (operand arch src) (address arch names addr)
+  | Arch.Power7, Instr.Load { dst; addr; order } ->
+      let suffix = match order with Instr.Acquire -> " ; cmp; bc; isync" | _ -> "" in
+      Printf.sprintf "ld %s, %s%s" (reg dst) (address arch names addr) suffix
+  | Arch.Power7, Instr.Store { src; addr; order } ->
+      let prefix = match order with Instr.Release -> "lwsync ; " | _ -> "" in
+      Printf.sprintf "%sstd %s, %s" prefix (operand arch src) (address arch names addr)
+  | Arch.Armv8, Instr.Load_exclusive { dst; addr; order } ->
+      let mnemonic = match order with Instr.Acquire -> "ldaxr" | _ -> "ldxr" in
+      Printf.sprintf "%s %s, %s" mnemonic (reg dst) (address arch names addr)
+  | Arch.Armv8, Instr.Store_exclusive { status; src; addr; order } ->
+      let mnemonic = match order with Instr.Release -> "stlxr" | _ -> "stxr" in
+      Printf.sprintf "%s %s, %s, %s" mnemonic (reg status) (operand arch src)
+        (address arch names addr)
+  | Arch.Power7, Instr.Load_exclusive { dst; addr; _ } ->
+      Printf.sprintf "larx %s, %s" (reg dst) (address arch names addr)
+  | Arch.Power7, Instr.Store_exclusive { status; src; addr; _ } ->
+      Printf.sprintf "stcx. %s, %s ; mfcr %s" (operand arch src)
+        (address arch names addr) (reg status)
+  | _, Instr.Barrier b -> Instr.barrier_mnemonic b
+  | _, Instr.Mov { dst; src } -> (
+      match arch with
+      | Arch.Armv8 -> Printf.sprintf "mov %s, %s" (reg dst) (operand arch src)
+      | Arch.Power7 -> Printf.sprintf "li %s, %s" (reg dst) (operand arch src))
+  | _, Instr.Op { op; dst; a; b } ->
+      let mnemonic =
+        match op with Instr.Add -> "add" | Instr.Sub -> "sub" | Instr.Xor -> "eor" | Instr.And -> "and"
+      in
+      let mnemonic =
+        match (arch, mnemonic) with Arch.Power7, "eor" -> "xor" | _, m -> m
+      in
+      Printf.sprintf "%s %s, %s, %s" mnemonic (reg dst) (operand arch a)
+        (operand arch b)
+  | _, Instr.Cbnz { src; offset } -> Printf.sprintf "cbnz %s, %+d" (reg src) offset
+  | _, Instr.Cbz { src; offset } -> Printf.sprintf "cbz %s, %+d" (reg src) offset
+  | _, Instr.Nop -> "nop"
+
+let default_name l = "m" ^ string_of_int l
+
+let instr arch i = instr_named arch default_name i
+
+let thread arch names t = Array.to_list (Array.map (instr_named arch names) t)
+
+let program arch (p : Program.t) =
+  let names l = Program.location_name p l in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer p.Program.name;
+  Buffer.add_string buffer "\n{ ";
+  Buffer.add_string buffer
+    (String.concat "; "
+       (List.map
+          (fun l -> Printf.sprintf "%s=%d" (names l) (Program.initial_value p l))
+          (Program.locations p)));
+  Buffer.add_string buffer " }\n";
+  let columns = Array.map (fun t -> thread arch names t) p.Program.threads in
+  let widths =
+    Array.map
+      (fun lines -> List.fold_left (fun acc s -> max acc (String.length s)) 10 lines)
+      columns
+  in
+  let height = Array.fold_left (fun acc lines -> max acc (List.length lines)) 0 columns in
+  for row = 0 to height - 1 do
+    Array.iteri
+      (fun col lines ->
+        let cell = match List.nth_opt lines row with Some s -> s | None -> "" in
+        Buffer.add_string buffer cell;
+        Buffer.add_string buffer (String.make (widths.(col) - String.length cell + 3) ' ');
+        if col = Array.length columns - 1 then Buffer.add_char buffer '\n')
+      columns
+  done;
+  Buffer.contents buffer

@@ -1,0 +1,19 @@
+(** Assembly pretty-printing for programs and instruction sequences.
+
+    Used by the litmus tooling to display tests and by the bench
+    harness to regenerate the paper's Figures 2 and 3 (the ARM and
+    POWER cost-function listings). *)
+
+val instr : Arch.t -> Instr.t -> string
+(** Render one instruction in the given architecture's syntax.
+    Immediate addresses render as [&name]-style absolute operands
+    ([&m3] when no name is known). *)
+
+val instr_named : Arch.t -> (Instr.loc -> string) -> Instr.t -> string
+(** Like [instr] but resolving location names through the given
+    function. *)
+
+val thread : Arch.t -> (Instr.loc -> string) -> Program.thread -> string list
+
+val program : Arch.t -> Program.t -> string
+(** Multi-column litmus-style listing with the initial state header. *)

@@ -1,0 +1,63 @@
+type reg = int
+type loc = int
+type value = int
+
+type barrier = Dmb_ish | Dmb_ishld | Dmb_ishst | Isb | Sync | Lwsync | Isync | Eieio
+
+let barrier_mnemonic = function
+  | Dmb_ish -> "dmb ish"
+  | Dmb_ishld -> "dmb ishld"
+  | Dmb_ishst -> "dmb ishst"
+  | Isb -> "isb"
+  | Sync -> "sync"
+  | Lwsync -> "lwsync"
+  | Isync -> "isync"
+  | Eieio -> "eieio"
+
+let barrier_arch = function
+  | Dmb_ish | Dmb_ishld | Dmb_ishst | Isb -> Arch.Armv8
+  | Sync | Lwsync | Isync | Eieio -> Arch.Power7
+
+type order = Plain | Acquire | Release
+
+type operand = Imm of value | Reg of reg
+
+type binop = Add | Sub | Xor | And
+
+type t =
+  | Load of { dst : reg; addr : operand; order : order }
+  | Store of { src : operand; addr : operand; order : order }
+  | Load_exclusive of { dst : reg; addr : operand; order : order }
+  | Store_exclusive of { status : reg; src : operand; addr : operand; order : order }
+  | Barrier of barrier
+  | Mov of { dst : reg; src : operand }
+  | Op of { op : binop; dst : reg; a : operand; b : operand }
+  | Cbnz of { src : reg; offset : int }
+  | Cbz of { src : reg; offset : int }
+  | Nop
+
+let eval_binop op a b =
+  match op with Add -> a + b | Sub -> a - b | Xor -> a lxor b | And -> a land b
+
+let operand_regs = function Imm _ -> [] | Reg r -> [ r ]
+
+let input_regs = function
+  | Load { addr; _ } | Load_exclusive { addr; _ } -> operand_regs addr
+  | Store { src; addr; _ } | Store_exclusive { src; addr; _ } ->
+      operand_regs src @ operand_regs addr
+  | Barrier _ | Nop -> []
+  | Mov { src; _ } -> operand_regs src
+  | Op { a; b; _ } -> operand_regs a @ operand_regs b
+  | Cbnz { src; _ } | Cbz { src; _ } -> [ src ]
+
+let output_reg = function
+  | Load { dst; _ } | Load_exclusive { dst; _ } | Mov { dst; _ } | Op { dst; _ } ->
+      Some dst
+  | Store_exclusive { status; _ } -> Some status
+  | Store _ | Barrier _ | Cbnz _ | Cbz _ | Nop -> None
+
+let is_memory_access = function
+  | Load _ | Store _ | Load_exclusive _ | Store_exclusive _ -> true
+  | _ -> false
+
+let is_branch = function Cbnz _ | Cbz _ -> true | _ -> false

@@ -1,0 +1,74 @@
+(** The abstract instruction set executed by the operational litmus
+    machine and checked by the axiomatic models.
+
+    This is a deliberately small common core of ARMv8 and POWER:
+    loads and stores (plain, acquire, release), the barrier
+    instructions discussed in the paper, register moves and ALU
+    operations (used to build address / data dependencies), and
+    conditional branches (used to build control dependencies and spin
+    loops). *)
+
+type reg = int
+(** Register index.  Rendered as [xN] on ARM and [rN] on POWER. *)
+
+type loc = int
+(** Shared-memory location index.  Litmus tests give them names. *)
+
+type value = int
+
+type barrier =
+  | Dmb_ish  (** ARMv8 full barrier [dmb ish]. *)
+  | Dmb_ishld  (** ARMv8 load barrier [dmb ishld]: orders R->R, R->W. *)
+  | Dmb_ishst  (** ARMv8 store barrier [dmb ishst]: orders W->W. *)
+  | Isb  (** ARMv8 instruction barrier (pipeline flush). *)
+  | Sync  (** POWER heavyweight sync ([hwsync]). *)
+  | Lwsync  (** POWER lightweight sync: all but W->R. *)
+  | Isync  (** POWER instruction sync. *)
+  | Eieio  (** POWER store ordering for cacheable memory (W->W). *)
+
+val barrier_mnemonic : barrier -> string
+
+val barrier_arch : barrier -> Arch.t
+(** The architecture a barrier instruction belongs to. *)
+
+type order =
+  | Plain
+  | Acquire  (** ARMv8 [ldar]. *)
+  | Release  (** ARMv8 [stlr]. *)
+
+type operand = Imm of value | Reg of reg
+
+type binop = Add | Sub | Xor | And
+
+type t =
+  | Load of { dst : reg; addr : operand; order : order }
+      (** [addr] is a location index (or register holding one). *)
+  | Store of { src : operand; addr : operand; order : order }
+  | Load_exclusive of { dst : reg; addr : operand; order : order }
+      (** ARMv8 [ldxr]/[ldaxr], POWER [larx]: opens an exclusive
+          monitor on the location. *)
+  | Store_exclusive of { status : reg; src : operand; addr : operand; order : order }
+      (** ARMv8 [stxr]/[stlxr], POWER [stcx.]: succeeds (writing 0 to
+          [status]) only if the monitor is still held; writes 1 and
+          stores nothing on failure. *)
+  | Barrier of barrier
+  | Mov of { dst : reg; src : operand }
+  | Op of { op : binop; dst : reg; a : operand; b : operand }
+  | Cbnz of { src : reg; offset : int }
+      (** Relative branch (in instructions) if [src] is non-zero.
+          Positive offsets jump forward. *)
+  | Cbz of { src : reg; offset : int }
+  | Nop
+
+val eval_binop : binop -> value -> value -> value
+
+val input_regs : t -> reg list
+(** Registers read by the instruction (including address
+    registers). *)
+
+val output_reg : t -> reg option
+(** Register written by the instruction, if any. *)
+
+val is_memory_access : t -> bool
+
+val is_branch : t -> bool

@@ -1,0 +1,84 @@
+type thread = Instr.t array
+
+type t = {
+  name : string;
+  location_names : string array;
+  init : (Instr.loc * Instr.value) list;
+  threads : thread array;
+}
+
+let make ?(location_names = [||]) ?(init = []) ~name threads =
+  { name; location_names; init; threads = Array.of_list threads }
+
+let thread_count t = Array.length t.threads
+
+let static_locations_of_instr instr =
+  let of_operand = function Instr.Imm l -> [ l ] | Instr.Reg _ -> [] in
+  match instr with
+  | Instr.Load { addr; _ }
+  | Instr.Store { addr; _ }
+  | Instr.Load_exclusive { addr; _ }
+  | Instr.Store_exclusive { addr; _ } ->
+      of_operand addr
+  | _ -> []
+
+let locations t =
+  let module IS = Set.Make (Int) in
+  let set = ref IS.empty in
+  List.iter (fun (l, _) -> set := IS.add l !set) t.init;
+  Array.iter
+    (fun thread ->
+      Array.iter
+        (fun instr -> List.iter (fun l -> set := IS.add l !set) (static_locations_of_instr instr))
+        thread)
+    t.threads;
+  IS.elements !set
+
+let location_name t l =
+  if l >= 0 && l < Array.length t.location_names then t.location_names.(l)
+  else "m" ^ string_of_int l
+
+let initial_value t l = match List.assoc_opt l t.init with Some v -> v | None -> 0
+
+let max_register t =
+  let max_reg = ref 0 in
+  let consider r = if r > !max_reg then max_reg := r in
+  Array.iter
+    (fun thread ->
+      Array.iter
+        (fun instr ->
+          List.iter consider (Instr.input_regs instr);
+          Option.iter consider (Instr.output_reg instr))
+        thread)
+    t.threads;
+  !max_reg
+
+let instruction_count t =
+  Array.fold_left (fun acc thread -> acc + Array.length thread) 0 t.threads
+
+let validate t =
+  let problem = ref None in
+  Array.iteri
+    (fun tid thread ->
+      Array.iteri
+        (fun i instr ->
+          let check_offset offset =
+            let target = i + 1 + offset in
+            if target < 0 || target > Array.length thread then
+              problem :=
+                Some
+                  (Printf.sprintf "%s: thread %d instr %d: branch target %d out of range" t.name
+                     tid i target)
+          in
+          (match instr with
+          | Instr.Cbnz { offset; _ } | Instr.Cbz { offset; _ } -> check_offset offset
+          | _ -> ());
+          List.iter
+            (fun r ->
+              if r < 0 then
+                problem :=
+                  Some (Printf.sprintf "%s: thread %d instr %d: negative register" t.name tid i))
+            (Instr.input_regs instr))
+        thread)
+    t.threads;
+  match !problem with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,45 @@
+(** Multi-threaded litmus-style programs.
+
+    A program is a set of threads (straight-line instruction arrays,
+    possibly with short relative branches), an initial memory state,
+    and human-readable names for locations so tests print as
+    [x], [y], ... instead of location indices. *)
+
+type thread = Instr.t array
+
+type t = {
+  name : string;
+  location_names : string array;
+      (** [location_names.(l)] names location [l]; locations not
+          listed print as ["m<l>"]. *)
+  init : (Instr.loc * Instr.value) list;
+      (** Initial values; unlisted locations start at 0. *)
+  threads : thread array;
+}
+
+val make :
+  ?location_names:string array ->
+  ?init:(Instr.loc * Instr.value) list ->
+  name:string ->
+  Instr.t array list ->
+  t
+
+val thread_count : t -> int
+
+val locations : t -> Instr.loc list
+(** All location indices that appear in any thread (statically
+    visible, i.e. immediate addresses) or in the initial state,
+    sorted. *)
+
+val location_name : t -> Instr.loc -> string
+
+val initial_value : t -> Instr.loc -> Instr.value
+
+val max_register : t -> Instr.reg
+(** Largest register index used, for sizing register files. *)
+
+val instruction_count : t -> int
+
+val validate : t -> (unit, string) result
+(** Static checks: branch offsets stay in range, register indices are
+    non-negative.  The litmus library calls this for every test. *)

@@ -1,0 +1,1 @@
+lib/litmus/check.ml: Axiomatic Enumerate List Printf Relaxed Test Wmm_machine Wmm_model

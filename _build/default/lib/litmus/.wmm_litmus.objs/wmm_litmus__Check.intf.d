@@ -1,0 +1,1 @@
+lib/litmus/check.mli: Axiomatic Relaxed Test Wmm_machine Wmm_model

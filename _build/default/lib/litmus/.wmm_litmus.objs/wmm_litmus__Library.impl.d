@@ -1,0 +1,1 @@
+lib/litmus/library.ml: Array Axiomatic List Test Wmm_isa Wmm_machine Wmm_model

@@ -1,0 +1,1 @@
+lib/litmus/library.mli: Axiomatic Test Wmm_machine Wmm_model

@@ -1,0 +1,1 @@
+lib/litmus/parse.ml: Arch Array Asm Buffer In_channel Instr List Printf Program String Test Wmm_isa

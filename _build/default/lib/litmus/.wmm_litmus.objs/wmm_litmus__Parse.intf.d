@@ -1,0 +1,1 @@
+lib/litmus/parse.mli: Arch Test Wmm_isa

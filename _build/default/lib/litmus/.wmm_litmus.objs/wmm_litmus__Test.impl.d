@@ -1,0 +1,1 @@
+lib/litmus/test.ml: Axiomatic Instr List Program Wmm_isa Wmm_model

@@ -1,0 +1,1 @@
+lib/litmus/test.mli: Axiomatic Instr Program Wmm_isa Wmm_model

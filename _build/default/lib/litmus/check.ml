@@ -1,0 +1,80 @@
+open Wmm_model
+open Wmm_machine
+
+type verdict = {
+  test : Test.t;
+  model : Axiomatic.model;
+  axiomatic_allowed : bool;
+  expected : bool option;
+  observed : bool;
+  observations : int;
+  total : int;
+}
+
+let outcome_satisfies (test : Test.t) ~registers ~memory =
+  Test.condition_matches test.Test.condition registers
+  && List.for_all
+       (fun (l, v) ->
+         match List.assoc_opt l memory with Some v' -> v = v' | None -> v = 0)
+       test.Test.mem_condition
+
+let axiomatic_allowed model (test : Test.t) =
+  let outcomes = Enumerate.allowed_outcomes model test.Test.program in
+  List.exists
+    (fun (o : Enumerate.outcome) ->
+      outcome_satisfies test ~registers:o.Enumerate.registers ~memory:o.Enumerate.memory)
+    outcomes
+
+let relaxed_satisfies test (o : Relaxed.outcome) =
+  outcome_satisfies test ~registers:o.Relaxed.registers ~memory:o.Relaxed.memory
+
+let run_random ?(iterations = 2000) ?(seed = 7) model config test =
+  let histogram = Relaxed.collect config ~seed ~iterations test.Test.program in
+  let observations =
+    List.fold_left
+      (fun acc (o, n) -> if relaxed_satisfies test o then acc + n else acc)
+      0 histogram
+  in
+  {
+    test;
+    model;
+    axiomatic_allowed = axiomatic_allowed model test;
+    expected = Test.expected_under test model;
+    observed = observations > 0;
+    observations;
+    total = iterations;
+  }
+
+let run_exhaustive ?(max_states = 500_000) model config test =
+  let outcomes = Relaxed.enumerate ~max_states config test.Test.program in
+  let observations =
+    List.length (List.filter (relaxed_satisfies test) outcomes)
+  in
+  {
+    test;
+    model;
+    axiomatic_allowed = axiomatic_allowed model test;
+    expected = Test.expected_under test model;
+    observed = observations > 0;
+    observations;
+    total = List.length outcomes;
+  }
+
+let sound v =
+  let operational_ok = (not v.observed) || v.axiomatic_allowed in
+  let annotation_ok =
+    match v.expected with None -> true | Some e -> e = v.axiomatic_allowed
+  in
+  operational_ok && annotation_ok
+
+let describe v =
+  Printf.sprintf "%-22s %-6s axiomatic=%-9s observed=%s (%d/%d)%s"
+    v.test.Test.name
+    (Axiomatic.model_name v.model)
+    (if v.axiomatic_allowed then "allowed" else "forbidden")
+    (if v.observed then "yes" else "no ")
+    v.observations v.total
+    (match v.expected with
+    | Some e when e <> v.axiomatic_allowed -> "  [MISMATCH vs annotation]"
+    | _ when v.observed && not v.axiomatic_allowed -> "  [FORBIDDEN OBSERVED]"
+    | _ -> "")

@@ -1,0 +1,360 @@
+open Wmm_isa
+
+type parsed = { arch_hint : Arch.t option; test : Test.t }
+
+(* ------------------------------------------------------------------ *)
+(* Lexical helpers.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let trim = String.trim
+
+let split_on_string sep s =
+  let sep_len = String.length sep in
+  let rec go start acc =
+    match
+      let rec find i =
+        if i + sep_len > String.length s then None
+        else if String.sub s i sep_len = sep then Some i
+        else find (i + 1)
+      in
+      find start
+    with
+    | Some i -> go (i + sep_len) (String.sub s start (i - start) :: acc)
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+  in
+  go 0 []
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+(* ------------------------------------------------------------------ *)
+(* Location environment: names to indices, allocated on demand.       *)
+(* ------------------------------------------------------------------ *)
+
+type env = { mutable names : string list (* reverse order *) }
+
+let location env name =
+  let rec index i = function
+    | [] ->
+        env.names <- env.names @ [ name ];
+        i
+    | n :: _ when n = name -> i
+    | _ :: rest -> index (i + 1) rest
+  in
+  index 0 env.names
+
+(* ------------------------------------------------------------------ *)
+(* Instruction parsing.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_reg token =
+  let token = trim token in
+  if String.length token >= 2 && (token.[0] = 'x' || token.[0] = 'r') then
+    int_of_string_opt (String.sub token 1 (String.length token - 1))
+  else None
+
+let parse_value token =
+  let token = trim token in
+  if String.length token >= 2 && token.[0] = '#' then
+    int_of_string_opt (String.sub token 1 (String.length token - 1))
+  else None
+
+(* An address operand: [&name] or [[xN]]. *)
+let parse_address env token =
+  let token = trim token in
+  if String.length token >= 2 && token.[0] = '&' then
+    Some (Instr.Imm (location env (String.sub token 1 (String.length token - 1))))
+  else if String.length token >= 3 && token.[0] = '[' && token.[String.length token - 1] = ']'
+  then
+    match parse_reg (String.sub token 1 (String.length token - 2)) with
+    | Some r -> Some (Instr.Reg r)
+    | None -> None
+  else if
+    (* POWER indirect syntax: 0(rN). *)
+    String.length token >= 5
+    && starts_with "0(" token
+    && token.[String.length token - 1] = ')'
+  then
+    match parse_reg (String.sub token 2 (String.length token - 3)) with
+    | Some r -> Some (Instr.Reg r)
+    | None -> None
+  else None
+
+let parse_operand token =
+  match parse_value token with
+  | Some v -> Some (Instr.Imm v)
+  | None -> ( match parse_reg token with Some r -> Some (Instr.Reg r) | None -> None)
+
+let parse_instr env text =
+  let text = trim text in
+  let fail () = Error (Printf.sprintf "cannot parse instruction %S" text) in
+  let words = String.split_on_char ' ' text |> List.filter (fun w -> w <> "") in
+  match words with
+  | [] -> Ok None
+  | [ "nop" ] -> Ok (Some Instr.Nop)
+  | [ "dmb"; "ish" ] -> Ok (Some (Instr.Barrier Instr.Dmb_ish))
+  | [ "dmb"; "ishld" ] -> Ok (Some (Instr.Barrier Instr.Dmb_ishld))
+  | [ "dmb"; "ishst" ] -> Ok (Some (Instr.Barrier Instr.Dmb_ishst))
+  | [ "isb" ] -> Ok (Some (Instr.Barrier Instr.Isb))
+  | [ "sync" ] | [ "hwsync" ] -> Ok (Some (Instr.Barrier Instr.Sync))
+  | [ "lwsync" ] -> Ok (Some (Instr.Barrier Instr.Lwsync))
+  | [ "isync" ] -> Ok (Some (Instr.Barrier Instr.Isync))
+  | [ "eieio" ] -> Ok (Some (Instr.Barrier Instr.Eieio))
+  | mnemonic :: rest -> (
+      let operands = String.concat " " rest |> split_on_string "," |> List.map trim in
+      match (mnemonic, operands) with
+      | ("str" | "stlr" | "std"), [ src; addr ] -> (
+          let order = if mnemonic = "stlr" then Instr.Release else Instr.Plain in
+          match (parse_operand src, parse_address env addr) with
+          | Some src, Some addr -> Ok (Some (Instr.Store { src; addr; order }))
+          | _ -> fail ())
+      | ("ldr" | "ldar" | "ld"), [ dst; addr ] -> (
+          let order = if mnemonic = "ldar" then Instr.Acquire else Instr.Plain in
+          match (parse_reg dst, parse_address env addr) with
+          | Some dst, Some addr -> Ok (Some (Instr.Load { dst; addr; order }))
+          | _ -> fail ())
+      | "mov", [ dst; src ] | "li", [ dst; src ] -> (
+          match (parse_reg dst, parse_operand src) with
+          | Some dst, Some src -> Ok (Some (Instr.Mov { dst; src }))
+          | _ -> fail ())
+      | ("eor" | "xor" | "add" | "sub" | "and"), [ dst; a; b ] -> (
+          let op =
+            match mnemonic with
+            | "eor" | "xor" -> Instr.Xor
+            | "add" -> Instr.Add
+            | "sub" -> Instr.Sub
+            | _ -> Instr.And
+          in
+          match (parse_reg dst, parse_operand a, parse_operand b) with
+          | Some dst, Some a, Some b -> Ok (Some (Instr.Op { op; dst; a; b }))
+          | _ -> fail ())
+      | ("ldxr" | "ldaxr" | "larx"), [ dst; addr ] -> (
+          let order = if mnemonic = "ldaxr" then Instr.Acquire else Instr.Plain in
+          match (parse_reg dst, parse_address env addr) with
+          | Some dst, Some addr -> Ok (Some (Instr.Load_exclusive { dst; addr; order }))
+          | _ -> fail ())
+      | ("stxr" | "stlxr" | "stcx."), [ status; src; addr ] -> (
+          let order = if mnemonic = "stlxr" then Instr.Release else Instr.Plain in
+          match (parse_reg status, parse_operand src, parse_address env addr) with
+          | Some status, Some src, Some addr ->
+              Ok (Some (Instr.Store_exclusive { status; src; addr; order }))
+          | _ -> fail ())
+      | ("cbnz" | "cbz"), [ src; offset ] -> (
+          match (parse_reg src, int_of_string_opt (trim offset)) with
+          | Some src, Some offset ->
+              if mnemonic = "cbnz" then Ok (Some (Instr.Cbnz { src; offset }))
+              else Ok (Some (Instr.Cbz { src; offset }))
+          | _ -> fail ())
+      | _ -> fail ())
+
+(* ------------------------------------------------------------------ *)
+(* Condition parsing.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_condition env text =
+  (* "exists ( 1:x1=1 /\ x=2 )" *)
+  let text = trim text in
+  let text =
+    if starts_with "exists" text then trim (String.sub text 6 (String.length text - 6))
+    else text
+  in
+  let text =
+    if String.length text >= 2 && text.[0] = '(' && text.[String.length text - 1] = ')' then
+      String.sub text 1 (String.length text - 2)
+    else text
+  in
+  let clauses = split_on_string "/\\" text |> List.map trim in
+  List.fold_left
+    (fun acc clause ->
+      match acc with
+      | Error _ as e -> e
+      | Ok (regs, mem) -> (
+          if clause = "" then Ok (regs, mem)
+          else
+            match String.split_on_char '=' clause with
+            | [ lhs; rhs ] -> (
+                let lhs = trim lhs and rhs = trim rhs in
+                match int_of_string_opt rhs with
+                | None -> Error (Printf.sprintf "bad condition value in %S" clause)
+                | Some v -> (
+                    match String.split_on_char ':' lhs with
+                    | [ tid; reg ] -> (
+                        match (int_of_string_opt (trim tid), parse_reg reg) with
+                        | Some t, Some r -> Ok ((((t, r), v) :: regs), mem)
+                        | _ -> Error (Printf.sprintf "bad register condition %S" clause))
+                    | [ loc ] -> Ok (regs, (location env (trim loc), v) :: mem)
+                    | _ -> Error (Printf.sprintf "bad condition %S" clause)))
+            | _ -> Error (Printf.sprintf "bad condition clause %S" clause)))
+    (Ok ([], []))
+    clauses
+
+(* ------------------------------------------------------------------ *)
+(* File structure.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           (* Strip litmus-style comments. *)
+           match String.index_opt l '%' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+    |> List.map trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty litmus file"
+  | header :: rest -> (
+      let arch_hint, name =
+        match String.split_on_char ' ' header |> List.filter (fun w -> w <> "") with
+        | tag :: name_parts when name_parts <> [] ->
+            let hint =
+              match String.lowercase_ascii tag with
+              | "aarch64" | "arm" | "armv8" -> Some Arch.Armv8
+              | "ppc" | "power" | "power7" -> Some Arch.Power7
+              | _ -> None
+            in
+            let name = String.concat " " name_parts in
+            if hint = None then (None, header) else (hint, name)
+        | _ -> (None, header)
+      in
+      let env = { names = [] } in
+      (* Initial state block: one or more { ... } lines. *)
+      let init = ref [] in
+      let rec consume_init = function
+        | line :: rest when starts_with "{" line ->
+            let body = String.concat "" (String.split_on_char '{' line) in
+            let body = String.concat "" (String.split_on_char '}' body) in
+            List.iter
+              (fun binding ->
+                match String.split_on_char '=' (trim binding) with
+                | [ l; v ] when trim l <> "" -> (
+                    match int_of_string_opt (trim v) with
+                    | Some v -> init := (location env (trim l), v) :: !init
+                    | None -> ())
+                | _ -> ())
+              (String.split_on_char ';' body);
+            consume_init rest
+        | rest -> rest
+      in
+      let rest = consume_init rest in
+      (* Thread header (P0 | P1 ...) is optional; code rows end in ;. *)
+      let is_thread_header line =
+        starts_with "P0" line || starts_with "p0" line
+      in
+      let code_lines, condition_lines =
+        List.partition
+          (fun l -> not (starts_with "exists" l || starts_with "forall" l))
+          rest
+      in
+      let code_lines = List.filter (fun l -> not (is_thread_header l)) code_lines in
+      let rows =
+        List.map
+          (fun line ->
+            let line =
+              if String.length line > 0 && line.[String.length line - 1] = ';' then
+                String.sub line 0 (String.length line - 1)
+              else line
+            in
+            String.split_on_char '|' line |> List.map trim)
+          code_lines
+      in
+      match rows with
+      | [] -> Error "no code rows"
+      | first :: _ -> (
+          let thread_count = List.length first in
+          if List.exists (fun r -> List.length r <> thread_count) rows then
+            Error "ragged thread columns"
+          else begin
+            let threads = Array.make thread_count [] in
+            let errors = ref [] in
+            List.iter
+              (fun row ->
+                List.iteri
+                  (fun i cell ->
+                    match parse_instr env cell with
+                    | Ok None -> ()
+                    | Ok (Some instr) -> threads.(i) <- instr :: threads.(i)
+                    | Error e -> errors := e :: !errors)
+                  row)
+              rows;
+            match !errors with
+            | e :: _ -> Error e
+            | [] -> (
+                let condition_text = String.concat " " condition_lines in
+                match parse_condition env condition_text with
+                | Error e -> Error e
+                | Ok (regs, mem) ->
+                    let test =
+                      Test.make ~name ~description:("parsed: " ^ name)
+                        ~locations:(Array.of_list env.names)
+                        ~init:!init
+                        ~threads:
+                          (Array.to_list
+                             (Array.map (fun l -> Array.of_list (List.rev l)) threads))
+                        ~condition:(List.rev regs) ~mem_condition:(List.rev mem)
+                        ~expected:[] ()
+                    in
+                    Ok { arch_hint; test })
+          end))
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_text ?(arch = Arch.Armv8) (test : Test.t) =
+  let p = test.Test.program in
+  let names l = Program.location_name p l in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer
+    (Printf.sprintf "%s %s\n"
+       (match arch with Arch.Armv8 -> "AArch64" | Arch.Power7 -> "PPC")
+       test.Test.name);
+  Buffer.add_string buffer
+    (Printf.sprintf "{ %s }\n"
+       (String.concat "; "
+          (List.map
+             (fun l -> Printf.sprintf "%s=%d" (names l) (Program.initial_value p l))
+             (Program.locations p))));
+  let columns =
+    Array.map (fun thread -> Array.to_list (Array.map (Asm.instr_named arch names) thread))
+      p.Program.threads
+  in
+  let widths =
+    Array.map (fun c -> List.fold_left (fun acc s -> max acc (String.length s)) 4 c) columns
+  in
+  let height = Array.fold_left (fun acc c -> max acc (List.length c)) 0 columns in
+  Buffer.add_string buffer
+    (String.concat " | "
+       (Array.to_list
+          (Array.mapi
+             (fun i w ->
+               let label = "P" ^ string_of_int i in
+               label ^ String.make (max 0 (w - String.length label)) ' ')
+             widths)));
+  Buffer.add_string buffer " ;\n";
+  for row = 0 to height - 1 do
+    let cells =
+      Array.to_list
+        (Array.mapi
+           (fun i c ->
+             let cell = match List.nth_opt c row with Some s -> s | None -> "" in
+             cell ^ String.make (max 0 (widths.(i) - String.length cell)) ' ')
+           columns)
+    in
+    Buffer.add_string buffer (String.concat " | " cells);
+    Buffer.add_string buffer " ;\n"
+  done;
+  let clauses =
+    List.map (fun ((t, r), v) -> Printf.sprintf "%d:x%d=%d" t r v) test.Test.condition
+    @ List.map (fun (l, v) -> Printf.sprintf "%s=%d" (names l) v) test.Test.mem_condition
+  in
+  Buffer.add_string buffer
+    (Printf.sprintf "exists (%s)\n" (String.concat " /\\ " clauses));
+  Buffer.contents buffer

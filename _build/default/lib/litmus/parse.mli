@@ -1,0 +1,44 @@
+open Wmm_isa
+
+(** A parser for a litmus7-style text format, so tests can be written
+    in files and run from the CLI:
+
+    {v
+    AArch64 MP+dmb+addr
+    { x=0; y=0 }
+    P0           | P1             ;
+    str #1, &x   | ldr x1, &y     ;
+    dmb ish      | eor x3, x1, x1 ;
+    str #1, &y   | ldr x4, [x3]   ;
+    exists (1:x1=1 /\ 1:x4=0 /\ x=1)
+    v}
+
+    The first line is an architecture tag (AArch64/ARM or PPC/POWER -
+    informational) and the test name.  The initial-state block lists
+    locations and starting values; locations not mentioned but used
+    in the code are allocated in order of appearance.  Threads are
+    columns separated by [|], each row terminated by [;].  The final
+    [exists] clause combines register conditions ([thread:reg=value])
+    and final-memory conditions ([location=value]) with [/\ ].
+
+    Instructions: [str]/[stlr] (#imm or xN source, [&loc] or [\[xN\]]
+    address), [ldr]/[ldar], [dmb ish|ishld|ishst], [isb], [sync],
+    [lwsync], [isync], [eieio], [mov xD, #v], [eor]/[add]/[and]/[sub]
+    (register or #imm operands), [cbnz]/[cbz xN, +off], [nop]. *)
+
+type parsed = {
+  arch_hint : Arch.t option;
+  test : Test.t;  (** With an empty [expected] list: the file carries
+                      no model annotations. *)
+}
+
+val parse : string -> (parsed, string) result
+(** Parse the full text of a litmus file.  Errors carry a line number
+    and description. *)
+
+val parse_file : string -> (parsed, string) result
+
+val to_text : ?arch:Arch.t -> Test.t -> string
+(** Render a test back to the file format ([parse] of the result
+    yields an equivalent test; fences print in the syntax of the
+    architecture they belong to). *)

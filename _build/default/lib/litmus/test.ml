@@ -1,0 +1,64 @@
+open Wmm_isa
+open Wmm_model
+
+type condition = ((int * Instr.reg) * Instr.value) list
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  condition : condition;
+  mem_condition : (Instr.loc * Instr.value) list;
+  expected : (Axiomatic.model * bool) list;
+}
+
+let make ~name ~description ?(locations = [| "x"; "y"; "z"; "w" |]) ?(init = []) ~threads
+    ~condition ?(mem_condition = []) ~expected () =
+  let program = Program.make ~location_names:locations ~init ~name threads in
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Litmus test " ^ name ^ ": " ^ msg));
+  { name; description; program; condition; mem_condition; expected }
+
+let condition_matches condition registers =
+  List.for_all
+    (fun (key, v) ->
+      match List.assoc_opt key registers with Some v' -> v = v' | None -> false)
+    condition
+
+let expected_under t model = List.assoc_opt model t.expected
+
+let str ~value ~loc =
+  Instr.Store { src = Instr.Imm value; addr = Instr.Imm loc; order = Instr.Plain }
+
+let str_rel ~value ~loc =
+  Instr.Store { src = Instr.Imm value; addr = Instr.Imm loc; order = Instr.Release }
+
+let str_reg ~src ~loc =
+  Instr.Store { src = Instr.Reg src; addr = Instr.Imm loc; order = Instr.Plain }
+
+let ldr ~dst ~loc = Instr.Load { dst; addr = Instr.Imm loc; order = Instr.Plain }
+
+let ldr_acq ~dst ~loc = Instr.Load { dst; addr = Instr.Imm loc; order = Instr.Acquire }
+
+let ldr_reg ~dst ~addr = Instr.Load { dst; addr = Instr.Reg addr; order = Instr.Plain }
+
+let xor_self ~dst ~src = Instr.Op { op = Instr.Xor; dst; a = Instr.Reg src; b = Instr.Reg src }
+
+let addi ~dst ~src n = Instr.Op { op = Instr.Add; dst; a = Instr.Reg src; b = Instr.Imm n }
+
+let dmb = Instr.Barrier Instr.Dmb_ish
+let dmb_ld = Instr.Barrier Instr.Dmb_ishld
+let dmb_st = Instr.Barrier Instr.Dmb_ishst
+let isb_i = Instr.Barrier Instr.Isb
+let sync_i = Instr.Barrier Instr.Sync
+let lwsync_i = Instr.Barrier Instr.Lwsync
+let isync_i = Instr.Barrier Instr.Isync
+
+let ctrl_then r = [ Instr.Cbnz { src = r; offset = 0 } ]
+
+let ldxr ~dst ~loc =
+  Instr.Load_exclusive { dst; addr = Instr.Imm loc; order = Instr.Plain }
+
+let stxr ~status ~src ~loc =
+  Instr.Store_exclusive { status; src = Instr.Reg src; addr = Instr.Imm loc; order = Instr.Plain }

@@ -1,0 +1,74 @@
+open Wmm_isa
+open Wmm_model
+
+(** Litmus tests: a program, an interesting final condition, and the
+    expected verdict of each axiomatic model. *)
+
+type condition = ((int * Instr.reg) * Instr.value) list
+(** Partial final-state predicate: thread-register/value pairs that
+    must all hold. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  condition : condition;  (** The "exists" clause over registers. *)
+  mem_condition : (Instr.loc * Instr.value) list;
+      (** Additional final-memory requirements of the "exists"
+          clause (used by tests like S, R and 2+2W). *)
+  expected : (Axiomatic.model * bool) list;
+      (** Whether the condition is reachable under each model;
+          models not listed are unspecified (used for tests that only
+          make sense on one architecture). *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  ?locations:string array ->
+  ?init:(Instr.loc * Instr.value) list ->
+  threads:Instr.t array list ->
+  condition:condition ->
+  ?mem_condition:(Instr.loc * Instr.value) list ->
+  expected:(Axiomatic.model * bool) list ->
+  unit ->
+  t
+
+val condition_matches : condition -> ((int * Instr.reg) * Instr.value) list -> bool
+(** Does a complete register assignment satisfy the condition? *)
+
+val expected_under : t -> Axiomatic.model -> bool option
+
+(** Instruction-building helpers used by the test library. *)
+
+val str : value:Instr.value -> loc:Instr.loc -> Instr.t
+val str_rel : value:Instr.value -> loc:Instr.loc -> Instr.t
+(** Store-release ([stlr]). *)
+
+val str_reg : src:Instr.reg -> loc:Instr.loc -> Instr.t
+val ldr : dst:Instr.reg -> loc:Instr.loc -> Instr.t
+
+val ldr_acq : dst:Instr.reg -> loc:Instr.loc -> Instr.t
+(** Load-acquire ([ldar]). *)
+
+val ldr_reg : dst:Instr.reg -> addr:Instr.reg -> Instr.t
+val xor_self : dst:Instr.reg -> src:Instr.reg -> Instr.t
+(** [dst := src xor src]: the classic artificial-dependency idiom. *)
+
+val addi : dst:Instr.reg -> src:Instr.reg -> Instr.value -> Instr.t
+val dmb : Instr.t
+val dmb_ld : Instr.t
+val dmb_st : Instr.t
+val isb_i : Instr.t
+val sync_i : Instr.t
+val lwsync_i : Instr.t
+val isync_i : Instr.t
+val ctrl_then : Instr.reg -> Instr.t list
+(** A control dependency on the register: compare-and-branch over
+    nothing ([cbnz r, +0]). *)
+
+val ldxr : dst:Instr.reg -> loc:Instr.loc -> Instr.t
+(** Load-exclusive (plain). *)
+
+val stxr : status:Instr.reg -> src:Instr.reg -> loc:Instr.loc -> Instr.t
+(** Store-exclusive of a register value. *)

@@ -1,0 +1,1 @@
+lib/machine/perf.ml: Arch Array Float List Memsys Rng Timing Uop Wmm_isa Wmm_util

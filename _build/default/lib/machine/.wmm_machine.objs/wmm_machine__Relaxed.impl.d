@@ -1,0 +1,1 @@
+lib/machine/relaxed.ml: Array Hashtbl Instr Int List Map Marshal Option Program Rng Wmm_isa Wmm_util

@@ -1,0 +1,1 @@
+lib/machine/relaxed.mli: Instr Program Wmm_isa

@@ -1,0 +1,1 @@
+lib/machine/timing.mli: Arch Wmm_isa

@@ -1,0 +1,127 @@
+(* Cache line states of a simple invalidation protocol. *)
+type state = Invalid | Shared | Exclusive
+
+type t = {
+  timing : Timing.t;
+  cores : int;
+  (* tags.(core).(set) is the line number held in that slot. *)
+  tags : int array array;
+  states : state array array;
+  mutable bus_free_at : int;
+  mutable transactions : int;
+  mutable bus_wait : int;
+}
+
+let create timing ~cores =
+  {
+    timing;
+    cores;
+    tags = Array.init cores (fun _ -> Array.make timing.Timing.cache_lines (-1));
+    states = Array.init cores (fun _ -> Array.make timing.Timing.cache_lines Invalid);
+    bus_free_at = 0;
+    transactions = 0;
+    bus_wait = 0;
+  }
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) t.tags;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) Invalid) t.states;
+  t.bus_free_at <- 0;
+  t.transactions <- 0;
+  t.bus_wait <- 0
+
+let line_of t loc = loc lsr t.timing.Timing.line_shift
+
+let set_of t line = line mod t.timing.Timing.cache_lines
+
+let holds t core line =
+  let set = set_of t line in
+  if t.tags.(core).(set) = line then t.states.(core).(set) else Invalid
+
+let set_state t core line st =
+  let set = set_of t line in
+  t.tags.(core).(set) <- line;
+  t.states.(core).(set) <- st
+
+let invalidate_others t core line =
+  for other = 0 to t.cores - 1 do
+    if other <> core then begin
+      let set = set_of t line in
+      if t.tags.(other).(set) = line then t.states.(other).(set) <- Invalid
+    end
+  done
+
+(* Acquire the bus at [now]: returns the grant time and accounts for
+   the wait.  Transactions are serialised, which is what couples the
+   cores' barrier activity; the request queue is bounded at one
+   outstanding transaction per core, so a burst of queued store
+   drains cannot starve later requests indefinitely. *)
+let bus_grant t now =
+  let cap = t.timing.Timing.bus_occupancy_cycles * t.cores in
+  let backlog = min t.bus_free_at (now + cap) in
+  let grant = max now backlog in
+  t.bus_wait <- t.bus_wait + (grant - now);
+  t.bus_free_at <- max t.bus_free_at (grant + t.timing.Timing.bus_occupancy_cycles);
+  t.transactions <- t.transactions + 1;
+  grant
+
+(* Does any other core hold the line (and in which state)? *)
+let remote_holder t core line =
+  let found = ref None in
+  for other = 0 to t.cores - 1 do
+    if other <> core && !found = None then begin
+      match holds t other line with
+      | Invalid -> ()
+      | st -> found := Some (other, st)
+    end
+  done;
+  !found
+
+type access_cost = { ready_at : int; hit : bool }
+
+let load t ~core ~loc ~now =
+  let tm = t.timing in
+  let line = line_of t loc in
+  match holds t core line with
+  | Shared | Exclusive -> { ready_at = now + tm.Timing.l1_hit_cycles; hit = true }
+  | Invalid ->
+      let grant = bus_grant t now in
+      let transfer =
+        match remote_holder t core line with
+        | Some (_, Exclusive) ->
+            (* Dirty in another cache: cache-to-cache transfer,
+               both end Shared. *)
+            tm.Timing.remote_transfer_cycles
+        | Some (_, Shared) -> tm.Timing.l2_hit_cycles
+        | Some (_, Invalid) | None -> tm.Timing.memory_cycles
+      in
+      (match remote_holder t core line with
+      | Some (other, Exclusive) -> set_state t other line Shared
+      | _ -> ());
+      set_state t core line Shared;
+      { ready_at = grant + transfer; hit = false }
+
+let store_drain t ~core ~loc ~now =
+  let tm = t.timing in
+  let line = line_of t loc in
+  match holds t core line with
+  | Exclusive -> now + tm.Timing.sb_drain_owned_cycles
+  | Shared | Invalid ->
+      (* Upgrade: bus transaction to invalidate other copies, plus a
+         fetch when we do not hold the line at all. *)
+      let grant = bus_grant t now in
+      let base =
+        match holds t core line with
+        | Shared -> tm.Timing.sb_drain_shared_cycles
+        | Invalid | Exclusive ->
+            tm.Timing.sb_drain_shared_cycles
+            + (match remote_holder t core line with
+              | Some (_, Exclusive) -> tm.Timing.remote_transfer_cycles
+              | _ -> tm.Timing.l2_hit_cycles)
+      in
+      invalidate_others t core line;
+      set_state t core line Exclusive;
+      grant + base
+
+let bus_transactions t = t.transactions
+let bus_wait_cycles t = t.bus_wait

@@ -1,0 +1,57 @@
+open Wmm_isa
+
+(** An operational weak-memory machine for running litmus tests.
+
+    Each hardware thread has a small out-of-order window and a store
+    buffer.  Weak behaviours arise from three mechanisms: stores
+    retire into the buffer and become globally visible later
+    (write->read reordering, as in SB); the buffer drains out of
+    order except across barriers and same-location entries
+    (write->write reordering, as in MP); and loads may execute out of
+    order with respect to older loads and independent stores
+    (read->read and read->write reordering, as in MP and LB).
+    Branches are never speculated, so control dependencies are always
+    respected - the machine exhibits a *subset* of the axiomatically
+    allowed behaviours, which the litmus checker accounts for.
+
+    Barriers have their architectural semantics: full barriers
+    ([dmb ish], [sync]) wait for the window and drain the buffer;
+    [dmb ishld] orders earlier loads; [dmb ishst] and [lwsync] insert
+    drain-order markers; [isb]/[isync] wait for everything;
+    load-acquire and store-release behave as in ARMv8 (RCsc). *)
+
+type config = {
+  window_size : int;  (** Out-of-order window size per thread. *)
+  fifo_buffer : bool;  (** Drain in FIFO order (a TSO-like machine). *)
+  reorder_loads : bool;  (** Allow load-load / load-store reordering. *)
+  synchronous_stores : bool;
+      (** Bypass the store buffer entirely (sequential consistency). *)
+}
+
+val relaxed_config : config
+(** ARM/POWER-like: non-FIFO buffer, load reordering, window 8. *)
+
+val tso_config : config
+(** FIFO buffer, in-order loads: only write->read reordering. *)
+
+val sc_config : config
+(** Window of 1 and synchronous drain: sequentially consistent. *)
+
+type outcome = {
+  registers : ((int * Instr.reg) * Instr.value) list;  (** Sorted. *)
+  memory : (Instr.loc * Instr.value) list;  (** Sorted. *)
+}
+
+val compare_outcome : outcome -> outcome -> int
+
+val run : config -> seed:int -> Program.t -> outcome
+(** One execution with uniformly random scheduling. *)
+
+val collect : config -> seed:int -> iterations:int -> Program.t -> (outcome * int) list
+(** Outcome histogram over randomly scheduled executions, sorted by
+    outcome. *)
+
+val enumerate : ?max_states:int -> config -> Program.t -> outcome list
+(** All reachable final states by exhaustive depth-first exploration
+    with state memoisation.  Raises [Failure] if the state count
+    exceeds [max_states] (default 500_000). *)

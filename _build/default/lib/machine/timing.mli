@@ -1,0 +1,89 @@
+open Wmm_isa
+(** Per-architecture timing parameters for the performance simulator.
+
+    All latencies are in core cycles.  The values are calibrated so
+    that the *microbenchmark* costs of the barrier instructions land
+    near the paper's measurements (POWER7: [sync] 18.9 ns vs [lwsync]
+    6.1 ns; ARMv8: [dmb ish] variants indistinguishable by
+    microbenchmark, [isb] in the ~20 ns range), while the
+    *macro* costs emerge from simulated store-buffer and coherence
+    state.  See DESIGN.md section 5 for the calibration policy. *)
+
+type t = {
+  arch : Arch.t;
+  (* Memory hierarchy. *)
+  l1_hit_cycles : int;
+  l2_hit_cycles : int;
+  memory_cycles : int;  (** Miss to the shared level. *)
+  remote_transfer_cycles : int;  (** Dirty line in another core's cache. *)
+  bus_occupancy_cycles : int;  (** How long one coherence transaction holds the bus. *)
+  cache_lines : int;  (** Direct-mapped L1 size in lines. *)
+  line_shift : int;  (** log2 of locations per line. *)
+  (* Store buffer. *)
+  sb_capacity : int;
+  sb_drain_owned_cycles : int;  (** Line already exclusive. *)
+  sb_drain_shared_cycles : int;  (** Needs an invalidation round. *)
+  (* Barriers. *)
+  full_fence_cycles : int;  (** dmb ish / hwsync base cost, excluding drain wait. *)
+  store_fence_cycles : int;  (** dmb ishst / eieio. *)
+  load_fence_cycles : int;  (** dmb ishld. *)
+  lwsync_cycles : int;  (** POWER lwsync base cost. *)
+  pipeline_flush_cycles : int;  (** isb / isync. *)
+  acquire_extra_cycles : int;  (** ldar over ldr. *)
+  release_extra_cycles : int;  (** stlr over str. *)
+  release_drain_threshold : int;
+      (** A store-release stalls until the store buffer has at most
+          this many entries - the source of its context-dependent
+          cost. *)
+  release_drain_penalty_cycles : int;
+      (** Extra drain latency of a store-release entry: it commits
+          with ordering obligations, which slows the buffer's drain
+          engine in store-release-heavy phases. *)
+  release_fence_interaction_cycles : int;
+      (** Extra cost of a full fence issued shortly after a
+          store-release (the paper observes "subtle interactions
+          between load-acquire/store-release and dmb instructions"). *)
+  (* Branches (used by the ctrl fencing strategy). *)
+  branch_cycles : int;
+  branch_mispredict_cycles : int;
+  branch_mispredict_rate : float;  (** In macro context. *)
+  (* Cost function (spin loop). *)
+  spin_startup_cycles : int;  (** With the stack spill of Figs. 2-3. *)
+  spin_startup_light_cycles : int;  (** Scratch-register variant. *)
+  spin_per_iteration_cycles : int;
+  spin_overlap_cycles : int;
+      (** Cycles of a small injected loop hidden by surrounding
+          pipeline slack; the source of Fig. 4's non-linearity. *)
+  spin_adjacent_fraction : float;
+      (** Fraction of a cost function's time actually paid when it
+          immediately follows another injected cost function: back-to-
+          back injected loops overlap heavily in the pipeline, which
+          is why the paper's per-elemental sensitivities (Fig. 6) sum
+          to more than the all-barriers sensitivity (Fig. 5). *)
+  (* Nop padding. *)
+  nops_per_cycle : int;
+  nop_disruption_cycles : int;
+      (** Fixed pipeline/alignment disturbance of an injected nop
+          sequence, beyond the nops' own issue slots - the reason the
+          paper measures a ~2% mean cost for nop insertion on ARM. *)
+}
+
+val armv8 : t
+val power7 : t
+val for_arch : Arch.t -> t
+
+val spin_cycles : t -> light:bool -> int -> int
+(** Standalone execution time of the cost-function loop with the
+    given iteration count, as a timing-loop microbenchmark would
+    measure it (pipeline floor applied, no overlap discount). *)
+
+val spin_injected_cycles : t -> light:bool -> int -> int
+(** Effective cycles added when the loop is injected inline into
+    surrounding code: small loops partially overlap with neighbouring
+    work. *)
+
+val nop_cycles : t -> int -> int
+(** Cost of [n] injected nop instructions. *)
+
+val ns_of_cycles : t -> int -> float
+val cycles_of_ns : t -> float -> int

@@ -1,0 +1,45 @@
+type t =
+  | Busy of int
+  | Load of int
+  | Store of int
+  | Load_acquire of int
+  | Store_release of int
+  | Fence_full
+  | Fence_store
+  | Fence_load
+  | Fence_lw
+  | Fence_pipeline
+  | Branch
+  | Spin of int
+  | Spin_light of int
+  | Nops of int
+  | Counter_shared of int
+  | Counter_private of int
+
+let pp fmt = function
+  | Busy n -> Format.fprintf fmt "busy(%d)" n
+  | Load l -> Format.fprintf fmt "ld[%d]" l
+  | Store l -> Format.fprintf fmt "st[%d]" l
+  | Load_acquire l -> Format.fprintf fmt "ldar[%d]" l
+  | Store_release l -> Format.fprintf fmt "stlr[%d]" l
+  | Fence_full -> Format.pp_print_string fmt "fence.full"
+  | Fence_store -> Format.pp_print_string fmt "fence.st"
+  | Fence_load -> Format.pp_print_string fmt "fence.ld"
+  | Fence_lw -> Format.pp_print_string fmt "fence.lw"
+  | Fence_pipeline -> Format.pp_print_string fmt "fence.pipe"
+  | Branch -> Format.pp_print_string fmt "branch"
+  | Spin n -> Format.fprintf fmt "spin(%d)" n
+  | Spin_light n -> Format.fprintf fmt "spin-light(%d)" n
+  | Nops n -> Format.fprintf fmt "nops(%d)" n
+  | Counter_shared p -> Format.fprintf fmt "ctr.shared(%d)" p
+  | Counter_private p -> Format.fprintf fmt "ctr.private(%d)" p
+
+let is_fence = function
+  | Fence_full | Fence_store | Fence_load | Fence_lw | Fence_pipeline -> true
+  | _ -> false
+
+let is_memory = function
+  | Load _ | Store _ | Load_acquire _ | Store_release _ | Counter_shared _
+  | Counter_private _ ->
+      true
+  | _ -> false

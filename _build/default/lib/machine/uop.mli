@@ -1,0 +1,34 @@
+(** Micro-operations consumed by the performance simulator.
+
+    Platform code paths (barrier implementations, kernel macros) and
+    workload generators compile down to sequences of these.  The
+    fence constructors are *semantic* categories; the per-arch
+    instruction selection happens in the platform layer and the
+    per-arch cost in {!Timing}. *)
+
+type t =
+  | Busy of int  (** Pure computation, in cycles. *)
+  | Load of int  (** Location id. *)
+  | Store of int
+  | Load_acquire of int  (** ldar / ld+isync idiom. *)
+  | Store_release of int  (** stlr / lwsync+st idiom. *)
+  | Fence_full  (** dmb ish / hwsync: drains the store buffer. *)
+  | Fence_store  (** dmb ishst / eieio: store-order marker. *)
+  | Fence_load  (** dmb ishld. *)
+  | Fence_lw  (** POWER lwsync. *)
+  | Fence_pipeline  (** isb / isync: pipeline flush. *)
+  | Branch  (** A conditional branch (ctrl-dependency strategies). *)
+  | Spin of int  (** Injected cost function, loop iterations. *)
+  | Spin_light of int  (** Scratch-register variant (no stack spill). *)
+  | Nops of int  (** Injected nop padding. *)
+  | Counter_shared of int
+      (** Invocation-counter increment in a shared line (one per code
+          path, contended by all cores). *)
+  | Counter_private of int
+      (** Invocation-counter increment in a per-core line. *)
+
+val pp : Format.formatter -> t -> unit
+
+val is_fence : t -> bool
+
+val is_memory : t -> bool

@@ -1,0 +1,1 @@
+lib/memory_model/axiomatic.ml: Arch Array Event Execution Instr List Relation Wmm_isa

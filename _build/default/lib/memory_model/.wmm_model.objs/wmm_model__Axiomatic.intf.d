@@ -1,0 +1,1 @@
+lib/memory_model/axiomatic.mli: Arch Execution Relation Wmm_isa

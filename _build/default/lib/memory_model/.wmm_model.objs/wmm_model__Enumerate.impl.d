@@ -1,0 +1,1 @@
+lib/memory_model/enumerate.ml: Array Axiomatic Event Execution Format Hashtbl Instr Int List Map Option Printf Program Relation Set String Wmm_isa

@@ -1,0 +1,1 @@
+lib/memory_model/enumerate.mli: Axiomatic Execution Format Instr Program Wmm_isa

@@ -1,0 +1,1 @@
+lib/memory_model/event.ml: Format Instr Printf Wmm_isa

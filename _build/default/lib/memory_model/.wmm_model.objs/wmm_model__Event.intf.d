@@ -1,0 +1,1 @@
+lib/memory_model/event.mli: Format Instr Wmm_isa

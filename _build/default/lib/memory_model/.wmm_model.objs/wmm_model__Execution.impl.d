@@ -1,0 +1,1 @@
+lib/memory_model/execution.ml: Array Event Fun Int List Map Option Relation

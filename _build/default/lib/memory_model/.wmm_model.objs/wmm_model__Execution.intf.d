@@ -1,0 +1,1 @@
+lib/memory_model/execution.mli: Event Instr Relation Wmm_isa

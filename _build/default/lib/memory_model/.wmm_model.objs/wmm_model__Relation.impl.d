@@ -1,0 +1,1 @@
+lib/memory_model/relation.ml: Format Hashtbl List Printf Set String

@@ -1,0 +1,1 @@
+lib/memory_model/relation.mli: Format

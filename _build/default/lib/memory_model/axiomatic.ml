@@ -1,0 +1,206 @@
+open Wmm_isa
+type model = Sc | Tso | Arm | Power
+
+let all_models = [ Sc; Tso; Arm; Power ]
+
+let model_name = function Sc -> "SC" | Tso -> "TSO" | Arm -> "ARMv8" | Power -> "POWER"
+
+let model_for_arch = function Arch.Armv8 -> Arm | Arch.Power7 -> Power
+
+let events (x : Execution.t) = x.Execution.events
+
+let is_mem x id = Event.is_read (events x).(id) || Event.is_write (events x).(id)
+
+let is_read x id = Event.is_read (events x).(id)
+let is_write x id = Event.is_write (events x).(id)
+let is_acquire x id = Event.is_acquire (events x).(id)
+let is_release x id = Event.is_release (events x).(id)
+
+let mem_ids x = List.filter (is_mem x) (Execution.event_ids x)
+let read_ids x = Execution.reads x
+let write_ids x = Execution.writes x
+
+(* Memory accesses separated by a fence satisfying [kind]:
+   [M]; po; [F kind]; po; [M]. *)
+let through_fence x kind =
+  let fences = Execution.select x (fun e -> Event.is_fence e && kind e) in
+  List.fold_left
+    (fun acc f ->
+      let po = x.Execution.po in
+      let pre = List.filter (fun a -> is_mem x a && Relation.mem a f po) (Execution.event_ids x) in
+      let post = List.filter (fun b -> is_mem x b && Relation.mem f b po) (Execution.event_ids x) in
+      Relation.union acc (Relation.cross pre post))
+    Relation.empty fences
+
+let restrict_dir x r ~dom ~rng =
+  Relation.restrict r ~domain:(fun a -> dom x a) ~range:(fun b -> rng x b)
+
+let fence_order model x =
+  match model with
+  | Sc ->
+      (* Fences add nothing on top of full program order. *)
+      Relation.empty
+  | Tso ->
+      (* Any full fence restores the relaxed write->read pairs. *)
+      through_fence x (fun e ->
+          Event.is_fence_kind Instr.Dmb_ish e || Event.is_fence_kind Instr.Sync e)
+  | Arm ->
+      let full = through_fence x (Event.is_fence_kind Instr.Dmb_ish) in
+      let ld =
+        restrict_dir x (through_fence x (Event.is_fence_kind Instr.Dmb_ishld)) ~dom:is_read
+          ~rng:is_mem
+      in
+      let st =
+        restrict_dir x (through_fence x (Event.is_fence_kind Instr.Dmb_ishst)) ~dom:is_write
+          ~rng:is_write
+      in
+      Relation.union_all [ full; ld; st ]
+  | Power ->
+      let sync = through_fence x (Event.is_fence_kind Instr.Sync) in
+      let lw = through_fence x (Event.is_fence_kind Instr.Lwsync) in
+      (* lwsync orders everything except write->read. *)
+      let lw_rm = restrict_dir x lw ~dom:is_read ~rng:is_mem in
+      let lw_ww = restrict_dir x lw ~dom:is_write ~rng:is_write in
+      let eieio =
+        restrict_dir x (through_fence x (Event.is_fence_kind Instr.Eieio)) ~dom:is_write
+          ~rng:is_write
+      in
+      Relation.union_all [ sync; lw_rm; lw_ww; eieio ]
+
+let sync_order x = through_fence x (Event.is_fence_kind Instr.Sync)
+
+(* Control dependencies restored by an instruction-sync barrier:
+   a read r with a ctrl edge to an isb/isync fence orders every
+   memory access po-after the fence. *)
+let ctrl_isync x kinds =
+  let fences =
+    Execution.select x (fun e -> Event.is_fence e && List.exists (fun k -> Event.is_fence_kind k e) kinds)
+  in
+  List.fold_left
+    (fun acc f ->
+      let sources =
+        List.filter (fun r -> is_read x r && Relation.mem r f x.Execution.ctrl)
+          (Execution.event_ids x)
+      in
+      let targets =
+        List.filter (fun b -> is_mem x b && Relation.mem f b x.Execution.po)
+          (Execution.event_ids x)
+      in
+      Relation.union acc (Relation.cross sources targets))
+    Relation.empty fences
+
+let preserved_program_order model x =
+  let mem_po = restrict_dir x x.Execution.po ~dom:is_mem ~rng:is_mem in
+  match model with
+  | Sc -> mem_po
+  | Tso ->
+      (* Drop write->read pairs: stores may be delayed in the store
+         buffer past later reads. *)
+      Relation.filter (fun a b -> not (is_write x a && is_read x b)) mem_po
+  | Arm | Power ->
+      let addr = x.Execution.addr in
+      let data = x.Execution.data in
+      let ctrl_w = restrict_dir x x.Execution.ctrl ~dom:is_read ~rng:is_write in
+      let addr_po_w =
+        restrict_dir x (Relation.compose addr x.Execution.po) ~dom:is_read ~rng:is_write
+      in
+      let dep_rfi = Relation.compose (Relation.union addr data) (Execution.rfi x) in
+      let restored =
+        match model with
+        | Arm -> ctrl_isync x [ Instr.Isb ]
+        | Power -> ctrl_isync x [ Instr.Isync ]
+        | Sc | Tso -> Relation.empty
+      in
+      let acq_rel =
+        match model with
+        | Arm ->
+            (* Barrier-ordered-before contributions of load-acquire /
+               store-release: [A]; po; [M], [M]; po; [L], [L]; po; [A]. *)
+            Relation.union_all
+              [
+                restrict_dir x x.Execution.po ~dom:is_acquire ~rng:is_mem;
+                restrict_dir x x.Execution.po ~dom:is_mem ~rng:is_release;
+                restrict_dir x x.Execution.po ~dom:is_release ~rng:is_acquire;
+              ]
+        | Sc | Tso | Power -> Relation.empty
+      in
+      Relation.union_all [ addr; data; ctrl_w; addr_po_w; dep_rfi; restored; acq_rel ]
+
+let happens_before model x =
+  match model with
+  | Sc -> Relation.union x.Execution.po (Execution.com x)
+  | Tso ->
+      Relation.union_all
+        [ preserved_program_order Tso x; fence_order Tso x; Execution.rfe x ]
+  | Arm ->
+      (* The ARMv8 ordered-before relation: external observations,
+         dependency-ordered-before, and barrier-ordered-before. *)
+      Relation.union_all
+        [
+          Execution.rfe x;
+          Execution.fre x;
+          Execution.coe x;
+          preserved_program_order Arm x;
+          fence_order Arm x;
+        ]
+  | Power ->
+      Relation.union_all
+        [ preserved_program_order Power x; fence_order Power x; Execution.rfe x ]
+
+let sc_per_location x =
+  Relation.is_acyclic (Relation.union (Execution.po_loc x) (Execution.com x))
+
+(* Read-modify-write atomicity (common to every model): no external
+   write may be coherence-ordered between the exclusive read's source
+   and the paired exclusive write: empty (rmw & (fre; coe)). *)
+let atomicity_ok x =
+  Relation.is_empty
+    (Relation.inter x.Execution.rmw
+       (Relation.compose (Execution.fre x) (Execution.coe x)))
+
+let violations model x =
+  let problems = ref [] in
+  let check name ok = if not ok then problems := name :: !problems in
+  check "atomicity" (atomicity_ok x);
+  (match model with
+  | Sc -> check "sc" (Relation.is_acyclic (Relation.union x.Execution.po (Execution.com x)))
+  | Tso ->
+      check "sc-per-location" (sc_per_location x);
+      let ghb =
+        Relation.union_all
+          [ happens_before Tso x; x.Execution.co; Execution.fr x ]
+      in
+      check "tso-global-happens-before" (Relation.is_acyclic ghb)
+  | Arm ->
+      check "internal" (sc_per_location x);
+      check "external" (Relation.is_acyclic (happens_before Arm x))
+  | Power ->
+      check "sc-per-location" (sc_per_location x);
+      let hb = happens_before Power x in
+      check "no-thin-air" (Relation.is_acyclic hb);
+      let carrier = Execution.event_ids x in
+      let hb_star = Relation.reflexive_transitive_closure hb ~carrier in
+      let fences = fence_order Power x in
+      let prop_base =
+        Relation.compose (Relation.union fences (Relation.compose (Execution.rfe x) fences)) hb_star
+      in
+      let com_star = Relation.reflexive_transitive_closure (Execution.com x) ~carrier in
+      let prop_base_star = Relation.reflexive_transitive_closure prop_base ~carrier in
+      let prop =
+        Relation.union
+          (restrict_dir x prop_base ~dom:is_write ~rng:is_write)
+          (Relation.compose com_star
+             (Relation.compose prop_base_star (Relation.compose (sync_order x) hb_star)))
+      in
+      check "observation"
+        (Relation.is_irreflexive
+           (Relation.compose (Execution.fre x) (Relation.compose prop hb_star)));
+      check "propagation" (Relation.is_acyclic (Relation.union x.Execution.co prop)));
+  List.rev !problems
+
+let consistent model x = violations model x = []
+
+(* Silence unused warnings for helpers exposed mainly to tests. *)
+let _ = mem_ids
+let _ = read_ids
+let _ = write_ids

@@ -1,0 +1,51 @@
+open Wmm_isa
+(** Axiomatic consistency predicates.
+
+    Four models are provided:
+
+    - [Sc]: sequential consistency — acyclic(po U com).
+    - [Tso]: total store order (x86-style) — SC-per-location plus
+      acyclicity of ppo U rfe U co U fr where ppo drops write->read
+      pairs unless restored by a full fence.
+    - [Arm]: the ARMv8 "external consistency" style model —
+      SC-per-location plus acyclicity of the ordered-before relation
+      (observed-external U dependency-ordered U barrier-ordered).
+      ARMv8 is other-multi-copy-atomic, which this captures.
+    - [Power]: the herding-cats POWER model — SC-per-location,
+      no-thin-air (acyclic hb), observation (irreflexive
+      fre;prop;hb^* ), propagation (acyclic co U prop).  POWER is
+      non-multi-copy-atomic: IRIW with address dependencies stays
+      allowed, unlike ARMv8.
+
+    Simplifications relative to the full published models are noted
+    in DESIGN.md: preserved-program-order is dependency-based (addr,
+    data, ctrl-to-writes, isync/isb restoration) without the
+    rdw/detour refinements, and read-modify-write atomicity is not
+    modelled (no rmw events are generated). *)
+
+type model = Sc | Tso | Arm | Power
+
+val all_models : model list
+
+val model_name : model -> string
+
+val model_for_arch : Arch.t -> model
+(** [Armv8 -> Arm], [Power7 -> Power]. *)
+
+val consistent : model -> Execution.t -> bool
+(** Whether a (well-formed) candidate execution is allowed. *)
+
+val violations : model -> Execution.t -> string list
+(** Names of the axioms the execution violates; empty iff
+    [consistent]. *)
+
+(** Exposed building blocks (useful for tests and for explaining
+    verdicts). *)
+
+val preserved_program_order : model -> Execution.t -> Relation.t
+
+val fence_order : model -> Execution.t -> Relation.t
+(** Pairs of memory accesses ordered by an intervening barrier under
+    the given model's interpretation of each barrier instruction. *)
+
+val happens_before : model -> Execution.t -> Relation.t

@@ -1,0 +1,431 @@
+open Wmm_isa
+type outcome = {
+  registers : ((int * Instr.reg) * Instr.value) list;
+  memory : (Instr.loc * Instr.value) list;
+}
+
+let compare_outcome a b =
+  match compare a.registers b.registers with 0 -> compare a.memory b.memory | c -> c
+
+let pp_outcome (p : Program.t) fmt o =
+  let regs =
+    List.map (fun ((tid, r), v) -> Printf.sprintf "%d:x%d=%d" tid r v) o.registers
+  in
+  let mem =
+    List.map (fun (l, v) -> Printf.sprintf "%s=%d" (Program.location_name p l) v) o.memory
+  in
+  Format.fprintf fmt "{%s}" (String.concat "; " (regs @ mem))
+
+let outcome_to_string p o = Format.asprintf "%a" (pp_outcome p) o
+
+(* ------------------------------------------------------------------ *)
+(* Thread interpretation.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A local event recorded while interpreting one thread.  Reads are
+   numbered (by [read_index]) so dependencies can refer to them before
+   global event ids exist. *)
+type local_event = {
+  l_action : Event.action;
+  l_addr_deps : int list;  (** read indices this event's address depends on *)
+  l_data_deps : int list;  (** read indices a store's value depends on *)
+  l_ctrl_deps : int list;  (** read indices controlling reachability *)
+  l_read_index : int option;  (** Some i when this event is read number i *)
+  l_rmw_source : int option;
+      (** For a successful exclusive write: the read index of the
+          paired exclusive read. *)
+}
+
+type run = {
+  events : local_event list;  (** in program order *)
+  final_regs : (Instr.reg * Instr.value) list;  (** registers written *)
+}
+
+(* Interpret one thread, branching over the possible values of every
+   load (drawn from [pool]).  Returns every feasible run. *)
+let run_thread ~fuel ~pool (thread : Program.thread) : run list =
+  let length = Array.length thread in
+  let results = ref [] in
+  let module IM = Map.Make (Int) in
+  let dedup l = List.sort_uniq compare l in
+  let rec step pc steps regs reg_deps ctrl written events next_read monitor =
+    if steps > fuel then failwith "Enumerate: thread interpretation fuel exhausted";
+    if pc >= length then begin
+      let final_regs =
+        List.sort compare (IM.bindings (IM.filter (fun r _ -> List.mem r written) regs))
+      in
+      results := { events = List.rev events; final_regs } :: !results
+    end
+    else begin
+      let get_reg r = try IM.find r regs with Not_found -> 0 in
+      let deps_of_reg r = try IM.find r reg_deps with Not_found -> [] in
+      let eval = function Instr.Imm v -> v | Instr.Reg r -> get_reg r in
+      let deps_of_operand = function Instr.Imm _ -> [] | Instr.Reg r -> deps_of_reg r in
+      match thread.(pc) with
+      | Instr.Nop -> step (pc + 1) (steps + 1) regs reg_deps ctrl written events next_read monitor
+      | Instr.Barrier b ->
+          let event =
+            {
+              l_action = Event.Fence b;
+              l_addr_deps = [];
+              l_data_deps = [];
+              l_ctrl_deps = dedup ctrl;
+              l_read_index = None;
+              l_rmw_source = None;
+            }
+          in
+          step (pc + 1) (steps + 1) regs reg_deps ctrl written (event :: events) next_read monitor
+      | Instr.Mov { dst; src } ->
+          let regs = IM.add dst (eval src) regs in
+          let reg_deps = IM.add dst (deps_of_operand src) reg_deps in
+          step (pc + 1) (steps + 1) regs reg_deps ctrl (dst :: written) events next_read monitor
+      | Instr.Op { op; dst; a; b } ->
+          let regs = IM.add dst (Instr.eval_binop op (eval a) (eval b)) regs in
+          let deps = dedup (deps_of_operand a @ deps_of_operand b) in
+          let reg_deps = IM.add dst deps reg_deps in
+          step (pc + 1) (steps + 1) regs reg_deps ctrl (dst :: written) events next_read monitor
+      | Instr.Cbnz { src; offset } | Instr.Cbz { src; offset } ->
+          let taken =
+            match thread.(pc) with
+            | Instr.Cbnz _ -> get_reg src <> 0
+            | _ -> get_reg src = 0
+          in
+          let ctrl = dedup (deps_of_reg src @ ctrl) in
+          let pc' = if taken then pc + 1 + offset else pc + 1 in
+          step pc' (steps + 1) regs reg_deps ctrl written events next_read monitor
+      | Instr.Store { src; addr; order } ->
+          let loc = eval addr in
+          let event =
+            {
+              l_action = Event.Write { loc; value = eval src; order };
+              l_addr_deps = dedup (deps_of_operand addr);
+              l_data_deps = dedup (deps_of_operand src);
+              l_ctrl_deps = dedup ctrl;
+              l_read_index = None;
+              l_rmw_source = None;
+            }
+          in
+          step (pc + 1) (steps + 1) regs reg_deps ctrl written (event :: events) next_read monitor
+      | Instr.Load_exclusive { dst; addr; order } ->
+          let loc = eval addr in
+          List.iter
+            (fun value ->
+              let event =
+                {
+                  l_action = Event.Read { loc; value; order };
+                  l_addr_deps = dedup (deps_of_operand addr);
+                  l_data_deps = [];
+                  l_ctrl_deps = dedup ctrl;
+                  l_read_index = Some next_read;
+                  l_rmw_source = None;
+                }
+              in
+              let regs = IM.add dst value regs in
+              let reg_deps = IM.add dst [ next_read ] reg_deps in
+              step (pc + 1) (steps + 1) regs reg_deps ctrl (dst :: written)
+                (event :: events) (next_read + 1)
+                (Some (loc, next_read)))
+            (pool loc)
+      | Instr.Store_exclusive { status; src; addr; order } ->
+          let loc = eval addr in
+          (* Failure branch: the monitor was lost (always possible -
+             spurious failure is architecturally allowed). *)
+          let fail_regs = IM.add status 1 regs in
+          let fail_deps = IM.add status [] reg_deps in
+          step (pc + 1) (steps + 1) fail_regs fail_deps ctrl (status :: written) events
+            next_read None;
+          (* Success branch: only when the monitor matches. *)
+          (match monitor with
+          | Some (mloc, ridx) when mloc = loc ->
+              let event =
+                {
+                  l_action = Event.Write { loc; value = eval src; order };
+                  l_addr_deps = dedup (deps_of_operand addr);
+                  l_data_deps = dedup (deps_of_operand src);
+                  l_ctrl_deps = dedup ctrl;
+                  l_read_index = None;
+                  l_rmw_source = Some ridx;
+                }
+              in
+              let ok_regs = IM.add status 0 regs in
+              let ok_deps = IM.add status [] reg_deps in
+              step (pc + 1) (steps + 1) ok_regs ok_deps ctrl (status :: written)
+                (event :: events) next_read None
+          | Some _ | None -> ())
+      | Instr.Load { dst; addr; order } ->
+          let loc = eval addr in
+          let candidates = pool loc in
+          List.iter
+            (fun value ->
+              let event =
+                {
+                  l_action = Event.Read { loc; value; order };
+                  l_addr_deps = dedup (deps_of_operand addr);
+                  l_data_deps = [];
+                  l_ctrl_deps = dedup ctrl;
+                  l_read_index = Some next_read;
+                  l_rmw_source = None;
+                }
+              in
+              let regs = IM.add dst value regs in
+              let reg_deps = IM.add dst [ next_read ] reg_deps in
+              step (pc + 1) (steps + 1) regs reg_deps ctrl (dst :: written)
+                (event :: events) (next_read + 1) monitor)
+            candidates
+    end
+  in
+  step 0 0 IM.empty IM.empty [] [] [] 0 None;
+  List.rev !results
+
+(* ------------------------------------------------------------------ *)
+(* Phase one: value pool fixpoint.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let value_pool ~fuel (p : Program.t) =
+  let module LM = Map.Make (Int) in
+  let module VS = Set.Make (Int) in
+  let initial =
+    List.fold_left
+      (fun acc l -> LM.add l (VS.singleton (Program.initial_value p l)) acc)
+      LM.empty (Program.locations p)
+  in
+  let lookup pool loc =
+    match LM.find_opt loc pool with
+    | Some vs -> VS.elements vs
+    | None -> [ 0 ]
+  in
+  let grow pool =
+    let additions = ref pool in
+    Array.iter
+      (fun thread ->
+        let runs = run_thread ~fuel ~pool:(lookup pool) thread in
+        List.iter
+          (fun run ->
+            List.iter
+              (fun e ->
+                match e.l_action with
+                | Event.Write { loc; value; _ } ->
+                    let current =
+                      match LM.find_opt loc !additions with
+                      | Some vs -> vs
+                      | None -> VS.singleton (Program.initial_value p loc)
+                    in
+                    additions := LM.add loc (VS.add value current) !additions
+                | Event.Read _ | Event.Fence _ -> ())
+              run.events)
+          runs)
+      p.Program.threads;
+    !additions
+  in
+  let rec fixpoint pool iterations =
+    if iterations > 8 then pool
+    else begin
+      let next = grow pool in
+      if LM.equal VS.equal next pool then pool else fixpoint next (iterations + 1)
+    end
+  in
+  let pool = fixpoint initial 0 in
+  lookup pool
+
+(* ------------------------------------------------------------------ *)
+(* Phase two: candidate generation.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun c -> List.map (fun tail -> c :: tail) tails) choices
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+(* Build the executions arising from one choice of per-thread runs. *)
+let executions_of_runs (p : Program.t) (runs : run array) =
+  (* Locations touched by any event or named in the program. *)
+  let module LS = Set.Make (Int) in
+  let locs = ref (LS.of_list (Program.locations p)) in
+  Array.iter
+    (fun run ->
+      List.iter
+        (fun e ->
+          match e.l_action with
+          | Event.Read { loc; _ } | Event.Write { loc; _ } -> locs := LS.add loc !locs
+          | Event.Fence _ -> ())
+        run.events)
+    runs;
+  let locations = LS.elements !locs in
+  (* Global events: init writes first, then thread events in order. *)
+  let events = ref [] in
+  let next_id = ref 0 in
+  let push tid po_index action =
+    let e = { Event.id = !next_id; tid; po_index; action } in
+    incr next_id;
+    events := e :: !events;
+    e.Event.id
+  in
+  let init_ids =
+    List.map
+      (fun l ->
+        ( l,
+          push Event.init_tid 0
+            (Event.Write { loc = l; value = Program.initial_value p l; order = Instr.Plain })
+        ))
+      locations
+  in
+  let po = ref Relation.empty in
+  let addr = ref Relation.empty in
+  let data = ref Relation.empty in
+  let ctrl = ref Relation.empty in
+  let rmw = ref Relation.empty in
+  let read_global = Hashtbl.create 16 in
+  (* (tid, read index) -> global id *)
+  Array.iteri
+    (fun tid run ->
+      let ids =
+        List.mapi
+          (fun po_index e ->
+            let gid = push tid po_index e.l_action in
+            (match e.l_read_index with
+            | Some i -> Hashtbl.replace read_global (tid, i) gid
+            | None -> ());
+            (gid, e))
+          run.events
+      in
+      (* Transitive program order within the thread. *)
+      List.iteri
+        (fun i (gi, _) ->
+          List.iteri (fun j (gj, _) -> if i < j then po := Relation.add gi gj !po) ids)
+        ids;
+      List.iter
+        (fun (gid, e) ->
+          let resolve idx = Hashtbl.find read_global (tid, idx) in
+          List.iter (fun i -> addr := Relation.add (resolve i) gid !addr) e.l_addr_deps;
+          List.iter (fun i -> data := Relation.add (resolve i) gid !data) e.l_data_deps;
+          List.iter (fun i -> ctrl := Relation.add (resolve i) gid !ctrl) e.l_ctrl_deps;
+          Option.iter (fun i -> rmw := Relation.add (resolve i) gid !rmw) e.l_rmw_source)
+        ids)
+    runs;
+  let all_events =
+    let arr = Array.make !next_id (List.hd !events) in
+    List.iter (fun (e : Event.t) -> arr.(e.Event.id) <- e) !events;
+    arr
+  in
+  (* Enumerate rf: each read picks a same-location same-value write. *)
+  let reads =
+    Array.to_list all_events |> List.filter Event.is_read |> List.map (fun e -> e.Event.id)
+  in
+  let writes =
+    Array.to_list all_events |> List.filter Event.is_write |> List.map (fun e -> e.Event.id)
+  in
+  let rf_choices =
+    List.map
+      (fun r ->
+        let er = all_events.(r) in
+        let candidates =
+          List.filter
+            (fun w ->
+              let ew = all_events.(w) in
+              Event.same_loc ew er && Event.value ew = Event.value er)
+            writes
+        in
+        List.map (fun w -> (w, r)) candidates)
+      reads
+  in
+  if List.exists (fun c -> c = []) rf_choices then []
+  else begin
+    let rf_assignments = cartesian rf_choices in
+    (* Enumerate co: per-location permutation of non-init writes,
+       init first. *)
+    let co_per_loc =
+      List.map
+        (fun l ->
+          let init_id = List.assoc l init_ids in
+          let others =
+            List.filter
+              (fun w -> w <> init_id && Event.loc all_events.(w) = Some l)
+              writes
+          in
+          List.map (fun perm -> init_id :: perm) (permutations others))
+        locations
+    in
+    let co_assignments = cartesian co_per_loc in
+    let co_relation chains =
+      List.fold_left
+        (fun acc chain ->
+          let rec pairs = function
+            | [] | [ _ ] -> []
+            | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+          in
+          List.fold_left (fun acc (a, b) -> Relation.add a b acc) acc (pairs chain))
+        Relation.empty chains
+    in
+    List.concat_map
+      (fun rf_pairs ->
+        let rf = Relation.of_list rf_pairs in
+        List.filter_map
+          (fun chains ->
+            let co = co_relation chains in
+            let x =
+              {
+                Execution.events = all_events;
+                po = !po;
+                rf;
+                co;
+                addr = !addr;
+                data = !data;
+                ctrl = !ctrl;
+                rmw = !rmw;
+              }
+            in
+            match Execution.well_formed x with Ok () -> Some x | Error _ -> None)
+          co_assignments)
+      rf_assignments
+  end
+
+let outcome_of (p : Program.t) (runs : run array) (x : Execution.t) =
+  ignore p;
+  let registers =
+    Array.to_list runs
+    |> List.mapi (fun tid run -> List.map (fun (r, v) -> ((tid, r), v)) run.final_regs)
+    |> List.concat |> List.sort compare
+  in
+  { registers; memory = Execution.final_memory x }
+
+let candidate_executions ?(fuel = 1024) (p : Program.t) =
+  (match Program.validate p with Ok () -> () | Error msg -> invalid_arg msg);
+  let pool = value_pool ~fuel p in
+  let per_thread_runs =
+    Array.to_list (Array.map (fun thread -> run_thread ~fuel ~pool thread) p.Program.threads)
+  in
+  let combos = cartesian per_thread_runs in
+  List.concat_map
+    (fun runs ->
+      let runs = Array.of_list runs in
+      List.map (fun x -> (x, outcome_of p runs x)) (executions_of_runs p runs))
+    combos
+
+let allowed_outcomes model p =
+  candidate_executions p
+  |> List.filter (fun (x, _) -> Axiomatic.consistent model x)
+  |> List.map snd
+  |> List.sort_uniq compare_outcome
+
+let outcome_allowed model p query =
+  let matches (full : outcome) =
+    List.for_all
+      (fun (key, v) ->
+        match List.assoc_opt key full.registers with Some v' -> v = v' | None -> false)
+      query.registers
+    && List.for_all
+         (fun (l, v) ->
+           match List.assoc_opt l full.memory with Some v' -> v = v' | None -> false)
+         query.memory
+  in
+  List.exists matches (allowed_outcomes model p)

@@ -1,0 +1,43 @@
+open Wmm_isa
+(** Exhaustive enumeration of candidate executions for litmus
+    programs (a small herd-style engine).
+
+    The enumeration proceeds in two phases.  Phase one discovers the
+    set of values each location can carry by interpreting every
+    thread against a growing value pool until fixpoint (this handles
+    stores whose value or address depends on loaded values, as in
+    dependency litmus tests).  Phase two generates, for every
+    combination of per-load value choices, the thread event
+    sequences with their address / data / control dependencies, then
+    enumerates all reads-from assignments and coherence orders.  The
+    resulting candidate executions are filtered by an axiomatic model
+    to obtain the allowed final states. *)
+
+type outcome = {
+  registers : ((int * Instr.reg) * Instr.value) list;
+      (** Final value of every register written by each thread,
+          sorted by (thread, register). *)
+  memory : (Instr.loc * Instr.value) list;  (** Sorted by location. *)
+}
+
+val compare_outcome : outcome -> outcome -> int
+
+val pp_outcome : Program.t -> Format.formatter -> outcome -> unit
+
+val outcome_to_string : Program.t -> outcome -> string
+
+val candidate_executions :
+  ?fuel:int -> Program.t -> (Execution.t * outcome) list
+(** All well-formed candidate executions with their final states.
+    [fuel] caps interpreted steps per thread (default 1024) so
+    accidentally looping programs fail fast: exceeding it raises
+    [Failure]. *)
+
+val allowed_outcomes : Axiomatic.model -> Program.t -> outcome list
+(** Deduplicated, sorted final states of the model-consistent
+    candidates. *)
+
+val outcome_allowed : Axiomatic.model -> Program.t -> outcome -> bool
+(** Membership test used by the litmus checker.  Register values not
+    mentioned in [outcome.registers] are ignored (partial match);
+    same for memory. *)

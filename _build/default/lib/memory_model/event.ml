@@ -1,0 +1,44 @@
+open Wmm_isa
+type action =
+  | Read of { loc : Instr.loc; value : Instr.value; order : Instr.order }
+  | Write of { loc : Instr.loc; value : Instr.value; order : Instr.order }
+  | Fence of Instr.barrier
+
+type t = { id : int; tid : int; po_index : int; action : action }
+
+let init_tid = -1
+
+let is_read e = match e.action with Read _ -> true | _ -> false
+let is_write e = match e.action with Write _ -> true | _ -> false
+let is_fence e = match e.action with Fence _ -> true | _ -> false
+let is_init e = e.tid = init_tid
+
+let is_acquire e = match e.action with Read { order = Instr.Acquire; _ } -> true | _ -> false
+
+let is_release e = match e.action with Write { order = Instr.Release; _ } -> true | _ -> false
+
+let is_fence_kind kind e = match e.action with Fence b -> b = kind | _ -> false
+
+let loc e =
+  match e.action with Read { loc; _ } | Write { loc; _ } -> Some loc | Fence _ -> None
+
+let value e =
+  match e.action with Read { value; _ } | Write { value; _ } -> Some value | Fence _ -> None
+
+let same_loc a b =
+  match (loc a, loc b) with Some la, Some lb -> la = lb | _ -> false
+
+let pp fmt e =
+  let describe =
+    match e.action with
+    | Read { loc; value; order } ->
+        Printf.sprintf "R%s m%d=%d"
+          (match order with Instr.Acquire -> "acq" | _ -> "")
+          loc value
+    | Write { loc; value; order } ->
+        Printf.sprintf "W%s m%d=%d"
+          (match order with Instr.Release -> "rel" | _ -> "")
+          loc value
+    | Fence b -> Printf.sprintf "F[%s]" (Instr.barrier_mnemonic b)
+  in
+  Format.fprintf fmt "e%d:t%d:%s" e.id e.tid describe

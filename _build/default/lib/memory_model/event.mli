@@ -1,0 +1,44 @@
+open Wmm_isa
+(** Memory events of a candidate execution.
+
+    Reads and writes carry their location, value and ordering
+    annotation (plain / acquire / release); fences carry their
+    barrier instruction.  Initial-state writes use thread id [-1]. *)
+
+type action =
+  | Read of { loc : Instr.loc; value : Instr.value; order : Instr.order }
+  | Write of { loc : Instr.loc; value : Instr.value; order : Instr.order }
+  | Fence of Instr.barrier
+
+type t = {
+  id : int;  (** Global identifier, index into the execution's array. *)
+  tid : int;  (** Thread, or [-1] for initial writes. *)
+  po_index : int;  (** Position within the thread. *)
+  action : action;
+}
+
+val init_tid : int
+(** The pseudo thread id of initial writes ([-1]). *)
+
+val is_read : t -> bool
+val is_write : t -> bool
+val is_fence : t -> bool
+val is_init : t -> bool
+
+val is_acquire : t -> bool
+(** Acquire-annotated read. *)
+
+val is_release : t -> bool
+(** Release-annotated write. *)
+
+val is_fence_kind : Instr.barrier -> t -> bool
+
+val loc : t -> Instr.loc option
+(** The location of a read or write; [None] for fences. *)
+
+val value : t -> Instr.value option
+
+val same_loc : t -> t -> bool
+(** True when both are memory accesses to the same location. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+open Wmm_isa
+(** Candidate executions: events plus the base relations (po, rf, co,
+    dependencies) and the standard derived relations of the herding
+    cats framework. *)
+
+type t = {
+  events : Event.t array;  (** Indexed by event id. *)
+  po : Relation.t;  (** Program order, transitively closed, per thread. *)
+  rf : Relation.t;  (** Reads-from: write -> read, same loc and value. *)
+  co : Relation.t;  (** Coherence: per-location total order on writes. *)
+  addr : Relation.t;  (** Address dependencies: read -> access. *)
+  data : Relation.t;  (** Data dependencies: read -> write. *)
+  ctrl : Relation.t;  (** Control dependencies: read -> later event. *)
+  rmw : Relation.t;
+      (** Read-modify-write pairs: the exclusive read -> the paired
+          successful exclusive write. *)
+}
+
+val event : t -> int -> Event.t
+
+val event_ids : t -> int list
+
+val reads : t -> int list
+val writes : t -> int list
+
+val select : t -> (Event.t -> bool) -> int list
+
+val fr : t -> Relation.t
+(** From-reads: [rf^-1 ; co], reads before the writes that overwrite
+    what they read. *)
+
+val po_loc : t -> Relation.t
+(** Program order restricted to same-location accesses. *)
+
+val com : t -> Relation.t
+(** Communication: [rf U co U fr]. *)
+
+val external_rel : t -> Relation.t -> Relation.t
+(** Restriction to pairs on different threads (init writes count as
+    external to every thread). *)
+
+val internal_rel : t -> Relation.t -> Relation.t
+
+val rfe : t -> Relation.t
+val rfi : t -> Relation.t
+val coe : t -> Relation.t
+val fre : t -> Relation.t
+
+val final_memory : t -> (Instr.loc * Instr.value) list
+(** Value of each location after the execution: the co-maximal write
+    per location. *)
+
+val well_formed : t -> (unit, string) result
+(** Sanity checks: rf sources are writes and targets reads of the
+    same location and value, every read has exactly one rf source, co
+    is a per-location strict total order on writes. *)

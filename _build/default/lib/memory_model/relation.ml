@@ -1,0 +1,95 @@
+module Pair = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module PS = Set.Make (Pair)
+
+type t = PS.t
+
+let empty = PS.empty
+let is_empty = PS.is_empty
+let cardinal = PS.cardinal
+let singleton a b = PS.singleton (a, b)
+let add a b r = PS.add (a, b) r
+let mem a b r = PS.mem (a, b) r
+let of_list pairs = PS.of_list pairs
+let to_list r = PS.elements r
+let union = PS.union
+let union_all rs = List.fold_left PS.union PS.empty rs
+let inter = PS.inter
+let diff = PS.diff
+
+let compose r s =
+  (* Index s by first component for the join. *)
+  let by_first = Hashtbl.create 16 in
+  PS.iter
+    (fun (b, c) ->
+      let existing = try Hashtbl.find by_first b with Not_found -> [] in
+      Hashtbl.replace by_first b (c :: existing))
+    s;
+  PS.fold
+    (fun (a, b) acc ->
+      match Hashtbl.find_opt by_first b with
+      | None -> acc
+      | Some cs -> List.fold_left (fun acc c -> PS.add (a, c) acc) acc cs)
+    r PS.empty
+
+let inverse r = PS.fold (fun (a, b) acc -> PS.add (b, a) acc) r PS.empty
+
+let identity_on ids = List.fold_left (fun acc i -> PS.add (i, i) acc) PS.empty ids
+
+let cross xs ys =
+  List.fold_left
+    (fun acc x -> List.fold_left (fun acc y -> PS.add (x, y) acc) acc ys)
+    PS.empty xs
+
+let restrict r ~domain ~range = PS.filter (fun (a, b) -> domain a && range b) r
+
+let filter f r = PS.filter (fun (a, b) -> f a b) r
+
+let transitive_closure r =
+  (* Floyd-Warshall style fixpoint; relations here are tiny. *)
+  let rec go r =
+    let next = union r (compose r r) in
+    if PS.equal next r then r else go next
+  in
+  go r
+
+let reflexive_transitive_closure r ~carrier = union (transitive_closure r) (identity_on carrier)
+
+let is_irreflexive r = not (PS.exists (fun (a, b) -> a = b) r)
+
+let is_acyclic r =
+  (* DFS-based cycle detection over the adjacency structure. *)
+  let adjacency = Hashtbl.create 16 in
+  let nodes = Hashtbl.create 16 in
+  PS.iter
+    (fun (a, b) ->
+      Hashtbl.replace nodes a ();
+      Hashtbl.replace nodes b ();
+      let existing = try Hashtbl.find adjacency a with Not_found -> [] in
+      Hashtbl.replace adjacency a (b :: existing))
+    r;
+  let state = Hashtbl.create 16 in
+  (* 1 = on stack, 2 = done *)
+  let rec visit n =
+    match Hashtbl.find_opt state n with
+    | Some 1 -> false
+    | Some _ -> true
+    | None ->
+        Hashtbl.replace state n 1;
+        let successors = try Hashtbl.find adjacency n with Not_found -> [] in
+        let ok = List.for_all visit successors in
+        Hashtbl.replace state n 2;
+        ok
+  in
+  Hashtbl.fold (fun n () acc -> acc && visit n) nodes true
+
+let equal = PS.equal
+let subset = PS.subset
+
+let pp fmt r =
+  Format.fprintf fmt "{%s}"
+    (String.concat "; " (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) (to_list r)))

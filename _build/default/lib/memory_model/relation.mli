@@ -1,0 +1,64 @@
+(** Finite binary relations over event identifiers.
+
+    The axiomatic models of Alglave et al.'s "herding cats" framework
+    are phrased as acyclicity and irreflexivity constraints over
+    unions, compositions and closures of relations; this module is
+    that algebra.  Event counts in litmus tests are tiny (tens), so a
+    pair-set representation is used for clarity. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val singleton : int -> int -> t
+
+val add : int -> int -> t -> t
+
+val mem : int -> int -> t -> bool
+
+val of_list : (int * int) list -> t
+
+val to_list : t -> (int * int) list
+
+val union : t -> t -> t
+
+val union_all : t list -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val compose : t -> t -> t
+(** [compose r s] = [{ (a, c) | (a, b) in r, (b, c) in s }]. *)
+
+val inverse : t -> t
+
+val identity_on : int list -> t
+
+val cross : int list -> int list -> t
+(** Cartesian product. *)
+
+val restrict : t -> domain:(int -> bool) -> range:(int -> bool) -> t
+
+val filter : (int -> int -> bool) -> t -> t
+
+val transitive_closure : t -> t
+
+val reflexive_transitive_closure : t -> carrier:int list -> t
+(** Transitive closure plus the identity on [carrier]. *)
+
+val is_irreflexive : t -> bool
+
+val is_acyclic : t -> bool
+(** True when the relation's directed graph has no cycle (equivalent
+    to irreflexivity of the transitive closure). *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/platform/jvm.ml: Arch Barrier List Uop Wmm_isa Wmm_machine

@@ -1,0 +1,1 @@
+lib/platform/jvm.mli: Arch Barrier Uop Wmm_isa Wmm_machine

@@ -1,0 +1,1 @@
+lib/platform/kernel.ml: Arch List Uop Wmm_isa Wmm_machine

@@ -1,0 +1,1 @@
+lib/platform/kernel.mli: Arch Uop Wmm_isa Wmm_machine

@@ -1,0 +1,1 @@
+lib/platform/optimizer.ml: Array List Uop Wmm_machine

@@ -1,0 +1,1 @@
+lib/platform/optimizer.mli: Uop Wmm_machine

@@ -1,0 +1,154 @@
+open Wmm_isa
+open Wmm_machine
+
+type mode = Barriers | Acqrel
+
+type op =
+  | Volatile_load of int
+  | Volatile_store of int
+  | Cas of int
+  | Lock_enter of int
+  | Lock_exit of int
+
+type config = {
+  arch : Arch.t;
+  mode : mode;
+  lock_patch : bool;
+  defensive_acquires : bool;
+  elemental_override : (Barrier.elemental * Uop.t) list;
+  injection : (Barrier.elemental * Uop.t list) list;
+}
+
+let default arch =
+  {
+    arch;
+    mode = Barriers;
+    lock_patch = false;
+    defensive_acquires = arch = Arch.Armv8;
+    elemental_override = [];
+    injection = [];
+  }
+
+let with_injection config elemental uops =
+  { config with injection = (elemental, uops) :: config.injection }
+
+let with_injection_all config uops =
+  List.fold_left (fun c e -> with_injection c e uops) config Barrier.all_elementals
+
+let elemental_uop config elemental =
+  match List.assoc_opt elemental config.elemental_override with
+  | Some u -> u
+  | None -> (
+      match (config.arch, elemental) with
+      | Arch.Armv8, (Barrier.Load_load | Barrier.Load_store) -> Uop.Fence_load
+      | Arch.Armv8, Barrier.Store_store -> Uop.Fence_store
+      | Arch.Armv8, Barrier.Store_load -> Uop.Fence_full
+      | Arch.Power7, Barrier.Store_load -> Uop.Fence_full
+      | Arch.Power7, (Barrier.Load_load | Barrier.Load_store | Barrier.Store_store) ->
+          Uop.Fence_lw)
+
+let injections_for config elemental =
+  List.concat_map
+    (fun (e, uops) -> if e = elemental then uops else [])
+    (List.rev config.injection)
+
+(* Coalesce the instruction selection for a group of elementals: a
+   full fence subsumes everything else, and duplicates collapse,
+   mirroring how the JIT assembles combined IR barriers. *)
+let coalesce uops =
+  if List.mem Uop.Fence_full uops then [ Uop.Fence_full ]
+  else List.fold_left (fun acc u -> if List.mem u acc then acc else acc @ [ u ]) [] uops
+
+(* One combined IR barrier: the injections of each constituent
+   elemental (adjacent, so injected cost functions overlap) followed
+   by the coalesced barrier instructions. *)
+let group config elementals =
+  List.concat_map (injections_for config) elementals
+  @ coalesce (List.map (elemental_uop config) elementals)
+
+(* The elemental-barrier groups each platform operation passes
+   through, in emission order.  These tables encode what each *port*
+   actually emits, which the paper observes to differ: the ARM port
+   is defensive (extra LoadLoad / LoadStore acquires), while the
+   POWER port concentrates on StoreStore (lwsync before stores) and
+   keeps the expensive hwsync on the rarely taken volatile-load path,
+   matching the per-elemental sensitivities of Fig. 6. *)
+let emission config op =
+  (* Elemental composition of each group, reverse-engineered from the
+     paper's measured per-elemental sensitivities (Fig. 6): on ARM,
+     StoreStore appears in every group (its k matches the
+     all-barriers k) with the port defensively adding LoadLoad /
+     LoadStore; on POWER the port leans on StoreStore/LoadStore
+     (lwsync before stores) while the hwsync and acquire paths are
+     conditionally elided, leaving LoadLoad / StoreLoad nearly
+     unexercised. *)
+  let ll = Barrier.Load_load
+  and ls = Barrier.Load_store
+  and sl = Barrier.Store_load
+  and ss = Barrier.Store_store in
+  let defensive groups =
+    if config.defensive_acquires then groups
+    else
+      List.map (function Barrier.Load_load :: rest -> rest | g -> g) groups
+  in
+  match (config.arch, op) with
+  | Arch.Armv8, Volatile_load _ -> defensive [ [ ll; ls; ss ]; [ ll; ls; sl; ss ] ]
+  | Arch.Armv8, Volatile_store _ -> defensive [ [ ll; ls; ss ]; [ sl; ss ] ]
+  | Arch.Armv8, Cas _ -> defensive [ [ ll; ls; ss ]; [ sl; ss ] ]
+  | Arch.Armv8, Lock_enter _ -> [ [ ll; ls; sl; ss ] ]
+  | Arch.Armv8, Lock_exit _ ->
+      if config.lock_patch then [ [ ls; ss ] ] else [ [ ll; ls; sl; ss ] ]
+  | Arch.Power7, Volatile_load _ ->
+      (* sync; ld; isync idiom, conditionally elided by the port. *)
+      [ [ sl; ll ] ]
+  | Arch.Power7, Volatile_store _ -> [ [ ls; ss ]; [ ss ] ]
+  | Arch.Power7, Cas _ -> [ [ ls; ss ]; [ ss ] ]
+  | Arch.Power7, Lock_enter _ -> [ [ ss; sl ] ]
+  | Arch.Power7, Lock_exit _ -> [ [ ls; ss ] ]
+
+let compile config op =
+  let acqrel = config.mode = Acqrel && config.arch = Arch.Armv8 in
+  let groups () = List.map (group config) (emission config op) in
+  (* Place the memory access among the barrier groups: the last
+     group of a load-shaped op is its trailing acquire; the first
+     group of a store-shaped op is its leading release. *)
+  let access_then_rest access =
+    match groups () with
+    | [] -> access
+    | first :: rest -> first @ access @ List.concat rest
+  in
+  let rest_then_access access =
+    match List.rev (groups ()) with
+    | [] -> access
+    | last :: before_rev -> List.concat (List.rev before_rev) @ access @ last
+  in
+  match op with
+  | Volatile_load loc ->
+      if acqrel then [ Uop.Load_acquire loc ] else rest_then_access [ Uop.Load loc ]
+  | Volatile_store loc ->
+      if acqrel then [ Uop.Store_release loc ] else access_then_rest [ Uop.Store loc ]
+  | Cas loc ->
+      if acqrel then [ Uop.Load_acquire loc; Uop.Busy 3; Uop.Store_release loc ]
+      else access_then_rest [ Uop.Load loc; Uop.Busy 3; Uop.Store loc ]
+  | Lock_enter loc ->
+      (* The acqrel lock fast path acquires with ldaxr/stxr: the
+         acquiring store is exclusive but plain. *)
+      if acqrel then [ Uop.Load_acquire loc; Uop.Busy 4; Uop.Store loc ]
+      else [ Uop.Load loc; Uop.Busy 4; Uop.Store loc ] @ List.concat (groups ())
+  | Lock_exit loc ->
+      if acqrel then
+        if config.lock_patch then [ Uop.Store_release loc ]
+        else [ Uop.Store_release loc ] @ group config [ Barrier.Store_load ]
+      else [ Uop.Store loc ] @ List.concat (groups ())
+
+let barrier_invocations config op elemental =
+  if config.mode = Acqrel && config.arch = Arch.Armv8 then
+    (* Only the unpatched acqrel lock exit keeps a barrier. *)
+    match op with
+    | Lock_exit _ when not config.lock_patch ->
+        if elemental = Barrier.Store_load then 1 else 0
+    | _ -> 0
+  else
+    List.fold_left
+      (fun acc group -> acc + List.length (List.filter (fun e -> e = elemental) group))
+      0 (emission config op)

@@ -1,0 +1,81 @@
+open Wmm_isa
+open Wmm_machine
+
+(** A model of the OpenJDK Hotspot fencing strategy.
+
+    The JVM platform exposes high-level operations (volatile
+    accesses, compare-and-swap, monitor enter/exit); a {!config}
+    fixes how each elemental barrier compiles to instructions on a
+    given architecture, which barriers are replaced by
+    load-acquire/store-release (the JDK9 ARMv8 strategy), which code
+    paths carry an injected cost function, and whether the
+    lock-path DMB-elimination patch (OpenJDK bug 8135187) is
+    applied. *)
+
+type mode =
+  | Barriers  (** JDK8 / [UseBarriersForVolatile]: explicit dmb / sync. *)
+  | Acqrel  (** JDK9 on ARMv8: ldar / stlr for volatile accesses. *)
+
+type op =
+  | Volatile_load of int
+  | Volatile_store of int
+  | Cas of int  (** java.util.concurrent-style atomic update. *)
+  | Lock_enter of int
+  | Lock_exit of int
+
+type config = {
+  arch : Arch.t;
+  mode : mode;
+  lock_patch : bool;
+  defensive_acquires : bool;
+      (** The ARM port emits more LoadLoad / LoadStore barriers than
+          the POWER port (the paper notes its developers are "more
+          defensive"). *)
+  elemental_override : (Barrier.elemental * Uop.t) list;
+      (** Replace the instruction selected for an elemental barrier,
+          e.g. StoreStore -> Fence_full models the dmb ishst ->
+          dmb ish and lwsync -> sync experiments. *)
+  injection : (Barrier.elemental * Uop.t list) list;
+      (** Extra uops (cost function or nop padding) inserted at every
+          occurrence of the elemental barrier. *)
+}
+
+val default : Arch.t -> config
+(** JDK8-style barrier mode, no overrides, no injection. *)
+
+val with_injection_all : config -> Uop.t list -> config
+(** Inject the given uops into all four elemental barriers. *)
+
+val with_injection : config -> Barrier.elemental -> Uop.t list -> config
+
+val elemental_uop : config -> Barrier.elemental -> Uop.t
+(** The barrier instruction an elemental compiles to under the
+    config (before injection): on ARMv8, LoadLoad / LoadStore ->
+    [dmb ishld], StoreStore -> [dmb ishst], StoreLoad -> [dmb ish];
+    on POWER, StoreLoad -> [hwsync], the rest -> [lwsync]. *)
+
+val emission : config -> op -> Barrier.elemental list list
+(** The elemental-barrier groups the operation passes through, in
+    emission order.  The tables are per-architecture: they encode
+    what each OpenJDK *port* emits - the ARM port defensively adds
+    LoadLoad/LoadStore acquires, the POWER port concentrates on
+    StoreStore (lwsync before stores) and keeps hwsync on the
+    volatile-load path - reproducing the per-elemental sensitivity
+    split of the paper's Fig. 6. *)
+
+val group : config -> Barrier.elemental list -> Uop.t list
+(** One combined IR barrier: the injections of each constituent
+    elemental (adjacent, so injected cost functions overlap) followed
+    by the coalesced barrier instructions (a full fence subsumes the
+    rest; duplicates collapse). *)
+
+val compile : config -> op -> Uop.t list
+(** Compile a platform operation to micro-ops under the fencing
+    strategy.  In [Barriers] mode the operation's barrier groups
+    surround its memory access (e.g. on ARM a volatile store is
+    Release-group; store; Volatile-group, as in JDK8).  In [Acqrel]
+    mode volatile accesses become ldar / stlr. *)
+
+val barrier_invocations : config -> op -> Barrier.elemental -> int
+(** How many times [op] passes through the given elemental barrier
+    code path - used by tests and by analytical sanity checks. *)

@@ -1,0 +1,128 @@
+open Wmm_isa
+open Wmm_machine
+
+type macro =
+  | Smp_mb
+  | Read_once
+  | Read_barrier_depends
+  | Smp_rmb
+  | Smp_wmb
+  | Smp_mb_before_atomic
+  | Smp_store_mb
+  | Smp_mb_after_atomic
+  | Write_once
+  | Smp_load_acquire
+  | Smp_store_release
+  | Rmb
+  | Mb
+  | Wmb
+
+let all_macros =
+  [
+    Smp_mb;
+    Read_once;
+    Read_barrier_depends;
+    Smp_rmb;
+    Smp_wmb;
+    Smp_mb_before_atomic;
+    Smp_store_mb;
+    Smp_mb_after_atomic;
+    Write_once;
+    Smp_load_acquire;
+    Smp_store_release;
+    Rmb;
+    Mb;
+    Wmb;
+  ]
+
+let macro_name = function
+  | Smp_mb -> "smp_mb"
+  | Read_once -> "read_once"
+  | Read_barrier_depends -> "read_barrier_depends"
+  | Smp_rmb -> "smp_rmb"
+  | Smp_wmb -> "smp_wmb"
+  | Smp_mb_before_atomic -> "smp_mb_before_atomic"
+  | Smp_store_mb -> "smp_store_mb"
+  | Smp_mb_after_atomic -> "smp_mb_after_atomic"
+  | Write_once -> "write_once"
+  | Smp_load_acquire -> "smp_load_acquire"
+  | Smp_store_release -> "smp_store_release"
+  | Rmb -> "rmb"
+  | Mb -> "mb"
+  | Wmb -> "wmb"
+
+let macro_of_name name =
+  List.find_opt (fun m -> macro_name m = name) all_macros
+
+type rbd_strategy =
+  | Rbd_none
+  | Rbd_ctrl
+  | Rbd_ctrl_isb
+  | Rbd_dmb_ishld
+  | Rbd_dmb_ish
+  | Rbd_la_sr
+
+let all_rbd_strategies =
+  [ Rbd_none; Rbd_ctrl; Rbd_ctrl_isb; Rbd_dmb_ishld; Rbd_dmb_ish; Rbd_la_sr ]
+
+let rbd_name = function
+  | Rbd_none -> "base case"
+  | Rbd_ctrl -> "ctrl"
+  | Rbd_ctrl_isb -> "ctrl+isb"
+  | Rbd_dmb_ishld -> "dmb ishld"
+  | Rbd_dmb_ish -> "dmb ish"
+  | Rbd_la_sr -> "la/sr"
+
+type config = { arch : Arch.t; rbd : rbd_strategy; injection : (macro * Uop.t list) list }
+
+let default arch = { arch; rbd = Rbd_none; injection = [] }
+
+let with_injection config macro uops =
+  { config with injection = (macro, uops) :: config.injection }
+
+let injections_for config macro =
+  List.concat_map (fun (m, uops) -> if m = macro then uops else []) (List.rev config.injection)
+
+let is_access_macro = function
+  | Read_once | Write_once | Smp_load_acquire | Smp_store_release | Smp_store_mb -> true
+  | Smp_mb | Read_barrier_depends | Smp_rmb | Smp_wmb | Smp_mb_before_atomic
+  | Smp_mb_after_atomic | Rmb | Mb | Wmb ->
+      false
+
+(* The rbd strategies replicate the dependency-ordering methods of
+   the ARMv8 manual B2.7.4 (see paper section 4.3.1). *)
+let rbd_uops config =
+  match config.rbd with
+  | Rbd_none -> []
+  | Rbd_ctrl -> [ Uop.Branch ]
+  | Rbd_ctrl_isb -> [ Uop.Branch; Uop.Fence_pipeline ]
+  | Rbd_dmb_ishld | Rbd_la_sr -> [ Uop.Fence_load ]
+  | Rbd_dmb_ish -> [ Uop.Fence_full ]
+
+let expand config macro ~loc =
+  let injected = injections_for config macro in
+  let body =
+    match macro with
+    | Smp_mb | Smp_mb_before_atomic | Smp_mb_after_atomic -> [ Uop.Fence_full ]
+    | Mb ->
+        (* dsb-class barrier: strictly heavier than dmb. *)
+        [ Uop.Fence_full; Uop.Busy 10 ]
+    | Rmb -> [ Uop.Fence_load; Uop.Busy 6 ]
+    | Wmb -> [ Uop.Fence_store; Uop.Busy 6 ]
+    | Smp_rmb -> [ Uop.Fence_load ]
+    | Smp_wmb -> [ Uop.Fence_store ]
+    | Read_once -> (
+        (* Compiler barrier plus the annotated load itself. *)
+        match config.rbd with
+        | Rbd_la_sr -> [ Uop.Fence_load; Uop.Load loc ]
+        | _ -> [ Uop.Load loc ])
+    | Write_once -> (
+        match config.rbd with
+        | Rbd_la_sr -> [ Uop.Fence_store; Uop.Store loc ]
+        | _ -> [ Uop.Store loc ])
+    | Read_barrier_depends -> rbd_uops config
+    | Smp_load_acquire -> [ Uop.Load_acquire loc ]
+    | Smp_store_release -> [ Uop.Store_release loc ]
+    | Smp_store_mb -> [ Uop.Store loc; Uop.Fence_full ]
+  in
+  injected @ body

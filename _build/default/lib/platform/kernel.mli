@@ -1,0 +1,69 @@
+open Wmm_isa
+open Wmm_machine
+
+(** A model of the Linux kernel memory-model macros
+    (Documentation/memory-barriers.txt, kernel 4.2) and the
+    [read_barrier_depends] fencing strategies of the paper's
+    section 4.3.1.
+
+    Each macro expands to a micro-op sequence under a {!config};
+    access-shaped macros ([READ_ONCE], [smp_load_acquire], ...) carry
+    the memory access itself so injections land inside the macro. *)
+
+type macro =
+  | Smp_mb
+  | Read_once
+  | Read_barrier_depends
+  | Smp_rmb
+  | Smp_wmb
+  | Smp_mb_before_atomic
+  | Smp_store_mb
+  | Smp_mb_after_atomic
+  | Write_once
+  | Smp_load_acquire
+  | Smp_store_release
+  | Rmb
+  | Mb
+  | Wmb
+
+val all_macros : macro list
+(** The 14 macros of the paper's Figure 7, in its display order. *)
+
+val macro_name : macro -> string
+(** Lowercase, e.g. ["smp_mb"], ["read_once"]. *)
+
+val macro_of_name : string -> macro option
+
+type rbd_strategy =
+  | Rbd_none  (** Default: compiler barrier only. *)
+  | Rbd_ctrl  (** Synthetic control dependency (test against 42 + branch). *)
+  | Rbd_ctrl_isb  (** Control dependency whose impotent instruction is isb. *)
+  | Rbd_dmb_ishld
+  | Rbd_dmb_ish
+  | Rbd_la_sr
+      (** dmb ishld in [read_barrier_depends] plus dmb ishld in
+          [READ_ONCE] and dmb ishst in [WRITE_ONCE]. *)
+
+val all_rbd_strategies : rbd_strategy list
+
+val rbd_name : rbd_strategy -> string
+(** As labelled in the paper's Fig. 10: "base case", "ctrl",
+    "ctrl+isb", "dmb ishld", "dmb ish", "la/sr". *)
+
+type config = {
+  arch : Arch.t;  (** The paper only evaluates the kernel on ARMv8. *)
+  rbd : rbd_strategy;
+  injection : (macro * Uop.t list) list;
+      (** Extra uops inserted inside every expansion of the macro. *)
+}
+
+val default : Arch.t -> config
+
+val with_injection : config -> macro -> Uop.t list -> config
+
+val expand : config -> macro -> loc:int -> Uop.t list
+(** Expansion of one macro invocation.  [loc] is the memory location
+    for access-shaped macros and ignored by pure barriers. *)
+
+val is_access_macro : macro -> bool
+(** Whether the macro contains the memory access itself. *)

@@ -1,0 +1,87 @@
+open Wmm_machine
+
+type result = { stream : Uop.t array; eliminated : int }
+
+let strength = function
+  | Uop.Fence_full -> Some 3
+  | Uop.Fence_lw -> Some 2
+  | Uop.Fence_load | Uop.Fence_store -> Some 1
+  | _ -> None
+
+let subsumes a b =
+  match (strength a, strength b) with
+  | Some _, None | None, _ -> false
+  | Some _, Some _ -> (
+      if a = b then true
+      else
+        match (a, b) with
+        | Uop.Fence_full, _ -> true
+        | Uop.Fence_lw, (Uop.Fence_load | Uop.Fence_store) -> true
+        | _ -> false)
+
+(* A "run" is a maximal sequence of micro-ops with no memory access:
+   fences within one run order the same accesses, so any fence
+   subsumed by another fence of the run is redundant.  The pipeline
+   fence (isb) is a hard boundary: it is not a memory barrier and
+   must not move or be merged. *)
+let is_boundary u = Uop.is_memory u || u = Uop.Fence_pipeline
+
+let eliminate ?probe stream =
+  let eliminated = ref 0 in
+  let out = ref [] in
+  let emit u = out := u :: !out in
+  let flush_run run =
+    let ops = List.rev run in
+    let fences = List.filter (fun u -> strength u <> None) ops in
+    (* The minimal set of fences with the same ordering power as the
+       whole run: one full fence beats everything; otherwise one
+       lwsync beats the load/store fences; otherwise at most one each
+       of the load and store fences. *)
+    let survivors =
+      if List.mem Uop.Fence_full fences then [ Uop.Fence_full ]
+      else if List.mem Uop.Fence_lw fences then [ Uop.Fence_lw ]
+      else
+        List.filter (fun f -> List.mem f fences) [ Uop.Fence_load; Uop.Fence_store ]
+    in
+    eliminated := !eliminated + List.length fences - List.length survivors;
+    (* Emit the survivors at the first fence position; later fence
+       positions become probes (or vanish). *)
+    let first_fence = ref true in
+    List.iter
+      (fun u ->
+        match strength u with
+        | None -> emit u
+        | Some _ ->
+            if !first_fence then begin
+              first_fence := false;
+              List.iter emit survivors
+            end
+            else begin
+              match probe with Some p -> emit p | None -> ()
+            end)
+      ops
+  in
+  let run = ref [] in
+  Array.iter
+    (fun u ->
+      if is_boundary u then begin
+        flush_run !run;
+        run := [];
+        emit u
+      end
+      else run := u :: !run)
+    stream;
+  flush_run !run;
+  { stream = Array.of_list (List.rev !out); eliminated = !eliminated }
+
+let optimise_streams ?probe streams =
+  let total = ref 0 in
+  let optimised =
+    Array.map
+      (fun stream ->
+        let r = eliminate ?probe stream in
+        total := !total + r.eliminated;
+        r.stream)
+      streams
+  in
+  (optimised, !total)

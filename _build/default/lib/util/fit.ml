@@ -1,0 +1,106 @@
+type result = {
+  params : float array;
+  std_errors : float array;
+  covariance : Linalg.matrix;
+  residual_ss : float;
+  iterations : int;
+  converged : bool;
+}
+
+let residuals f params xs ys =
+  Array.init (Array.length xs) (fun i -> ys.(i) -. f params xs.(i))
+
+let sum_squares r = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. r
+
+(* Central-difference Jacobian of the residual vector with respect to
+   the parameters.  The step scales with the parameter magnitude so
+   tiny sensitivities (k ~ 1e-3) are differentiated accurately. *)
+let jacobian f params xs =
+  let n = Array.length xs and m = Array.length params in
+  let j = Linalg.make n m 0. in
+  for p = 0 to m - 1 do
+    let h = Float.max 1e-10 (1e-6 *. abs_float params.(p)) in
+    let plus = Array.copy params and minus = Array.copy params in
+    plus.(p) <- params.(p) +. h;
+    minus.(p) <- params.(p) -. h;
+    for i = 0 to n - 1 do
+      (* Residual is y - f, so d(residual)/dp = -df/dp. *)
+      j.(i).(p) <- -.(f plus xs.(i) -. f minus xs.(i)) /. (2. *. h)
+    done
+  done;
+  j
+
+let covariance_of f params xs ys =
+  let n = Array.length xs and m = Array.length params in
+  let j = jacobian f params xs in
+  let jt = Linalg.transpose j in
+  let jtj = Linalg.mat_mul jt j in
+  let rss = sum_squares (residuals f params xs ys) in
+  let dof = max 1 (n - m) in
+  let s2 = rss /. float_of_int dof in
+  match Linalg.invert jtj with
+  | inv -> Array.map (Array.map (fun v -> v *. s2)) inv
+  | exception Failure _ -> Linalg.make m m nan
+
+let curve_fit ?(max_iterations = 200) ?(tolerance = 1e-12) ~f ~xs ~ys ~init () =
+  let n = Array.length xs and m = Array.length init in
+  if n <> Array.length ys then invalid_arg "Fit.curve_fit: xs/ys length mismatch";
+  if n < m then invalid_arg "Fit.curve_fit: fewer points than parameters";
+  let params = Array.copy init in
+  let lambda = ref 1e-3 in
+  let rss = ref (sum_squares (residuals f params xs ys)) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    let j = jacobian f params xs in
+    let r = residuals f params xs ys in
+    let jt = Linalg.transpose j in
+    let jtj = Linalg.mat_mul jt j in
+    let g = Linalg.mat_vec jt r in
+    (* Negative gradient of 1/2 rss is J^T r with our sign convention
+       for the residual Jacobian; the LM step solves
+       (J^T J + lambda diag(J^T J)) delta = J^T r. *)
+    let step_ok = ref false in
+    let attempts = ref 0 in
+    while (not !step_ok) && !attempts < 30 do
+      incr attempts;
+      let damped = Linalg.copy jtj in
+      for i = 0 to m - 1 do
+        let d = jtj.(i).(i) in
+        damped.(i).(i) <- d +. (!lambda *. if d > 0. then d else 1.)
+      done;
+      match Linalg.solve damped g with
+      | delta ->
+          let trial = Array.mapi (fun i p -> p -. delta.(i)) params in
+          let trial_rss = sum_squares (residuals f trial xs ys) in
+          if Float.is_finite trial_rss && trial_rss <= !rss then begin
+            let improvement = (!rss -. trial_rss) /. Float.max !rss 1e-300 in
+            Array.blit trial 0 params 0 m;
+            rss := trial_rss;
+            lambda := Float.max 1e-12 (!lambda /. 10.);
+            step_ok := true;
+            if improvement < tolerance then converged := true
+          end
+          else lambda := !lambda *. 10.
+      | exception Failure _ -> lambda := !lambda *. 10.
+    done;
+    if not !step_ok then converged := true
+  done;
+  let covariance = covariance_of f params xs ys in
+  let std_errors =
+    Array.init m (fun i ->
+        let v = covariance.(i).(i) in
+        if Float.is_finite v && v >= 0. then sqrt v else nan)
+  in
+  {
+    params;
+    std_errors;
+    covariance;
+    residual_ss = !rss;
+    iterations = !iterations;
+    converged = !converged;
+  }
+
+let relative_error_percent result i =
+  100. *. Stats.relative_std_error ~value:result.params.(i) ~error:result.std_errors.(i)

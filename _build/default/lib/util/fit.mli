@@ -1,0 +1,39 @@
+(** Non-linear least squares curve fitting (Levenberg-Marquardt).
+
+    The paper fits its sensitivity model with scipy's [curve_fit] and
+    reports the estimated variance of each fit; this module provides
+    the same facility: an LM optimiser with a numerically estimated
+    Jacobian and a parameter covariance estimate [(J^T J)^-1 * s^2]
+    where [s^2] is the residual variance. *)
+
+type result = {
+  params : float array;  (** Fitted parameter vector. *)
+  std_errors : float array;
+      (** One standard error per parameter, from the covariance
+          diagonal. *)
+  covariance : Linalg.matrix;
+  residual_ss : float;  (** Sum of squared residuals at the optimum. *)
+  iterations : int;
+  converged : bool;
+      (** False when the iteration limit was reached before the
+          relative improvement fell under the tolerance. *)
+}
+
+val curve_fit :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  f:(float array -> float -> float) ->
+  xs:float array ->
+  ys:float array ->
+  init:float array ->
+  unit ->
+  result
+(** [curve_fit ~f ~xs ~ys ~init ()] minimises
+    [sum_i (ys.(i) - f params xs.(i))^2] starting from [init].
+    Raises [Invalid_argument] if [xs] and [ys] differ in length or
+    there are fewer points than parameters. *)
+
+val relative_error_percent : result -> int -> float
+(** [relative_error_percent r i] is parameter [i]'s standard error as
+    a percentage of its value, the "k = 0.00277 +- 2.5%" form used in
+    the paper's figures. *)

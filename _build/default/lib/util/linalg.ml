@@ -1,0 +1,100 @@
+type matrix = float array array
+
+let make rows cols v = Array.init rows (fun _ -> Array.make cols v)
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))
+
+let copy m = Array.map Array.copy m
+
+let dims m =
+  let rows = Array.length m in
+  if rows = 0 then (0, 0)
+  else begin
+    let cols = Array.length m.(0) in
+    Array.iter
+      (fun row -> if Array.length row <> cols then invalid_arg "Linalg.dims: ragged matrix")
+      m;
+    (rows, cols)
+  end
+
+let transpose m =
+  let rows, cols = dims m in
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let mat_mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Linalg.mat_mul: dimension mismatch";
+  Array.init ra (fun i ->
+      Array.init cb (fun j ->
+          let acc = ref 0. in
+          for k = 0 to ca - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let mat_vec a v =
+  let ra, ca = dims a in
+  if ca <> Array.length v then invalid_arg "Linalg.mat_vec: dimension mismatch";
+  Array.init ra (fun i ->
+      let acc = ref 0. in
+      for k = 0 to ca - 1 do
+        acc := !acc +. (a.(i).(k) *. v.(k))
+      done;
+      !acc)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Linalg.dot: dimension mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let solve a b =
+  let n, cols = dims a in
+  if n <> cols then invalid_arg "Linalg.solve: matrix not square";
+  if n <> Array.length b then invalid_arg "Linalg.solve: rhs dimension mismatch";
+  let m = copy a and x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting: swap in the row with the largest magnitude
+       entry in this column to bound the growth factor. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if abs_float m.(row).(col) > abs_float m.(!pivot).(col) then pivot := row
+    done;
+    if abs_float m.(!pivot).(col) < 1e-300 then failwith "Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tmp = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tmp
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0. then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+        done;
+        x.(row) <- x.(row) -. (factor *. x.(col))
+      end
+    done
+  done;
+  for row = n - 1 downto 0 do
+    let acc = ref x.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. m.(row).(row)
+  done;
+  x
+
+let invert a =
+  let n, cols = dims a in
+  if n <> cols then invalid_arg "Linalg.invert: matrix not square";
+  let columns =
+    Array.init n (fun j -> solve a (Array.init n (fun i -> if i = j then 1. else 0.)))
+  in
+  Array.init n (fun i -> Array.init n (fun j -> columns.(j).(i)))

@@ -1,0 +1,34 @@
+(** Small dense linear algebra for the curve fitter.
+
+    Matrices are [float array array] in row-major order.  Sizes here
+    are tiny (the sensitivity model has one parameter; nothing in the
+    suite exceeds a handful), so clarity beats blocking. *)
+
+type matrix = float array array
+
+val make : int -> int -> float -> matrix
+(** [make rows cols v] is a fresh [rows * cols] matrix filled with
+    [v]. *)
+
+val identity : int -> matrix
+
+val copy : matrix -> matrix
+
+val dims : matrix -> int * int
+(** (rows, cols).  Raises on ragged input. *)
+
+val transpose : matrix -> matrix
+
+val mat_mul : matrix -> matrix -> matrix
+
+val mat_vec : matrix -> float array -> float array
+
+val dot : float array -> float array -> float
+
+val solve : matrix -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  Raises [Failure] on a (numerically) singular matrix.
+    [a] and [b] are not modified. *)
+
+val invert : matrix -> matrix
+(** Matrix inverse via [solve] against the identity columns. *)

@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator and the workload generators flows
+    through this module so that every experiment is reproducible from
+    a single integer seed.  The generator is xoshiro256** seeded via
+    splitmix64, which is fast, has a 2^256 - 1 period and passes the
+    usual statistical test batteries; quality matters here because noise
+    models feed directly into confidence-interval computations. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds
+    yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing
+    [t].  Use one split stream per simulated core / workload thread so
+    adding a consumer does not perturb the others' streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing it. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** Next non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> std:float -> float
+(** Normal deviate via the Box-Muller transform. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate (1/mean). *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Heavy-tailed Pareto deviate; used for SMT-interference noise
+    (small [shape] means heavier tail). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal deviate: [exp (gaussian mu sigma)]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)

@@ -1,0 +1,1 @@
+lib/workload/bench_runner.ml: Arch Array Float Generate Hashtbl List Perf Profile Rng Stats Wmm_isa Wmm_machine Wmm_util

@@ -1,0 +1,1 @@
+lib/workload/bench_runner.mli: Generate Perf Profile Wmm_machine

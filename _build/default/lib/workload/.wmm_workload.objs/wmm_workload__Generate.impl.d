@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Jvm Kernel List Profile Rng Uop Wmm_machine Wmm_platform Wmm_util

@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Jvm Kernel Profile Uop Wmm_isa Wmm_machine Wmm_platform

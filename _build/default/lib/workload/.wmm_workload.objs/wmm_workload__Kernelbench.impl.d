@@ -1,0 +1,1 @@
+lib/workload/kernelbench.ml: Kernel List Profile Wmm_platform

@@ -1,0 +1,1 @@
+lib/workload/kernelbench.mli: Profile

@@ -1,0 +1,1 @@
+lib/workload/profile.ml: Arch Kernel List String Wmm_isa Wmm_platform

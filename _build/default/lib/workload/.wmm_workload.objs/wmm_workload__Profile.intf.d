@@ -1,0 +1,1 @@
+lib/workload/profile.mli: Arch Kernel Wmm_isa Wmm_platform

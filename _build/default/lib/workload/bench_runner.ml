@@ -1,0 +1,91 @@
+open Wmm_util
+open Wmm_isa
+open Wmm_machine
+
+type result = {
+  throughput : float;
+  wall_ns : float;
+  response_mean_ns : float;
+  response_max_ns : float;
+  stats : Perf.stats;
+}
+
+(* Multiplicative run-level noise: gaussian jitter plus an occasional
+   heavy-tailed outlier, with the SMT term added on POWER. *)
+let noise_factor (p : Profile.t) arch rng =
+  let noise = p.Profile.noise in
+  let sigma =
+    noise.Profile.run_jitter
+    +. (if Arch.has_smt_interference arch then noise.Profile.smt_jitter else 0.)
+  in
+  let base = if sigma > 0. then exp (Rng.gaussian rng ~mean:0. ~std:sigma) else 1. in
+  let tail =
+    if noise.Profile.run_tail_prob > 0. && Rng.unit_float rng < noise.Profile.run_tail_prob
+    then 1. +. (noise.Profile.run_tail_frac *. Rng.pareto rng ~shape:1.8 ~scale:1.)
+    else 1.
+  in
+  (* SMT interference on POWER also produces one-sided outlier runs,
+     not just wider gaussians - the mechanism behind xalan's
+     instability there. *)
+  let smt_tail =
+    let smt = noise.Profile.smt_jitter in
+    if
+      Arch.has_smt_interference arch && smt > 0.
+      && Rng.unit_float rng < Float.min 0.35 (smt *. 3.)
+    then 1. +. Rng.pareto rng ~shape:1.6 ~scale:(smt *. 4.)
+    else 1.
+  in
+  base *. tail *. smt_tail
+
+let simulate (p : Profile.t) platform ~units ~seed =
+  let arch = Generate.platform_arch platform in
+  let streams = Generate.streams ~units_override:units p platform ~seed in
+  let config = Perf.config ~seed ~cores:(max 1 (Array.length streams)) arch in
+  (Perf.run config streams, config)
+
+let run (p : Profile.t) platform ~seed =
+  let arch = Generate.platform_arch platform in
+  (* The noise stream must differ between fencing configurations:
+     run-to-run measurement noise does not cancel between a base and
+     a test case on real hardware.  Hash the platform configuration
+     into the seed. *)
+  let noise_rng = Rng.create ((seed * 65599) + Hashtbl.hash platform) in
+  match p.Profile.measurement with
+  | Profile.Throughput ->
+      let stats, config = simulate p platform ~units:p.Profile.units_per_thread ~seed in
+      let noisy_ns = Perf.wall_ns config stats *. noise_factor p arch noise_rng in
+      let threads = Profile.effective_threads p arch in
+      let total_units = float_of_int (threads * p.Profile.units_per_thread) in
+      {
+        throughput = total_units /. (noisy_ns /. 1000.);
+        wall_ns = noisy_ns;
+        response_mean_ns = nan;
+        response_max_ns = nan;
+        stats;
+      }
+  | Profile.Response requests ->
+      let units_per_request = max 1 (p.Profile.units_per_thread / requests) in
+      let times =
+        Array.init requests (fun i ->
+            let stats, config =
+              simulate p platform ~units:units_per_request ~seed:(seed + (i * 131))
+            in
+            Perf.wall_ns config stats *. noise_factor p arch noise_rng)
+      in
+      let last_stats, _ =
+        simulate p platform ~units:1 ~seed
+      in
+      let total_units =
+        float_of_int
+          (Profile.effective_threads p arch * units_per_request * requests)
+      in
+      let total_ns = Array.fold_left ( +. ) 0. times in
+      {
+        throughput = total_units /. (total_ns /. 1000.);
+        wall_ns = total_ns;
+        response_mean_ns = Stats.mean times;
+        response_max_ns = Stats.maximum times;
+        stats = last_stats;
+      }
+
+let samples p platform ~seeds = List.map (fun seed -> run p platform ~seed) seeds

@@ -1,0 +1,22 @@
+open Wmm_machine
+
+(** Execute a profile on the performance simulator and extract the
+    paper's performance measures. *)
+
+type result = {
+  throughput : float;  (** Work units per microsecond across all threads. *)
+  wall_ns : float;
+  response_mean_ns : float;  (** [nan] unless the profile is response-mode. *)
+  response_max_ns : float;  (** [nan] unless the profile is response-mode. *)
+  stats : Perf.stats;  (** Simulator statistics of the (last) run. *)
+}
+
+val run : Profile.t -> Generate.platform -> seed:int -> result
+(** One measured run.  Throughput-mode profiles execute all units in
+    one simulation; response-mode profiles are split into the
+    profile's request count of independent mini-runs whose times give
+    the mean and max response.  Run-level measurement noise
+    (JIT/GC/scheduler effects outside the simulator's scope) is
+    applied multiplicatively, with the extra SMT term on POWER. *)
+
+val samples : Profile.t -> Generate.platform -> seeds:int list -> result list

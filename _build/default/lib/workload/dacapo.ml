@@ -1,0 +1,66 @@
+let noise ?(busy = 0.06) ?(jitter = 0.004) ?(smt = 0.004) ?(tail_prob = 0.) ?(tail_frac = 0.08)
+    () =
+  {
+    Profile.busy_std_frac = busy;
+    unit_tail_prob = 0.;
+    unit_tail_cycles = 0;
+    run_jitter = jitter;
+    run_tail_prob = tail_prob;
+    run_tail_frac = tail_frac;
+    smt_jitter = smt;
+  }
+
+let jvm ~vl ~vs ~cas ~locks =
+  { Profile.volatile_loads = vl; volatile_stores = vs; cas; locks }
+
+let h2 =
+  Profile.make "h2" ~threads:6 ~units_per_thread:400 ~unit_busy_cycles:7000 ~unit_loads:40
+    ~unit_stores:40 ~working_set:4096 ~shared_locations:96 ~share_ratio:0.12
+    ~jvm:(jvm ~vl:2.18 ~vs:2.36 ~cas:0.36 ~locks:2.72)
+    ~noise:(noise ~busy:0.08 ~jitter:0.006 ())
+
+let lusearch =
+  Profile.make "lusearch" ~threads:8 ~units_per_thread:400 ~unit_busy_cycles:6400
+    ~unit_loads:50 ~unit_stores:10 ~working_set:4096 ~shared_locations:64 ~share_ratio:0.08
+    ~jvm:(jvm ~vl:2.18 ~vs:0.36 ~cas:0.00 ~locks:1.09)
+    ~noise:(noise ~busy:0.12 ~jitter:0.018 ~tail_prob:0.05 ())
+
+let spark =
+  Profile.make "spark" ~threads:8 ~units_per_thread:400 ~unit_busy_cycles:3400 ~unit_loads:30
+    ~unit_stores:18 ~working_set:8192 ~shared_locations:128 ~share_ratio:0.2
+    ~jvm:(jvm ~vl:1.81 ~vs:10.89 ~cas:1.81 ~locks:1.09)
+    ~noise:(noise ~busy:0.06 ~jitter:0.004 ~smt:0.004 ())
+
+let sunflow =
+  Profile.make "sunflow" ~threads:8 ~units_per_thread:400 ~unit_busy_cycles:3600
+    ~unit_loads:26 ~unit_stores:8 ~working_set:2048 ~shared_locations:32 ~share_ratio:0.05
+    ~jvm:(jvm ~vl:0.73 ~vs:0.36 ~cas:0.00 ~locks:0.36)
+    ~noise:(noise ~busy:0.08 ~jitter:0.01 ~smt:0.02 ())
+
+let tomcat =
+  Profile.make "tomcat" ~threads:8 ~units_per_thread:360 ~unit_busy_cycles:7000
+    ~unit_loads:35 ~unit_stores:20 ~working_set:4096 ~shared_locations:96 ~share_ratio:0.1
+    ~jvm:(jvm ~vl:1.81 ~vs:1.09 ~cas:0.36 ~locks:1.81)
+    ~noise:(noise ~busy:0.1 ~jitter:0.02 ~smt:0.02 ~tail_prob:0.06 ())
+
+let tradebeans =
+  Profile.make "tradebeans" ~threads:8 ~units_per_thread:360 ~unit_busy_cycles:7000
+    ~unit_loads:38 ~unit_stores:22 ~working_set:4096 ~shared_locations:96 ~share_ratio:0.1
+    ~jvm:(jvm ~vl:2.00 ~vs:1.63 ~cas:0.18 ~locks:1.81)
+    ~noise:(noise ~busy:0.09 ~jitter:0.016 ~tail_prob:0.04 ())
+
+let tradesoap =
+  Profile.make "tradesoap" ~threads:8 ~units_per_thread:360 ~unit_busy_cycles:7900
+    ~unit_loads:38 ~unit_stores:22 ~working_set:4096 ~shared_locations:96 ~share_ratio:0.1
+    ~jvm:(jvm ~vl:1.81 ~vs:1.45 ~cas:0.18 ~locks:1.63)
+    ~noise:(noise ~busy:0.08 ~jitter:0.01 ~smt:0.006 ())
+
+let xalan =
+  Profile.make "xalan" ~threads:8 ~units_per_thread:400 ~unit_busy_cycles:4100 ~unit_loads:35
+    ~unit_stores:25 ~working_set:4096 ~shared_locations:64 ~share_ratio:0.15
+    ~jvm:(jvm ~vl:1.81 ~vs:1.45 ~cas:0.00 ~locks:6.53)
+    ~noise:(noise ~busy:0.08 ~jitter:0.008 ~smt:0.12 ~tail_prob:0.02 ())
+
+let all = [ h2; lusearch; spark; sunflow; tomcat; tradebeans; tradesoap; xalan ]
+
+let by_name name = List.find_opt (fun (p : Profile.t) -> p.Profile.name = name) all

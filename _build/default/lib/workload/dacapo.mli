@@ -1,0 +1,43 @@
+(** Synthetic stand-ins for the paper's JVM benchmarks: the DaCapo
+    9.12 subset with notable concurrent behaviour (per Kalibera et
+    al.) plus the Apache Spark GraphX PageRank workload.
+
+    Volatile/CAS/lock densities are calibrated so each benchmark's
+    sensitivity [k] to the elemental-barrier code paths lands near
+    the paper's Fig. 5 fits; noise parameters reproduce the stability
+    observations (spark stable on both architectures, xalan unstable
+    on POWER due to SMT interference, lusearch/tomcat/tradebeans
+    noisy on ARM). *)
+
+val h2 : Profile.t
+(** In-memory transactional database: store-heavy, lock-heavy,
+    k_arm ~ 0.0034. *)
+
+val lusearch : Profile.t
+(** Text search over lucene: read-dominated, k_arm ~ 0.0021,
+    unstable. *)
+
+val spark : Profile.t
+(** GraphX PageRank on the LiveJournal graph: the paper's most
+    sensitive and stable benchmark (k_arm ~ 0.0087,
+    k_power ~ 0.0123), dominated by volatile stores. *)
+
+val sunflow : Profile.t
+(** Ray tracer: compute-bound, low sensitivity (k ~ 0.0019). *)
+
+val tomcat : Profile.t
+(** Servlet container: moderate sensitivity, unstable on both
+    architectures. *)
+
+val tradebeans : Profile.t
+val tradesoap : Profile.t
+
+val xalan : Profile.t
+(** XML-to-HTML transform: lock-dominated, k_arm ~ 0.0061; on POWER
+    rendered unusable by SMT interference (the paper's +-14% fit). *)
+
+val all : Profile.t list
+(** In the paper's figure order: h2, lusearch, spark, sunflow,
+    tomcat, tradebeans, tradesoap, xalan. *)
+
+val by_name : string -> Profile.t option

@@ -1,0 +1,213 @@
+open Wmm_platform
+
+let noise ?(busy = 0.06) ?(jitter = 0.006) ?(smt = 0.) ?(tail_prob = 0.) ?(tail_frac = 0.06)
+    ?(unit_tail_prob = 0.) ?(unit_tail_cycles = 0) () =
+  {
+    Profile.busy_std_frac = busy;
+    unit_tail_prob;
+    unit_tail_cycles;
+    run_jitter = jitter;
+    run_tail_prob = tail_prob;
+    run_tail_frac = tail_frac;
+    smt_jitter = smt;
+  }
+
+(* Shorthand for macro density lists. *)
+let m name rate = (name, rate)
+
+let netperf_udp =
+  Profile.make "netperf_udp" ~threads:2 ~units_per_thread:1400 ~unit_busy_cycles:420
+    ~unit_loads:10 ~unit_stores:10 ~working_set:1024 ~shared_locations:64 ~share_ratio:0.3
+    ~kernel:
+      [
+        m Kernel.Smp_mb 1.8;
+        m Kernel.Read_once 2.4;
+        m Kernel.Read_barrier_depends 3.1;
+        m Kernel.Write_once 1.0;
+        m Kernel.Smp_load_acquire 0.3;
+        m Kernel.Smp_store_release 0.3;
+        m Kernel.Smp_rmb 0.25;
+        m Kernel.Smp_wmb 0.2;
+        m Kernel.Smp_mb_before_atomic 0.15;
+        m Kernel.Smp_mb_after_atomic 0.15;
+        m Kernel.Smp_store_mb 0.1;
+        m Kernel.Rmb 0.02;
+        m Kernel.Mb 0.02;
+        m Kernel.Wmb 0.01;
+      ]
+    ~noise:(noise ~busy:0.06 ~jitter:0.012 ())
+
+let netperf_tcp =
+  Profile.make "netperf_tcp" ~threads:2 ~units_per_thread:1400 ~unit_busy_cycles:640
+    ~unit_loads:14 ~unit_stores:14 ~working_set:1024 ~shared_locations:64 ~share_ratio:0.3
+    ~kernel:
+      [
+        m Kernel.Smp_mb 2.6;
+        m Kernel.Read_once 3.2;
+        m Kernel.Read_barrier_depends 1.7;
+        m Kernel.Write_once 1.4;
+        m Kernel.Smp_load_acquire 0.4;
+        m Kernel.Smp_store_release 0.4;
+        m Kernel.Smp_rmb 0.3;
+        m Kernel.Smp_wmb 0.25;
+        m Kernel.Smp_mb_before_atomic 0.2;
+        m Kernel.Smp_mb_after_atomic 0.2;
+        m Kernel.Smp_store_mb 0.12;
+        m Kernel.Rmb 0.03;
+        m Kernel.Mb 0.03;
+        m Kernel.Wmb 0.02;
+      ]
+    ~noise:(noise ~busy:0.1 ~jitter:0.03 ~tail_prob:0.08 ~tail_frac:0.12 ())
+
+let ebizzy =
+  Profile.make "ebizzy" ~threads:4 ~units_per_thread:700 ~unit_busy_cycles:1200
+    ~unit_loads:30 ~unit_stores:14 ~working_set:4096 ~shared_locations:64 ~share_ratio:0.1
+    ~kernel:
+      [
+        m Kernel.Read_once 2.0;
+        m Kernel.Write_once 1.2;
+        m Kernel.Smp_mb 0.6;
+        m Kernel.Read_barrier_depends 1.0;
+        m Kernel.Smp_rmb 0.1;
+        m Kernel.Smp_wmb 0.1;
+        m Kernel.Smp_mb_before_atomic 0.08;
+        m Kernel.Smp_mb_after_atomic 0.08;
+        m Kernel.Smp_load_acquire 0.06;
+        m Kernel.Smp_store_release 0.06;
+        m Kernel.Smp_store_mb 0.04;
+      ]
+    ~noise:(noise ~busy:0.1 ~jitter:0.014 ~tail_prob:0.06 ~tail_frac:0.08 ())
+
+let osm_tiles =
+  Profile.make "osm_tiles" ~threads:4 ~units_per_thread:60 ~unit_busy_cycles:30000
+    ~unit_loads:60 ~unit_stores:30 ~working_set:8192 ~shared_locations:64 ~share_ratio:0.06
+    ~kernel:
+      [
+        m Kernel.Read_once 0.6;
+        m Kernel.Smp_mb 0.3;
+        m Kernel.Write_once 0.25;
+        m Kernel.Read_barrier_depends 0.15;
+        m Kernel.Smp_load_acquire 0.05;
+        m Kernel.Smp_store_release 0.05;
+      ]
+    ~noise:(noise ~busy:0.08 ~jitter:0.01 ())
+
+let osm_stack =
+  Profile.make "osm_stack" ~threads:4 ~units_per_thread:240 ~unit_busy_cycles:20000
+    ~unit_loads:50 ~unit_stores:25 ~working_set:8192 ~shared_locations:64 ~share_ratio:0.08
+    ~measurement:(Profile.Response 24)
+    ~kernel:
+      [
+        m Kernel.Read_once 0.8;
+        m Kernel.Smp_mb 0.4;
+        m Kernel.Write_once 0.3;
+        m Kernel.Read_barrier_depends 1.8;
+        m Kernel.Smp_load_acquire 0.1;
+        m Kernel.Smp_store_release 0.1;
+      ]
+    ~noise:
+      (noise ~busy:0.1 ~jitter:0.012 ~unit_tail_prob:0.01 ~unit_tail_cycles:30000 ())
+
+let kernel_compile =
+  Profile.make "kernel_compile" ~threads:8 ~units_per_thread:120 ~unit_busy_cycles:15000
+    ~unit_loads:70 ~unit_stores:35 ~working_set:8192 ~shared_locations:64 ~share_ratio:0.05
+    ~kernel:
+      [
+        m Kernel.Read_once 0.6;
+        m Kernel.Smp_mb 0.35;
+        m Kernel.Write_once 0.25;
+        m Kernel.Read_barrier_depends 0.1;
+        m Kernel.Smp_store_mb 0.05;
+        m Kernel.Smp_rmb 0.04;
+        m Kernel.Smp_wmb 0.04;
+      ]
+    ~noise:(noise ~busy:0.06 ~jitter:0.008 ())
+
+(* The lmbench subset: single-threaded syscall timing loops with very
+   high kernel entry density. *)
+let lmbench_part name ~busy ~rbd ~smp_mb ~read_once =
+  Profile.make name ~threads:1 ~units_per_thread:1600 ~unit_busy_cycles:busy ~unit_loads:12
+    ~unit_stores:6 ~working_set:512 ~shared_locations:32 ~share_ratio:0.2
+    ~kernel:
+      [
+        m Kernel.Smp_mb smp_mb;
+        m Kernel.Read_once read_once;
+        m Kernel.Read_barrier_depends rbd;
+        m Kernel.Smp_load_acquire 0.35;
+        m Kernel.Smp_store_release 0.35;
+        m Kernel.Smp_rmb 0.25;
+        m Kernel.Smp_wmb 0.2;
+        m Kernel.Smp_mb_before_atomic 0.2;
+        m Kernel.Smp_mb_after_atomic 0.2;
+        m Kernel.Smp_store_mb 0.12;
+        m Kernel.Mb 0.05;
+        m Kernel.Rmb 0.04;
+        m Kernel.Wmb 0.03;
+      ]
+    ~noise:(noise ~busy:0.04 ~jitter:0.006 ())
+
+let lmbench_parts =
+  [
+    lmbench_part "lmbench_fcntl" ~busy:500 ~rbd:1.6 ~smp_mb:0.9 ~read_once:1.6;
+    lmbench_part "lmbench_proc_exec" ~busy:2600 ~rbd:2.4 ~smp_mb:1.8 ~read_once:3.0;
+    lmbench_part "lmbench_proc_fork" ~busy:2200 ~rbd:2.2 ~smp_mb:1.6 ~read_once:2.6;
+    lmbench_part "lmbench_select_100" ~busy:900 ~rbd:2.0 ~smp_mb:0.8 ~read_once:2.2;
+    lmbench_part "lmbench_sem" ~busy:550 ~rbd:1.5 ~smp_mb:1.2 ~read_once:1.5;
+    lmbench_part "lmbench_sig_catch" ~busy:650 ~rbd:1.4 ~smp_mb:1.0 ~read_once:1.4;
+    lmbench_part "lmbench_sig_install" ~busy:480 ~rbd:1.2 ~smp_mb:0.8 ~read_once:1.2;
+    lmbench_part "lmbench_syscall_fstat" ~busy:420 ~rbd:1.5 ~smp_mb:0.7 ~read_once:1.5;
+    lmbench_part "lmbench_syscall_null" ~busy:320 ~rbd:1.2 ~smp_mb:0.6 ~read_once:1.1;
+    lmbench_part "lmbench_syscall_open" ~busy:700 ~rbd:1.8 ~smp_mb:0.9 ~read_once:1.9;
+    lmbench_part "lmbench_syscall_read" ~busy:450 ~rbd:1.6 ~smp_mb:0.8 ~read_once:1.6;
+    lmbench_part "lmbench_syscall_write" ~busy:460 ~rbd:1.6 ~smp_mb:0.8 ~read_once:1.6;
+  ]
+
+let lmbench = lmbench_part "lmbench" ~busy:480 ~rbd:1.6 ~smp_mb:0.9 ~read_once:1.7
+
+(* JVM applications re-run as kernel benchmarks: they coordinate
+   concurrency inside the VM and touch the kernel macros rarely -
+   except xalan, whose heavy I/O gives it a measurable kernel-side
+   sensitivity. *)
+let h2 =
+  Profile.make "h2" ~threads:6 ~units_per_thread:300 ~unit_busy_cycles:8000 ~unit_loads:40
+    ~unit_stores:40 ~working_set:4096 ~shared_locations:96 ~share_ratio:0.12
+    ~kernel:[ m Kernel.Read_once 0.02; m Kernel.Smp_mb 0.01; m Kernel.Read_barrier_depends 0.01 ]
+    ~noise:(noise ~busy:0.08 ~jitter:0.006 ())
+
+let spark =
+  Profile.make "spark" ~threads:8 ~units_per_thread:300 ~unit_busy_cycles:3600 ~unit_loads:30
+    ~unit_stores:18 ~working_set:8192 ~shared_locations:128 ~share_ratio:0.2
+    ~kernel:
+      [ m Kernel.Read_once 0.04; m Kernel.Smp_mb 0.02; m Kernel.Read_barrier_depends 0.02 ]
+    ~noise:(noise ~busy:0.06 ~jitter:0.004 ())
+
+let xalan =
+  Profile.make "xalan" ~threads:8 ~units_per_thread:300 ~unit_busy_cycles:6000 ~unit_loads:35
+    ~unit_stores:25 ~working_set:4096 ~shared_locations:64 ~share_ratio:0.15
+    ~kernel:
+      [
+        m Kernel.Read_once 1.2;
+        m Kernel.Smp_mb 0.4;
+        m Kernel.Read_barrier_depends 2.4;
+        m Kernel.Write_once 0.4;
+        m Kernel.Smp_load_acquire 0.1;
+        m Kernel.Smp_store_release 0.1;
+      ]
+    ~noise:(noise ~busy:0.08 ~jitter:0.008 ())
+
+let all =
+  [
+    netperf_tcp;
+    netperf_udp;
+    ebizzy;
+    osm_tiles;
+    osm_stack;
+    kernel_compile;
+    lmbench;
+    h2;
+    spark;
+    xalan;
+  ]
+
+let by_name name =
+  List.find_opt (fun (p : Profile.t) -> p.Profile.name = name) (all @ lmbench_parts)

@@ -1,0 +1,42 @@
+(** Synthetic stand-ins for the paper's Linux-kernel benchmarks
+    (section 4.3): netperf TCP/UDP over loopback, ebizzy, the
+    OpenStreetMap tile-server stack, a kernel compilation, the
+    lmbench system-call microbenchmark subset, and the JVM
+    benchmarks re-run as kernel workloads (which exercise the kernel
+    very little - the paper finds h2 and spark almost completely
+    insensitive to kernel macro changes).
+
+    Macro invocation densities are calibrated against the paper's
+    Fig. 9 sensitivities for [read_barrier_depends] (netperf_udp
+    k ~ 0.0094, lmbench ~ 0.0053, netperf_tcp ~ 0.0036, ebizzy
+    ~ 0.0011, xalan ~ 0.0004, osm ~ 0.0002) and the macro-impact
+    ranking of Fig. 7 (smp_mb, read_once, read_barrier_depends on
+    top). *)
+
+val netperf_tcp : Profile.t
+val netperf_udp : Profile.t
+val ebizzy : Profile.t
+val osm_tiles : Profile.t
+
+val osm_stack : Profile.t
+(** Response-mode: mean and max response are reported separately
+    ("osm_stack (avg)" / "osm_stack (max)" in the paper's Fig. 8). *)
+
+val kernel_compile : Profile.t
+val lmbench : Profile.t
+
+val lmbench_parts : Profile.t list
+(** The twelve individual lmbench microbenchmarks (fcntl, proc_exec,
+    proc_fork, select_100, sem, sig_catch, sig_install,
+    syscall_fstat, syscall_null, syscall_open, syscall_read,
+    syscall_write); the paper aggregates them by arithmetic mean
+    after comparison to the base case. *)
+
+val h2 : Profile.t
+val spark : Profile.t
+val xalan : Profile.t
+
+val all : Profile.t list
+(** The eleven profiles of the paper's Fig. 8. *)
+
+val by_name : string -> Profile.t option

@@ -1,0 +1,102 @@
+open Wmm_isa
+open Wmm_platform
+
+type jvm_rates = {
+  volatile_loads : float;
+  volatile_stores : float;
+  cas : float;
+  locks : float;
+}
+
+let no_jvm = { volatile_loads = 0.; volatile_stores = 0.; cas = 0.; locks = 0. }
+
+type noise = {
+  busy_std_frac : float;
+  unit_tail_prob : float;
+  unit_tail_cycles : int;
+  run_jitter : float;
+  run_tail_prob : float;
+  run_tail_frac : float;
+  smt_jitter : float;
+}
+
+let quiet =
+  {
+    busy_std_frac = 0.;
+    unit_tail_prob = 0.;
+    unit_tail_cycles = 0;
+    run_jitter = 0.;
+    run_tail_prob = 0.;
+    run_tail_frac = 0.;
+    smt_jitter = 0.;
+  }
+
+type measurement = Throughput | Response of int
+
+type t = {
+  name : string;
+  threads : int;
+  units_per_thread : int;
+  unit_busy_cycles : int;
+  unit_loads : int;
+  unit_stores : int;
+  working_set : int;
+  shared_locations : int;
+  share_ratio : float;
+  jvm : jvm_rates;
+  kernel : (Kernel.macro * float) list;
+  noise : noise;
+  measurement : measurement;
+}
+
+let default_noise =
+  {
+    busy_std_frac = 0.05;
+    unit_tail_prob = 0.;
+    unit_tail_cycles = 0;
+    run_jitter = 0.004;
+    run_tail_prob = 0.;
+    run_tail_frac = 0.;
+    smt_jitter = 0.;
+  }
+
+let make ?(threads = 4) ?(units_per_thread = 600) ?(unit_busy_cycles = 2000) ?(unit_loads = 24)
+    ?(unit_stores = 12) ?(working_set = 1024) ?(shared_locations = 64) ?(share_ratio = 0.1)
+    ?(jvm = no_jvm) ?(kernel = []) ?(noise = default_noise) ?(measurement = Throughput) name =
+  {
+    name;
+    threads;
+    units_per_thread;
+    unit_busy_cycles;
+    unit_loads;
+    unit_stores;
+    working_set;
+    shared_locations;
+    share_ratio;
+    jvm;
+    kernel;
+    noise;
+    measurement;
+  }
+
+let effective_threads t arch = min t.threads (Arch.core_count arch)
+
+let validate t =
+  let problems = ref [] in
+  let check cond msg = if not cond then problems := msg :: !problems in
+  check (t.threads > 0) "threads must be positive";
+  check (t.units_per_thread > 0) "units_per_thread must be positive";
+  check (t.unit_busy_cycles >= 0) "unit_busy_cycles must be non-negative";
+  check (t.unit_loads >= 0 && t.unit_stores >= 0) "memory op counts must be non-negative";
+  check (t.working_set > 0) "working_set must be positive";
+  check (t.shared_locations > 0) "shared_locations must be positive";
+  check (t.share_ratio >= 0. && t.share_ratio <= 1.) "share_ratio outside [0, 1]";
+  check
+    (t.jvm.volatile_loads >= 0. && t.jvm.volatile_stores >= 0. && t.jvm.cas >= 0.
+   && t.jvm.locks >= 0.)
+    "jvm rates must be non-negative";
+  check (List.for_all (fun (_, r) -> r >= 0.) t.kernel) "kernel rates must be non-negative";
+  (match t.measurement with
+  | Throughput -> ()
+  | Response n -> check (n > 0) "response request count must be positive");
+  match !problems with [] -> Ok () | p -> Error (t.name ^ ": " ^ String.concat "; " p)

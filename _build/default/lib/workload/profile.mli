@@ -1,0 +1,85 @@
+open Wmm_isa
+open Wmm_platform
+
+(** Workload profiles: the synthetic stand-ins for the paper's
+    benchmarks.
+
+    A profile describes what one *work unit* of the benchmark does -
+    computation, private and shared memory traffic, and how often it
+    passes through each platform code path (JVM barriers or kernel
+    macros).  The code-path densities are calibrated against the
+    sensitivities the paper measures (DESIGN.md section 5): the paper
+    itself characterises each benchmark by exactly these densities,
+    so this is the faithful degree of freedom to import. *)
+
+type jvm_rates = {
+  volatile_loads : float;  (** Per work unit; fractional rates are drawn stochastically. *)
+  volatile_stores : float;
+  cas : float;
+  locks : float;  (** Monitor enter/exit pairs per unit. *)
+}
+
+val no_jvm : jvm_rates
+
+type noise = {
+  busy_std_frac : float;  (** Gaussian spread of per-unit compute. *)
+  unit_tail_prob : float;  (** Probability of a heavy-tailed stall per unit. *)
+  unit_tail_cycles : int;  (** Scale of such stalls. *)
+  run_jitter : float;
+      (** Multiplicative run-level measurement noise (std dev),
+          modelling everything the simulator does not: JIT, GC,
+          scheduling. *)
+  run_tail_prob : float;  (** Probability of an outlier run. *)
+  run_tail_frac : float;  (** Magnitude of an outlier run (fraction of run time). *)
+  smt_jitter : float;
+      (** Extra run-level noise on POWER only - the SMT interference
+          the paper blames for xalan's instability there. *)
+}
+
+val quiet : noise
+(** Negligible noise, for tests. *)
+
+type measurement =
+  | Throughput  (** Performance = work units per unit time. *)
+  | Response of int
+      (** A request/response service: the run is split into this many
+          independent requests; both mean and worst-case response
+          times are reported (the paper's osm_stack avg/max). *)
+
+type t = {
+  name : string;
+  threads : int;  (** Capped at the architecture's core count. *)
+  units_per_thread : int;
+  unit_busy_cycles : int;
+  unit_loads : int;
+  unit_stores : int;
+  working_set : int;  (** Private locations per thread. *)
+  shared_locations : int;
+  share_ratio : float;  (** Fraction of accesses hitting shared locations. *)
+  jvm : jvm_rates;
+  kernel : (Kernel.macro * float) list;  (** Invocations per unit. *)
+  noise : noise;
+  measurement : measurement;
+}
+
+val make :
+  ?threads:int ->
+  ?units_per_thread:int ->
+  ?unit_busy_cycles:int ->
+  ?unit_loads:int ->
+  ?unit_stores:int ->
+  ?working_set:int ->
+  ?shared_locations:int ->
+  ?share_ratio:float ->
+  ?jvm:jvm_rates ->
+  ?kernel:(Kernel.macro * float) list ->
+  ?noise:noise ->
+  ?measurement:measurement ->
+  string ->
+  t
+
+val effective_threads : t -> Arch.t -> int
+
+val validate : t -> (unit, string) result
+(** Rates non-negative, thread/unit counts positive, ratios in
+    [0, 1]. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Arch Experiment Generate Jvm Kernel Kernelbench List Profile Sensitivity Uop Wmm_core Wmm_costfn Wmm_isa Wmm_machine Wmm_platform Wmm_util Wmm_workload

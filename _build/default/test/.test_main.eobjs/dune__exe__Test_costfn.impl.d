@@ -1,0 +1,1 @@
+test/test_costfn.ml: Alcotest Arch Cost_function List String Uop Wmm_costfn Wmm_isa Wmm_machine

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array List String Unix Wmm_core Wmm_experiments

@@ -1,0 +1,1 @@
+test/test_fit.ml: Alcotest Array Fit Float Linalg QCheck QCheck_alcotest Rng Wmm_core Wmm_util

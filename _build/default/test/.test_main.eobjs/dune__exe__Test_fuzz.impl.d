@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Arch Array Axiomatic Enumerate Instr List Program QCheck QCheck_alcotest Relaxed Rng Wmm_isa Wmm_machine Wmm_model Wmm_util

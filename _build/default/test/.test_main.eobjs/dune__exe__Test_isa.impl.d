@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Arch Asm Instr List Program String Wmm_isa

@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Axiomatic Check Library List Option Relaxed String Test Wmm_isa Wmm_litmus Wmm_machine Wmm_model

@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Arch Memsys QCheck QCheck_alcotest Timing Wmm_isa Wmm_machine

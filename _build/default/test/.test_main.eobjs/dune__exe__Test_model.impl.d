@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Axiomatic Check Enumerate Event Execution Instr Library List Option Program Relation Test Wmm_isa Wmm_litmus Wmm_model

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Arch Array Gen Instrumentation List Optimizer QCheck QCheck_alcotest Uop Wmm_core Wmm_isa Wmm_machine Wmm_platform Wmm_workload

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Arch Axiomatic Check Library List Option Parse Printf Program Relaxed String Test Wmm_isa Wmm_litmus Wmm_machine Wmm_model

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Arch Array List Perf Timing Uop Wmm_isa Wmm_machine

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Arch Barrier Jvm Kernel List Printf Uop Wmm_isa Wmm_machine Wmm_platform

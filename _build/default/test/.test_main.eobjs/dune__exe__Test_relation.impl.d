@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Gen QCheck QCheck_alcotest Relation Wmm_model

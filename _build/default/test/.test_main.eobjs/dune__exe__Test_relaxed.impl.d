@@ -1,0 +1,1 @@
+test/test_relaxed.ml: Alcotest Axiomatic Enumerate Instr Library List Option Program QCheck QCheck_alcotest Relaxed Test Wmm_isa Wmm_litmus Wmm_machine Wmm_model

@@ -1,0 +1,1 @@
+test/test_rmw.ml: Alcotest Arch Asm Axiomatic Check Event Execution Instr Library List Option Parse Program Relation Relaxed Test Wmm_isa Wmm_litmus Wmm_machine Wmm_model

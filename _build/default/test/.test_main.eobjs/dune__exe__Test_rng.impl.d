@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Gen List QCheck QCheck_alcotest Rng Stats Wmm_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Arch Array Bench_runner Dacapo Float Generate Jvm Kernel Kernelbench List Profile QCheck QCheck_alcotest Uop Wmm_isa Wmm_machine Wmm_platform Wmm_workload

@@ -1,0 +1,96 @@
+open Wmm_isa
+open Wmm_machine
+open Wmm_costfn
+
+let test_arm_assembly_matches_paper () =
+  let cf = Cost_function.make Arch.Armv8 100 in
+  Alcotest.(check (list string)) "Fig. 2 listing"
+    [
+      "stp x9, xzr, [sp, #-16]!";
+      "mov x9, #100";
+      "subs x9, x9, #1";
+      "bne -4";
+      "ldp x9, xzr, [sp], #16";
+    ]
+    (Cost_function.assembly cf)
+
+let test_arm_light_elides_stack () =
+  let cf = Cost_function.make ~light:true Arch.Armv8 8 in
+  Alcotest.(check int) "three instructions" 3 (Cost_function.instruction_count cf);
+  Alcotest.(check bool) "no stack ops" true
+    (List.for_all
+       (fun line -> not (String.length line >= 3 && (String.sub line 0 3 = "stp" || String.sub line 0 3 = "ldp")))
+       (Cost_function.assembly cf))
+
+let test_power_assembly_matches_paper () =
+  let cf = Cost_function.make Arch.Power7 50 in
+  Alcotest.(check (list string)) "Fig. 3 listing"
+    [
+      "std r11, -8, r1";
+      "li r11, 50";
+      "addi r11, r11, -1";
+      "cmpwi cr7, r11, 0";
+      "bne cr7, -8";
+      "ld r11, -8, r1";
+    ]
+    (Cost_function.assembly cf)
+
+let test_power_has_no_light_variant () =
+  (* No scratch register is guaranteed on POWER; light is a no-op. *)
+  let cf = Cost_function.make ~light:true Arch.Power7 8 in
+  Alcotest.(check int) "still six instructions" 6 (Cost_function.instruction_count cf)
+
+let test_uop_kinds () =
+  Alcotest.(check bool) "full variant" true
+    (Cost_function.uop (Cost_function.make Arch.Armv8 7) = Uop.Spin 7);
+  Alcotest.(check bool) "light variant" true
+    (Cost_function.uop (Cost_function.make ~light:true Arch.Armv8 7) = Uop.Spin_light 7)
+
+let test_nop_padding_size () =
+  let cf = Cost_function.make Arch.Armv8 7 in
+  Alcotest.(check bool) "padding matches instruction count" true
+    (Cost_function.nop_padding Arch.Armv8 cf = Uop.Nops 5)
+
+let test_standalone_monotone () =
+  let counts = [ 1; 2; 4; 8; 16; 64; 256; 1024 ] in
+  let table = Cost_function.calibrate Arch.Armv8 counts in
+  let rec check = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (a <= b);
+        check rest
+    | _ -> ()
+  in
+  check table
+
+let test_light_never_slower () =
+  List.iter
+    (fun n ->
+      let full = Cost_function.standalone_ns (Cost_function.make Arch.Armv8 n) in
+      let light = Cost_function.standalone_ns (Cost_function.make ~light:true Arch.Armv8 n) in
+      Alcotest.(check bool) "light <= full" true (light <= full))
+    [ 1; 8; 64; 512 ]
+
+let test_negative_iterations_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cost_function.make: negative iteration count") (fun () ->
+      ignore (Cost_function.make Arch.Armv8 (-1)))
+
+let test_linear_regime () =
+  (* Time per iteration converges at large N (Fig. 4's linear tail). *)
+  let at n = Cost_function.standalone_ns (Cost_function.make Arch.Power7 n) in
+  let r1 = at 2048 /. at 1024 in
+  Alcotest.(check bool) "doubling N doubles time" true (r1 > 1.9 && r1 < 2.1)
+
+let suite =
+  [
+    Alcotest.test_case "ARM assembly (Fig 2)" `Quick test_arm_assembly_matches_paper;
+    Alcotest.test_case "ARM scratch-register variant" `Quick test_arm_light_elides_stack;
+    Alcotest.test_case "POWER assembly (Fig 3)" `Quick test_power_assembly_matches_paper;
+    Alcotest.test_case "POWER has no light variant" `Quick test_power_has_no_light_variant;
+    Alcotest.test_case "uop kinds" `Quick test_uop_kinds;
+    Alcotest.test_case "nop padding size" `Quick test_nop_padding_size;
+    Alcotest.test_case "standalone time monotone" `Quick test_standalone_monotone;
+    Alcotest.test_case "light never slower" `Quick test_light_never_slower;
+    Alcotest.test_case "negative iterations rejected" `Quick test_negative_iterations_rejected;
+    Alcotest.test_case "linear regime at large N" `Quick test_linear_regime;
+  ]

@@ -1,0 +1,143 @@
+open Wmm_util
+
+(* Linear algebra --------------------------------------------------- *)
+
+let test_solve_known () =
+  (* [2 1; 1 3] x = [3; 5] -> x = [0.8; 1.4] *)
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Linalg.solve a [| 3.; 5. |] in
+  Alcotest.(check bool) "x0" true (abs_float (x.(0) -. 0.8) < 1e-12);
+  Alcotest.(check bool) "x1" true (abs_float (x.(1) -. 1.4) < 1e-12)
+
+let test_solve_singular () =
+  let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" (Failure "Linalg.solve: singular matrix") (fun () ->
+      ignore (Linalg.solve a [| 1.; 1. |]))
+
+let test_invert_identity () =
+  let a = [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  let inv = Linalg.invert a in
+  let product = Linalg.mat_mul a inv in
+  let id = Linalg.identity 2 in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      Alcotest.(check bool) "identity" true (abs_float (product.(i).(j) -. id.(i).(j)) < 1e-10)
+    done
+  done
+
+let prop_solve_round_trip =
+  (* Generate a diagonally dominant (hence nonsingular) system and
+     check a @ solve(a, b) = b. *)
+  QCheck.Test.make ~name:"solve round trip" ~count:100
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 1) in
+      let a =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then 10. +. Rng.float rng 5. else Rng.float rng 2. -. 1.))
+      in
+      let b = Array.init n (fun _ -> Rng.float rng 10. -. 5.) in
+      let x = Linalg.solve a b in
+      let back = Linalg.mat_vec a x in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-8) back b)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involution" ~count:100
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (r, c) ->
+      let m = Array.init r (fun i -> Array.init c (fun j -> float_of_int ((i * 7) + j))) in
+      Linalg.transpose (Linalg.transpose m) = m)
+
+(* Curve fitting ---------------------------------------------------- *)
+
+let test_fit_linear () =
+  (* y = 3x + 2, exact. *)
+  let f params x = (params.(0) *. x) +. params.(1) in
+  let xs = Array.init 10 float_of_int in
+  let ys = Array.map (fun x -> (3. *. x) +. 2.) xs in
+  let r = Fit.curve_fit ~f ~xs ~ys ~init:[| 1.; 0. |] () in
+  Alcotest.(check bool) "slope" true (abs_float (r.Fit.params.(0) -. 3.) < 1e-6);
+  Alcotest.(check bool) "intercept" true (abs_float (r.Fit.params.(1) -. 2.) < 1e-6);
+  Alcotest.(check bool) "rss ~ 0" true (r.Fit.residual_ss < 1e-10)
+
+let test_fit_exponential () =
+  let f params x = params.(0) *. exp (-.params.(1) *. x) in
+  let xs = Array.init 20 (fun i -> float_of_int i /. 2.) in
+  let ys = Array.map (fun x -> 5. *. exp (-0.7 *. x)) xs in
+  let r = Fit.curve_fit ~f ~xs ~ys ~init:[| 1.; 0.1 |] () in
+  Alcotest.(check bool) "amplitude" true (abs_float (r.Fit.params.(0) -. 5.) < 1e-4);
+  Alcotest.(check bool) "decay" true (abs_float (r.Fit.params.(1) -. 0.7) < 1e-4)
+
+let test_fit_with_noise_recovers () =
+  let rng = Rng.create 99 in
+  let true_k = 0.004 in
+  let f params a = 1. /. ((1. -. params.(0)) +. (params.(0) *. a)) in
+  let xs = Array.init 12 (fun i -> float_of_int (1 lsl i)) in
+  let ys =
+    Array.map (fun a -> f [| true_k |] a *. exp (Rng.gaussian rng ~mean:0. ~std:0.01)) xs
+  in
+  let r = Fit.curve_fit ~f ~xs ~ys ~init:[| 1e-3 |] () in
+  Alcotest.(check bool) "k recovered within 10%" true
+    (abs_float (r.Fit.params.(0) -. true_k) /. true_k < 0.1);
+  Alcotest.(check bool) "std error sane" true
+    (Float.is_finite r.Fit.std_errors.(0) && r.Fit.std_errors.(0) > 0.)
+
+let test_fit_rejects_mismatched () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Fit.curve_fit: xs/ys length mismatch") (fun () ->
+      ignore
+        (Fit.curve_fit ~f:(fun p x -> p.(0) *. x) ~xs:[| 1.; 2. |] ~ys:[| 1. |]
+           ~init:[| 1. |] ()))
+
+(* Sensitivity model ------------------------------------------------ *)
+
+let test_eq1_baseline () =
+  (* At a = 1 (the nop baseline) performance is exactly 1. *)
+  Alcotest.(check (float 1e-12)) "p(1) = 1" 1. (Wmm_core.Sensitivity.performance ~k:0.005 ~a:1.)
+
+let test_eq2_known () =
+  (* The paper's POWER numbers: k=0.01333, p=0.8753 imply a ~ 11.7 ns
+     of extra cost (the lwsync -> sync swap). *)
+  let a = Wmm_core.Sensitivity.cost_of_change ~k:0.0133 ~p:0.8753 in
+  Alcotest.(check bool) "a in [10, 13]" true (a > 10. && a < 13.)
+
+let prop_eq2_inverts_eq1 =
+  QCheck.Test.make ~name:"eq2 inverts eq1" ~count:300
+    QCheck.(pair (float_range 1e-4 0.05) (float_range 1. 1000.))
+    (fun (k, a) ->
+      let p = Wmm_core.Sensitivity.performance ~k ~a in
+      abs_float (Wmm_core.Sensitivity.cost_of_change ~k ~p -. a) < 1e-6 *. a)
+
+let prop_performance_decreasing =
+  QCheck.Test.make ~name:"eq1 decreasing in a" ~count:300
+    QCheck.(triple (float_range 1e-4 0.05) (float_range 1. 500.) (float_range 1. 100.))
+    (fun (k, a, delta) ->
+      Wmm_core.Sensitivity.performance ~k ~a
+      >= Wmm_core.Sensitivity.performance ~k ~a:(a +. delta))
+
+let test_fit_k_on_model () =
+  let xs = Array.init 10 (fun i -> float_of_int (1 lsl i)) in
+  let ys = Array.map (fun a -> Wmm_core.Sensitivity.performance ~k:0.0087 ~a) xs in
+  let fit = Wmm_core.Sensitivity.fit_k ~xs ~ys in
+  Alcotest.(check bool) "k recovered" true
+    (abs_float (fit.Wmm_core.Sensitivity.k -. 0.0087) < 1e-5);
+  Alcotest.(check bool) "well suited" true (Wmm_core.Sensitivity.well_suited fit)
+
+let suite =
+  [
+    Alcotest.test_case "solve known system" `Quick test_solve_known;
+    Alcotest.test_case "solve singular" `Quick test_solve_singular;
+    Alcotest.test_case "invert identity" `Quick test_invert_identity;
+    QCheck_alcotest.to_alcotest prop_solve_round_trip;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+    Alcotest.test_case "fit linear" `Quick test_fit_linear;
+    Alcotest.test_case "fit exponential" `Quick test_fit_exponential;
+    Alcotest.test_case "fit with noise" `Quick test_fit_with_noise_recovers;
+    Alcotest.test_case "fit rejects mismatch" `Quick test_fit_rejects_mismatched;
+    Alcotest.test_case "eq1 baseline" `Quick test_eq1_baseline;
+    Alcotest.test_case "eq2 known value" `Quick test_eq2_known;
+    QCheck_alcotest.to_alcotest prop_eq2_inverts_eq1;
+    QCheck_alcotest.to_alcotest prop_performance_decreasing;
+    Alcotest.test_case "fit_k on exact model" `Quick test_fit_k_on_model;
+  ]

@@ -1,0 +1,133 @@
+(* Randomised soundness testing: generate small random multi-threaded
+   programs and check that every outcome the operational relaxed
+   machine can reach is allowed by the architecture's axiomatic
+   model.  This is the strongest evidence that the two semantic
+   layers agree - it explores shapes no hand-written litmus test
+   covers. *)
+
+open Wmm_isa
+open Wmm_model
+open Wmm_machine
+open Wmm_util
+
+(* Generate a random straight-line thread over two locations and a
+   few registers, drawing from stores, loads, barriers, ALU ops and
+   dependency idioms. *)
+let random_instr rng arch =
+  match Rng.int rng 12 with
+  | 0 | 1 | 2 ->
+      Instr.Store
+        { src = Instr.Imm (1 + Rng.int rng 2); addr = Instr.Imm (Rng.int rng 2);
+          order = Instr.Plain }
+  | 3 | 4 | 5 ->
+      Instr.Load { dst = 1 + Rng.int rng 3; addr = Instr.Imm (Rng.int rng 2);
+                   order = Instr.Plain }
+  | 6 ->
+      let barriers =
+        match arch with
+        | Arch.Armv8 -> [| Instr.Dmb_ish; Instr.Dmb_ishld; Instr.Dmb_ishst |]
+        | Arch.Power7 -> [| Instr.Sync; Instr.Lwsync; Instr.Eieio |]
+      in
+      Instr.Barrier (Rng.choose rng barriers)
+  | 7 ->
+      Instr.Op
+        { op = Instr.Xor; dst = 1 + Rng.int rng 3; a = Instr.Reg (1 + Rng.int rng 3);
+          b = Instr.Reg (1 + Rng.int rng 3) }
+  | 8 -> (
+      match arch with
+      | Arch.Armv8 ->
+          Instr.Load { dst = 1 + Rng.int rng 3; addr = Instr.Imm (Rng.int rng 2);
+                       order = Instr.Acquire }
+      | Arch.Power7 ->
+          Instr.Load { dst = 1 + Rng.int rng 3; addr = Instr.Imm (Rng.int rng 2);
+                       order = Instr.Plain })
+  | 9 -> (
+      match arch with
+      | Arch.Armv8 ->
+          Instr.Store
+            { src = Instr.Imm (1 + Rng.int rng 2); addr = Instr.Imm (Rng.int rng 2);
+              order = Instr.Release }
+      | Arch.Power7 ->
+          Instr.Store
+            { src = Instr.Imm (1 + Rng.int rng 2); addr = Instr.Imm (Rng.int rng 2);
+              order = Instr.Plain })
+  | 10 ->
+      Instr.Load_exclusive
+        { dst = 1 + Rng.int rng 3; addr = Instr.Imm (Rng.int rng 2); order = Instr.Plain }
+  | _ ->
+      Instr.Store_exclusive
+        { status = 1 + Rng.int rng 3; src = Instr.Imm (1 + Rng.int rng 2);
+          addr = Instr.Imm (Rng.int rng 2); order = Instr.Plain }
+
+let random_program rng arch =
+  let threads = 2 in
+  let thread _ = Array.init (1 + Rng.int rng 3) (fun _ -> random_instr rng arch) in
+  Program.make ~name:"fuzz" ~location_names:[| "x"; "y" |]
+    (List.init threads thread)
+
+let operational_within_model arch seed =
+  let rng = Rng.create seed in
+  let program = random_program rng arch in
+  let model = Axiomatic.model_for_arch arch in
+  let operational = Relaxed.enumerate ~max_states:200_000 Relaxed.relaxed_config program in
+  let axiomatic = Enumerate.allowed_outcomes model program in
+  let ax_pairs =
+    List.map
+      (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
+      axiomatic
+  in
+  List.for_all
+    (fun (o : Relaxed.outcome) ->
+      List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs)
+    operational
+
+let fuzz_arm =
+  QCheck.Test.make ~name:"random programs: operational within ARMv8 model" ~count:60
+    QCheck.small_int (fun seed -> operational_within_model Arch.Armv8 seed)
+
+let fuzz_power =
+  QCheck.Test.make ~name:"random programs: operational within POWER model" ~count:60
+    QCheck.small_int (fun seed -> operational_within_model Arch.Power7 seed)
+
+let fuzz_sc_within_tso =
+  (* The SC machine's outcomes are TSO-allowed (strength ordering). *)
+  QCheck.Test.make ~name:"random programs: SC machine within TSO model" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 7777) in
+      let program = random_program rng Arch.Armv8 in
+      let operational = Relaxed.enumerate Relaxed.sc_config program in
+      let axiomatic = Enumerate.allowed_outcomes Axiomatic.Tso program in
+      let ax_pairs =
+        List.map
+          (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
+          axiomatic
+      in
+      List.for_all
+        (fun (o : Relaxed.outcome) ->
+          List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs)
+        operational)
+
+let fuzz_tso_within_arm =
+  QCheck.Test.make ~name:"random programs: TSO machine within ARM model" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 13_131) in
+      let program = random_program rng Arch.Armv8 in
+      let operational = Relaxed.enumerate Relaxed.tso_config program in
+      let axiomatic = Enumerate.allowed_outcomes Axiomatic.Arm program in
+      let ax_pairs =
+        List.map
+          (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
+          axiomatic
+      in
+      List.for_all
+        (fun (o : Relaxed.outcome) ->
+          List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs)
+        operational)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~long:true fuzz_arm;
+    QCheck_alcotest.to_alcotest ~long:true fuzz_power;
+    QCheck_alcotest.to_alcotest ~long:true fuzz_sc_within_tso;
+    QCheck_alcotest.to_alcotest ~long:true fuzz_tso_within_arm;
+  ]

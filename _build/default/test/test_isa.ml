@@ -1,0 +1,100 @@
+open Wmm_isa
+
+let test_arch_properties () =
+  Alcotest.(check string) "arm name" "arm" (Arch.name Arch.Armv8);
+  Alcotest.(check string) "power name" "power" (Arch.name Arch.Power7);
+  Alcotest.(check int) "arm cores" 8 (Arch.core_count Arch.Armv8);
+  Alcotest.(check int) "power cores" 12 (Arch.core_count Arch.Power7);
+  Alcotest.(check (float 1e-9)) "arm cycle" (1. /. 2.4) (Arch.cycle_ns Arch.Armv8);
+  Alcotest.(check bool) "only POWER has SMT interference" true
+    (Arch.has_smt_interference Arch.Power7 && not (Arch.has_smt_interference Arch.Armv8))
+
+let test_cycles_conversion_roundtrip () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun c ->
+          Alcotest.(check int) "roundtrip" c
+            (Arch.cycles_of_ns arch (Arch.ns_of_cycles arch c)))
+        [ 0; 1; 10; 1000 ])
+    Arch.all
+
+let test_of_string () =
+  Alcotest.(check bool) "arm" true (Arch.of_string "arm" = Some Arch.Armv8);
+  Alcotest.(check bool) "power7" true (Arch.of_string "power7" = Some Arch.Power7);
+  Alcotest.(check bool) "junk" true (Arch.of_string "mips" = None)
+
+let test_barrier_arch () =
+  Alcotest.(check bool) "dmb is arm" true (Instr.barrier_arch Instr.Dmb_ish = Arch.Armv8);
+  Alcotest.(check bool) "sync is power" true (Instr.barrier_arch Instr.Sync = Arch.Power7);
+  Alcotest.(check string) "mnemonic" "dmb ishld" (Instr.barrier_mnemonic Instr.Dmb_ishld)
+
+let test_instr_registers () =
+  let store = Instr.Store { src = Instr.Reg 1; addr = Instr.Reg 2; order = Instr.Plain } in
+  Alcotest.(check (list int)) "store inputs" [ 1; 2 ] (Instr.input_regs store);
+  Alcotest.(check bool) "store writes nothing" true (Instr.output_reg store = None);
+  let load = Instr.Load { dst = 3; addr = Instr.Imm 0; order = Instr.Plain } in
+  Alcotest.(check bool) "load output" true (Instr.output_reg load = Some 3);
+  Alcotest.(check bool) "load is memory" true (Instr.is_memory_access load);
+  Alcotest.(check bool) "branch detection" true
+    (Instr.is_branch (Instr.Cbnz { src = 1; offset = 2 }))
+
+let test_eval_binop () =
+  Alcotest.(check int) "add" 7 (Instr.eval_binop Instr.Add 3 4);
+  Alcotest.(check int) "sub" (-1) (Instr.eval_binop Instr.Sub 3 4);
+  Alcotest.(check int) "xor self" 0 (Instr.eval_binop Instr.Xor 5 5);
+  Alcotest.(check int) "and" 4 (Instr.eval_binop Instr.And 6 5)
+
+let sample_program =
+  Program.make ~name:"sample" ~location_names:[| "x"; "y" |] ~init:[ (1, 3) ]
+    [
+      [|
+        Instr.Store { src = Instr.Imm 1; addr = Instr.Imm 0; order = Instr.Plain };
+        Instr.Load { dst = 4; addr = Instr.Imm 1; order = Instr.Plain };
+      |];
+      [| Instr.Nop |];
+    ]
+
+let test_program_metadata () =
+  Alcotest.(check int) "threads" 2 (Program.thread_count sample_program);
+  Alcotest.(check (list int)) "locations" [ 0; 1 ] (Program.locations sample_program);
+  Alcotest.(check string) "location name" "y" (Program.location_name sample_program 1);
+  Alcotest.(check string) "fallback name" "m9" (Program.location_name sample_program 9);
+  Alcotest.(check int) "initial value" 3 (Program.initial_value sample_program 1);
+  Alcotest.(check int) "default initial" 0 (Program.initial_value sample_program 0);
+  Alcotest.(check int) "max register" 4 (Program.max_register sample_program);
+  Alcotest.(check int) "instruction count" 3 (Program.instruction_count sample_program)
+
+let test_program_validation () =
+  let bad =
+    Program.make ~name:"bad" [ [| Instr.Cbnz { src = 1; offset = 100 } |] ]
+  in
+  Alcotest.(check bool) "branch out of range rejected" true (Program.validate bad <> Ok ());
+  Alcotest.(check bool) "sample ok" true (Program.validate sample_program = Ok ())
+
+let test_asm_rendering () =
+  let load = Instr.Load { dst = 1; addr = Instr.Imm 0; order = Instr.Acquire } in
+  Alcotest.(check string) "arm ldar" "ldar x1, &m0" (Asm.instr Arch.Armv8 load);
+  let store = Instr.Store { src = Instr.Imm 1; addr = Instr.Imm 0; order = Instr.Release } in
+  Alcotest.(check string) "arm stlr" "stlr #1, &m0" (Asm.instr Arch.Armv8 store);
+  Alcotest.(check string) "barrier" "dmb ish" (Asm.instr Arch.Armv8 (Instr.Barrier Instr.Dmb_ish));
+  let listing = Asm.program Arch.Armv8 sample_program in
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "program listing has init" true (contains listing "y=3")
+
+let suite =
+  [
+    Alcotest.test_case "arch properties" `Quick test_arch_properties;
+    Alcotest.test_case "cycle conversion roundtrip" `Quick test_cycles_conversion_roundtrip;
+    Alcotest.test_case "arch of_string" `Quick test_of_string;
+    Alcotest.test_case "barrier arch" `Quick test_barrier_arch;
+    Alcotest.test_case "instruction registers" `Quick test_instr_registers;
+    Alcotest.test_case "binop evaluation" `Quick test_eval_binop;
+    Alcotest.test_case "program metadata" `Quick test_program_metadata;
+    Alcotest.test_case "program validation" `Quick test_program_validation;
+    Alcotest.test_case "asm rendering" `Quick test_asm_rendering;
+  ]

@@ -1,0 +1,129 @@
+open Wmm_isa
+open Wmm_model
+open Wmm_machine
+open Wmm_litmus
+
+let mp_text =
+  "AArch64 MP+dmb+addr\n\
+   { x=0; y=0 }\n\
+   P0           | P1             ;\n\
+   str #1, &x   | ldr x1, &y     ;\n\
+   dmb ish      | eor x3, x1, x1 ;\n\
+   str #1, &y   | ldr x4, [x3]   ;\n\
+   exists (1:x1=1 /\\ 1:x4=0)\n"
+
+let parse_ok text =
+  match Parse.parse text with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_parse_mp () =
+  let p = parse_ok mp_text in
+  Alcotest.(check bool) "arch hint" true (p.Parse.arch_hint = Some Arch.Armv8);
+  Alcotest.(check string) "name" "MP+dmb+addr" p.Parse.test.Test.name;
+  Alcotest.(check int) "two threads" 2
+    (Program.thread_count p.Parse.test.Test.program);
+  Alcotest.(check int) "condition clauses" 2 (List.length p.Parse.test.Test.condition)
+
+let test_parsed_verdict_matches_library () =
+  (* The parsed MP+dmb+addr must agree with the hand-built library
+     version under the ARM model. *)
+  let p = parse_ok mp_text in
+  Alcotest.(check bool) "forbidden on ARMv8" false
+    (Check.axiomatic_allowed Axiomatic.Arm p.Parse.test);
+  Alcotest.(check bool) "allowed on POWER? (no dmb there - still forbidden shape)" false
+    (Check.axiomatic_allowed Axiomatic.Sc p.Parse.test)
+
+let test_parse_memory_condition () =
+  let text =
+    "AArch64 coherence\n\
+     { x=0 }\n\
+     P0         ;\n\
+     str #1, &x ;\n\
+     str #2, &x ;\n\
+     exists (x=1)\n"
+  in
+  let p = parse_ok text in
+  Alcotest.(check int) "memory clause" 1 (List.length p.Parse.test.Test.mem_condition);
+  Alcotest.(check bool) "CoWW forbidden everywhere" false
+    (Check.axiomatic_allowed Axiomatic.Arm p.Parse.test)
+
+let test_parse_power_syntax () =
+  let text =
+    "PPC MP+lwsync\n\
+     { x=0; y=0 }\n\
+     P0         | P1         ;\n\
+     str #1, &x | ldr x1, &y ;\n\
+     lwsync     | ldr x2, &x ;\n\
+     str #1, &y | nop        ;\n\
+     exists (1:x1=1 /\\ 1:x2=0)\n"
+  in
+  let p = parse_ok text in
+  Alcotest.(check bool) "arch hint power" true (p.Parse.arch_hint = Some Arch.Power7);
+  Alcotest.(check bool) "one-sided lwsync allowed" true
+    (Check.axiomatic_allowed Axiomatic.Power p.Parse.test)
+
+let test_comments_and_blanks () =
+  let text =
+    "AArch64 commented   % trailing\n\
+     % a comment line\n\
+     { x=0; y=0 }\n\n\
+     str #1, &x | ldr x1, &y ;\n\
+     ldr x2, &y | str #1, &y ;\n\
+     exists (0:x2=1)\n"
+  in
+  let p = parse_ok text in
+  Alcotest.(check int) "threads" 2 (Program.thread_count p.Parse.test.Test.program)
+
+let test_parse_errors () =
+  (match Parse.parse "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty should fail");
+  (match Parse.parse "AArch64 bad\n{ x=0 }\nfrobnicate &x ;\nexists (x=0)\n" with
+  | Error e ->
+      Alcotest.(check bool) "mentions instruction" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "bad instruction should fail");
+  match Parse.parse "AArch64 ragged\n{ x=0 }\nnop | nop ;\nnop ;\nexists (x=0)\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ragged columns should fail"
+
+let test_roundtrip_library () =
+  (* Print a library test and parse it back: same axiomatic verdict
+     and same reachable outcome count on the operational machine. *)
+  List.iter
+    (fun name ->
+      let original = Option.get (Library.by_name name) in
+      let arch =
+        (* Pick the printing syntax matching the barriers used. *)
+        if List.exists (fun (m, _) -> m = Axiomatic.Power) original.Test.expected then
+          Arch.Power7
+        else Arch.Armv8
+      in
+      let text = Parse.to_text ~arch original in
+      match Parse.parse text with
+      | Error e -> Alcotest.failf "%s roundtrip parse error: %s (text:\n%s)" name e text
+      | Ok p ->
+          List.iter
+            (fun model ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s verdict under %s" name (Axiomatic.model_name model))
+                (Check.axiomatic_allowed model original)
+                (Check.axiomatic_allowed model p.Parse.test))
+            [ Axiomatic.Sc; Axiomatic.Arm; Axiomatic.Power ];
+          let outcomes t = List.length (Relaxed.enumerate Relaxed.relaxed_config t.Test.program) in
+          Alcotest.(check int)
+            (name ^ " operational outcome count")
+            (outcomes original) (outcomes p.Parse.test))
+    [ "SB"; "MP"; "MP+dmb+addr"; "SB+dmbs"; "MP+lwsync+addr"; "LB"; "2+2W"; "R" ]
+
+let suite =
+  [
+    Alcotest.test_case "parse MP" `Quick test_parse_mp;
+    Alcotest.test_case "parsed verdicts" `Quick test_parsed_verdict_matches_library;
+    Alcotest.test_case "memory conditions" `Quick test_parse_memory_condition;
+    Alcotest.test_case "POWER syntax" `Quick test_parse_power_syntax;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "library roundtrip" `Quick test_roundtrip_library;
+  ]

@@ -1,0 +1,183 @@
+open Wmm_isa
+open Wmm_machine
+open Wmm_platform
+
+let count_uop pred uops = List.length (List.filter pred uops)
+let is_spin = function Uop.Spin _ | Uop.Spin_light _ -> true | _ -> false
+
+(* Barrier composites ----------------------------------------------- *)
+
+let test_composites () =
+  Alcotest.(check int) "Volatile is all four" 4
+    (List.length (Barrier.elementals_of_composite Barrier.Volatile));
+  Alcotest.(check bool) "Acquire = LL+LS" true
+    (Barrier.elementals_of_composite Barrier.Acquire
+    = [ Barrier.Load_load; Barrier.Load_store ]);
+  Alcotest.(check bool) "Release = LS+SS" true
+    (Barrier.elementals_of_composite Barrier.Release
+    = [ Barrier.Load_store; Barrier.Store_store ])
+
+(* JVM -------------------------------------------------------------- *)
+
+let test_jvm_defaults () =
+  let arm = Jvm.default Arch.Armv8 in
+  let power = Jvm.default Arch.Power7 in
+  Alcotest.(check bool) "ARM port defensive" true arm.Jvm.defensive_acquires;
+  Alcotest.(check bool) "POWER port not" false power.Jvm.defensive_acquires
+
+let test_elemental_selection () =
+  let arm = Jvm.default Arch.Armv8 in
+  let power = Jvm.default Arch.Power7 in
+  Alcotest.(check bool) "ARM SL is dmb ish" true
+    (Jvm.elemental_uop arm Barrier.Store_load = Uop.Fence_full);
+  Alcotest.(check bool) "ARM SS is dmb ishst" true
+    (Jvm.elemental_uop arm Barrier.Store_store = Uop.Fence_store);
+  Alcotest.(check bool) "POWER SL is hwsync" true
+    (Jvm.elemental_uop power Barrier.Store_load = Uop.Fence_full);
+  Alcotest.(check bool) "POWER SS is lwsync" true
+    (Jvm.elemental_uop power Barrier.Store_store = Uop.Fence_lw)
+
+let test_override () =
+  let config =
+    { (Jvm.default Arch.Armv8) with Jvm.elemental_override = [ (Barrier.Store_store, Uop.Fence_full) ] }
+  in
+  Alcotest.(check bool) "override applies" true
+    (Jvm.elemental_uop config Barrier.Store_store = Uop.Fence_full)
+
+let test_group_coalescing () =
+  let config = Jvm.default Arch.Armv8 in
+  let full_group = Jvm.group config [ Barrier.Load_load; Barrier.Store_load ] in
+  Alcotest.(check bool) "full fence subsumes" true (full_group = [ Uop.Fence_full ]);
+  let pair = Jvm.group config [ Barrier.Load_load; Barrier.Store_store ] in
+  Alcotest.(check bool) "distinct fences kept" true
+    (pair = [ Uop.Fence_load; Uop.Fence_store ])
+
+let test_injection_count_matches_invocations () =
+  (* Injecting a spin into an elemental must produce exactly
+     barrier_invocations spins in the compiled op. *)
+  List.iter
+    (fun arch ->
+      let base = Jvm.default arch in
+      List.iter
+        (fun op ->
+          List.iter
+            (fun elemental ->
+              let injected = Jvm.with_injection base elemental [ Uop.Spin 8 ] in
+              let spins = count_uop is_spin (Jvm.compile injected op) in
+              Alcotest.(check int)
+                (Printf.sprintf "%s spins" (Barrier.elemental_name elemental))
+                (Jvm.barrier_invocations injected op elemental)
+                spins)
+            Barrier.all_elementals)
+        [ Jvm.Volatile_load 0; Jvm.Volatile_store 0; Jvm.Cas 0; Jvm.Lock_enter 0;
+          Jvm.Lock_exit 0 ])
+    Arch.all
+
+let test_acqrel_mode () =
+  let config = { (Jvm.default Arch.Armv8) with Jvm.mode = Jvm.Acqrel } in
+  Alcotest.(check bool) "volatile load is ldar" true
+    (Jvm.compile config (Jvm.Volatile_load 3) = [ Uop.Load_acquire 3 ]);
+  Alcotest.(check bool) "volatile store is stlr" true
+    (Jvm.compile config (Jvm.Volatile_store 3) = [ Uop.Store_release 3 ]);
+  (* Unpatched lock exit keeps a trailing dmb; the patch removes it. *)
+  let unpatched = Jvm.compile config (Jvm.Lock_exit 1) in
+  let patched = Jvm.compile { config with Jvm.lock_patch = true } (Jvm.Lock_exit 1) in
+  Alcotest.(check bool) "patch removes the dmb" true
+    (List.length patched < List.length unpatched);
+  Alcotest.(check bool) "unpatched has a full fence" true
+    (List.mem Uop.Fence_full unpatched)
+
+let test_barrier_mode_volatile_store_shape () =
+  let config = Jvm.default Arch.Armv8 in
+  let uops = Jvm.compile config (Jvm.Volatile_store 7) in
+  (* Release group, store, trailing Volatile group (with a full fence). *)
+  let store_index = ref (-1) in
+  List.iteri (fun i u -> if u = Uop.Store 7 then store_index := i) uops;
+  Alcotest.(check bool) "store present" true (!store_index >= 0);
+  let after = List.filteri (fun i _ -> i > !store_index) uops in
+  Alcotest.(check bool) "full fence after store" true (List.mem Uop.Fence_full after)
+
+let test_power_volatile_load_has_hwsync () =
+  let config = Jvm.default Arch.Power7 in
+  let uops = Jvm.compile config (Jvm.Volatile_load 2) in
+  Alcotest.(check bool) "hwsync on load path" true (List.mem Uop.Fence_full uops)
+
+(* Kernel ----------------------------------------------------------- *)
+
+let test_kernel_macro_names () =
+  Alcotest.(check int) "14 macros" 14 (List.length Kernel.all_macros);
+  List.iter
+    (fun m ->
+      match Kernel.macro_of_name (Kernel.macro_name m) with
+      | Some m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+      | None -> Alcotest.failf "macro name %s does not round-trip" (Kernel.macro_name m))
+    Kernel.all_macros
+
+let test_kernel_default_expansions () =
+  let config = Kernel.default Arch.Armv8 in
+  Alcotest.(check bool) "smp_mb is dmb ish" true
+    (Kernel.expand config Kernel.Smp_mb ~loc:0 = [ Uop.Fence_full ]);
+  Alcotest.(check bool) "smp_wmb is dmb ishst" true
+    (Kernel.expand config Kernel.Smp_wmb ~loc:0 = [ Uop.Fence_store ]);
+  Alcotest.(check bool) "read_once is just the load" true
+    (Kernel.expand config Kernel.Read_once ~loc:4 = [ Uop.Load 4 ]);
+  Alcotest.(check bool) "rbd empty by default" true
+    (Kernel.expand config Kernel.Read_barrier_depends ~loc:0 = []);
+  Alcotest.(check bool) "smp_load_acquire is ldar" true
+    (Kernel.expand config Kernel.Smp_load_acquire ~loc:4 = [ Uop.Load_acquire 4 ]);
+  Alcotest.(check bool) "smp_store_mb is st+dmb" true
+    (Kernel.expand config Kernel.Smp_store_mb ~loc:4 = [ Uop.Store 4; Uop.Fence_full ])
+
+let test_rbd_strategies () =
+  let expand rbd = Kernel.expand { (Kernel.default Arch.Armv8) with Kernel.rbd } in
+  Alcotest.(check bool) "ctrl is a branch" true
+    (expand Kernel.Rbd_ctrl Kernel.Read_barrier_depends ~loc:0 = [ Uop.Branch ]);
+  Alcotest.(check bool) "ctrl+isb adds the isb" true
+    (expand Kernel.Rbd_ctrl_isb Kernel.Read_barrier_depends ~loc:0
+    = [ Uop.Branch; Uop.Fence_pipeline ]);
+  Alcotest.(check bool) "dmb ish strategy" true
+    (expand Kernel.Rbd_dmb_ish Kernel.Read_barrier_depends ~loc:0 = [ Uop.Fence_full ]);
+  (* la/sr also annotates READ_ONCE and WRITE_ONCE. *)
+  Alcotest.(check bool) "la/sr read_once gains dmb ishld" true
+    (expand Kernel.Rbd_la_sr Kernel.Read_once ~loc:2 = [ Uop.Fence_load; Uop.Load 2 ]);
+  Alcotest.(check bool) "la/sr write_once gains dmb ishst" true
+    (expand Kernel.Rbd_la_sr Kernel.Write_once ~loc:2 = [ Uop.Fence_store; Uop.Store 2 ])
+
+let test_kernel_injection () =
+  let config =
+    Kernel.with_injection (Kernel.default Arch.Armv8) Kernel.Smp_mb [ Uop.Spin 16 ]
+  in
+  let uops = Kernel.expand config Kernel.Smp_mb ~loc:0 in
+  Alcotest.(check int) "spin injected" 1 (count_uop is_spin uops);
+  Alcotest.(check bool) "barrier still present" true (List.mem Uop.Fence_full uops);
+  (* Other macros untouched. *)
+  Alcotest.(check int) "no spin elsewhere" 0
+    (count_uop is_spin (Kernel.expand config Kernel.Smp_rmb ~loc:0))
+
+let test_access_macro_classification () =
+  List.iter
+    (fun m ->
+      let uops = Kernel.expand (Kernel.default Arch.Armv8) m ~loc:3 in
+      let touches_memory = List.exists Uop.is_memory uops in
+      Alcotest.(check bool) (Kernel.macro_name m) (Kernel.is_access_macro m) touches_memory)
+    Kernel.all_macros
+
+let suite =
+  [
+    Alcotest.test_case "composites" `Quick test_composites;
+    Alcotest.test_case "jvm defaults" `Quick test_jvm_defaults;
+    Alcotest.test_case "elemental instruction selection" `Quick test_elemental_selection;
+    Alcotest.test_case "elemental override" `Quick test_override;
+    Alcotest.test_case "group coalescing" `Quick test_group_coalescing;
+    Alcotest.test_case "injections match invocation counts" `Quick
+      test_injection_count_matches_invocations;
+    Alcotest.test_case "acqrel mode and lock patch" `Quick test_acqrel_mode;
+    Alcotest.test_case "volatile store shape" `Quick test_barrier_mode_volatile_store_shape;
+    Alcotest.test_case "POWER volatile load hwsync" `Quick
+      test_power_volatile_load_has_hwsync;
+    Alcotest.test_case "kernel macro names" `Quick test_kernel_macro_names;
+    Alcotest.test_case "kernel default expansions" `Quick test_kernel_default_expansions;
+    Alcotest.test_case "rbd strategies" `Quick test_rbd_strategies;
+    Alcotest.test_case "kernel injection" `Quick test_kernel_injection;
+    Alcotest.test_case "access macro classification" `Quick test_access_macro_classification;
+  ]

@@ -1,0 +1,82 @@
+open Wmm_model
+
+let pairs_gen =
+  QCheck.(list_of_size (Gen.int_range 0 15) (pair (int_range 0 8) (int_range 0 8)))
+
+let rel_of l = Relation.of_list l
+
+let test_basics () =
+  let r = Relation.of_list [ (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "mem" true (Relation.mem 1 2 r);
+  Alcotest.(check bool) "not mem" false (Relation.mem 2 1 r);
+  Alcotest.(check int) "cardinal" 2 (Relation.cardinal r)
+
+let test_compose () =
+  let r = Relation.of_list [ (1, 2); (5, 6) ] in
+  let s = Relation.of_list [ (2, 3); (2, 4) ] in
+  let c = Relation.compose r s in
+  Alcotest.(check (list (pair int int))) "compose" [ (1, 3); (1, 4) ] (Relation.to_list c)
+
+let test_transitive_closure () =
+  let r = Relation.of_list [ (1, 2); (2, 3); (3, 4) ] in
+  let tc = Relation.transitive_closure r in
+  Alcotest.(check bool) "1->4" true (Relation.mem 1 4 tc);
+  Alcotest.(check int) "size" 6 (Relation.cardinal tc)
+
+let test_acyclicity () =
+  Alcotest.(check bool) "dag" true (Relation.is_acyclic (rel_of [ (1, 2); (2, 3); (1, 3) ]));
+  Alcotest.(check bool) "cycle" false (Relation.is_acyclic (rel_of [ (1, 2); (2, 1) ]));
+  Alcotest.(check bool) "self loop" false (Relation.is_acyclic (rel_of [ (3, 3) ]));
+  Alcotest.(check bool) "empty" true (Relation.is_acyclic Relation.empty)
+
+let test_cross_identity () =
+  let c = Relation.cross [ 1; 2 ] [ 3 ] in
+  Alcotest.(check int) "cross size" 2 (Relation.cardinal c);
+  let id = Relation.identity_on [ 1; 2; 3 ] in
+  Alcotest.(check bool) "id mem" true (Relation.mem 2 2 id)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"union commutative" ~count:200 (QCheck.pair pairs_gen pairs_gen)
+    (fun (a, b) -> Relation.equal (Relation.union (rel_of a) (rel_of b))
+        (Relation.union (rel_of b) (rel_of a)))
+
+let prop_compose_associative =
+  QCheck.Test.make ~name:"compose associative" ~count:200
+    (QCheck.triple pairs_gen pairs_gen pairs_gen) (fun (a, b, c) ->
+      let r = rel_of a and s = rel_of b and t = rel_of c in
+      Relation.equal
+        (Relation.compose (Relation.compose r s) t)
+        (Relation.compose r (Relation.compose s t)))
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"closure idempotent" ~count:200 pairs_gen (fun l ->
+      let tc = Relation.transitive_closure (rel_of l) in
+      Relation.equal tc (Relation.transitive_closure tc))
+
+let prop_closure_contains =
+  QCheck.Test.make ~name:"closure contains relation" ~count:200 pairs_gen (fun l ->
+      Relation.subset (rel_of l) (Relation.transitive_closure (rel_of l)))
+
+let prop_inverse_involution =
+  QCheck.Test.make ~name:"inverse involution" ~count:200 pairs_gen (fun l ->
+      Relation.equal (rel_of l) (Relation.inverse (Relation.inverse (rel_of l))))
+
+let prop_acyclic_iff_closure_irreflexive =
+  QCheck.Test.make ~name:"acyclic iff closure irreflexive" ~count:200 pairs_gen (fun l ->
+      let r = rel_of l in
+      Relation.is_acyclic r = Relation.is_irreflexive (Relation.transitive_closure r))
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "compose" `Quick test_compose;
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+    Alcotest.test_case "cross and identity" `Quick test_cross_identity;
+    QCheck_alcotest.to_alcotest prop_union_commutative;
+    QCheck_alcotest.to_alcotest prop_compose_associative;
+    QCheck_alcotest.to_alcotest prop_closure_idempotent;
+    QCheck_alcotest.to_alcotest prop_closure_contains;
+    QCheck_alcotest.to_alcotest prop_inverse_involution;
+    QCheck_alcotest.to_alcotest prop_acyclic_iff_closure_irreflexive;
+  ]

@@ -1,0 +1,161 @@
+open Wmm_isa
+open Wmm_machine
+open Wmm_model
+open Wmm_litmus
+
+let program_of name = (Option.get (Library.by_name name)).Test.program
+
+let test_determinism () =
+  let p = program_of "SB" in
+  let a = Relaxed.run Relaxed.relaxed_config ~seed:5 p in
+  let b = Relaxed.run Relaxed.relaxed_config ~seed:5 p in
+  Alcotest.(check int) "same outcome" 0 (Relaxed.compare_outcome a b)
+
+let test_single_thread_sequential () =
+  (* A single thread behaves sequentially under every config. *)
+  let p =
+    Program.make ~name:"seq" ~location_names:[| "x" |]
+      [
+        [|
+          Instr.Store { src = Instr.Imm 1; addr = Instr.Imm 0; order = Instr.Plain };
+          Instr.Load { dst = 1; addr = Instr.Imm 0; order = Instr.Plain };
+          Instr.Store { src = Instr.Imm 2; addr = Instr.Imm 0; order = Instr.Plain };
+          Instr.Load { dst = 2; addr = Instr.Imm 0; order = Instr.Plain };
+        |];
+      ]
+  in
+  List.iter
+    (fun config ->
+      let outcomes = Relaxed.enumerate config p in
+      Alcotest.(check int) "single outcome" 1 (List.length outcomes);
+      let o = List.hd outcomes in
+      Alcotest.(check int) "r1 forwards 1" 1 (List.assoc (0, 1) o.Relaxed.registers);
+      Alcotest.(check int) "r2 forwards 2" 2 (List.assoc (0, 2) o.Relaxed.registers);
+      Alcotest.(check int) "final x" 2 (List.assoc 0 o.Relaxed.memory))
+    [ Relaxed.sc_config; Relaxed.tso_config; Relaxed.relaxed_config ]
+
+let test_registers_computed () =
+  let p =
+    Program.make ~name:"alu" ~location_names:[| "x" |]
+      [
+        [|
+          Instr.Mov { dst = 1; src = Instr.Imm 5 };
+          Instr.Op { op = Instr.Add; dst = 2; a = Instr.Reg 1; b = Instr.Imm 3 };
+          Instr.Op { op = Instr.Xor; dst = 3; a = Instr.Reg 2; b = Instr.Reg 2 };
+        |];
+      ]
+  in
+  let o = Relaxed.run Relaxed.relaxed_config ~seed:1 p in
+  Alcotest.(check int) "mov" 5 (List.assoc (0, 1) o.Relaxed.registers);
+  Alcotest.(check int) "add" 8 (List.assoc (0, 2) o.Relaxed.registers);
+  Alcotest.(check int) "xor self" 0 (List.assoc (0, 3) o.Relaxed.registers)
+
+let test_branch_loop () =
+  (* A small countdown loop: mov r1 3; subs-like decrement via add -1;
+     cbnz back. *)
+  let p =
+    Program.make ~name:"loop" ~location_names:[| "x" |]
+      [
+        [|
+          Instr.Mov { dst = 1; src = Instr.Imm 3 };
+          Instr.Op { op = Instr.Add; dst = 1; a = Instr.Reg 1; b = Instr.Imm (-1) };
+          Instr.Cbnz { src = 1; offset = -2 };
+          Instr.Store { src = Instr.Imm 9; addr = Instr.Imm 0; order = Instr.Plain };
+        |];
+      ]
+  in
+  let o = Relaxed.run Relaxed.relaxed_config ~seed:2 p in
+  Alcotest.(check int) "loop exited with r1=0" 0 (List.assoc (0, 1) o.Relaxed.registers);
+  Alcotest.(check int) "store after loop" 9 (List.assoc 0 o.Relaxed.memory)
+
+let test_sc_machine_matches_sc_model () =
+  (* On the common shapes the SC machine's reachable outcomes are
+     exactly the SC-allowed outcomes. *)
+  List.iter
+    (fun (test : Test.t) ->
+      let operational = Relaxed.enumerate Relaxed.sc_config test.Test.program in
+      let axiomatic = Enumerate.allowed_outcomes Axiomatic.Sc test.Test.program in
+      let to_pairs (o : Relaxed.outcome) = (o.Relaxed.registers, o.Relaxed.memory) in
+      let ax_pairs =
+        List.map
+          (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
+          axiomatic
+      in
+      List.iter
+        (fun o ->
+          if not (List.mem (to_pairs o) ax_pairs) then
+            Alcotest.failf "%s: SC machine outcome not SC-allowed" test.Test.name)
+        operational)
+    Library.common
+
+let test_relaxed_subset_of_arm () =
+  (* Soundness: the relaxed machine never reaches an ARM-forbidden
+     state on any test in the library. *)
+  List.iter
+    (fun (test : Test.t) ->
+      let operational = Relaxed.enumerate Relaxed.relaxed_config test.Test.program in
+      let axiomatic = Enumerate.allowed_outcomes Axiomatic.Arm test.Test.program in
+      let ax_pairs =
+        List.map
+          (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
+          axiomatic
+      in
+      List.iter
+        (fun (o : Relaxed.outcome) ->
+          if not (List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs) then
+            Alcotest.failf "%s: relaxed machine exceeded the ARM model" test.Test.name)
+        operational)
+    (Library.coherence @ Library.common @ Library.arm)
+
+let test_store_buffering_observed () =
+  let p = program_of "SB" in
+  let outcomes = Relaxed.enumerate Relaxed.relaxed_config p in
+  let weak =
+    List.exists
+      (fun (o : Relaxed.outcome) ->
+        List.assoc (0, 1) o.Relaxed.registers = 0 && List.assoc (1, 1) o.Relaxed.registers = 0)
+      outcomes
+  in
+  Alcotest.(check bool) "SB weak outcome reachable" true weak
+
+let test_collect_histogram () =
+  let p = program_of "SB" in
+  let hist = Relaxed.collect Relaxed.relaxed_config ~seed:3 ~iterations:500 p in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+  Alcotest.(check int) "histogram sums to iterations" 500 total;
+  Alcotest.(check bool) "several distinct outcomes" true (List.length hist >= 3)
+
+let test_full_fence_drains () =
+  (* dmb between store and load: the load cannot see a stale remote
+     value while our store is buffered.  SB+dmbs weak outcome must be
+     unreachable. *)
+  let p = program_of "SB+dmbs" in
+  let outcomes = Relaxed.enumerate Relaxed.relaxed_config p in
+  List.iter
+    (fun (o : Relaxed.outcome) ->
+      let r0 = List.assoc (0, 1) o.Relaxed.registers in
+      let r1 = List.assoc (1, 1) o.Relaxed.registers in
+      if r0 = 0 && r1 = 0 then Alcotest.fail "dmb failed to forbid SB")
+    outcomes
+
+let prop_random_runs_within_enumerated =
+  QCheck.Test.make ~name:"random outcomes within enumerated set" ~count:30
+    QCheck.small_int (fun seed ->
+      let p = program_of "MP" in
+      let enumerated = Relaxed.enumerate Relaxed.relaxed_config p in
+      let o = Relaxed.run Relaxed.relaxed_config ~seed p in
+      List.exists (fun o' -> Relaxed.compare_outcome o o' = 0) enumerated)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "single thread sequential" `Quick test_single_thread_sequential;
+    Alcotest.test_case "register computation" `Quick test_registers_computed;
+    Alcotest.test_case "branch loop" `Quick test_branch_loop;
+    Alcotest.test_case "SC machine = SC model" `Slow test_sc_machine_matches_sc_model;
+    Alcotest.test_case "relaxed machine within ARM model" `Slow test_relaxed_subset_of_arm;
+    Alcotest.test_case "store buffering observed" `Quick test_store_buffering_observed;
+    Alcotest.test_case "collect histogram" `Quick test_collect_histogram;
+    Alcotest.test_case "full fence forbids SB" `Quick test_full_fence_drains;
+    QCheck_alcotest.to_alcotest prop_random_runs_within_enumerated;
+  ]

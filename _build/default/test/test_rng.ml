@@ -1,0 +1,117 @@
+open Wmm_util
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_does_not_advance () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy equals original" (Rng.int64 a) (Rng.int64 b)
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.bits a) in
+  let ys = List.init 20 (fun _ -> Rng.bits b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_unit_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_uniform_mean () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.unit_float rng
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian rng ~mean:3. ~std:2.) in
+  let mean = Stats.mean samples in
+  let std = Stats.std samples in
+  Alcotest.(check bool) "mean near 3" true (abs_float (mean -. 3.) < 0.1);
+  Alcotest.(check bool) "std near 2" true (abs_float (std -. 2.) < 0.1)
+
+let test_exponential_mean () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Rng.exponential rng ~rate:2.) in
+  Alcotest.(check bool) "mean near 1/rate" true (abs_float (Stats.mean samples -. 0.5) < 0.02)
+
+let test_pareto_positive () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "at least scale" true (Rng.pareto rng ~shape:2. ~scale:1.5 >= 1.5)
+  done
+
+let test_lognormal_positive () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Rng.lognormal rng ~mu:0. ~sigma:1. > 0.)
+  done
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle_in_place rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_choose_member =
+  QCheck.Test.make ~name:"choose returns a member" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 20) small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      List.mem (Rng.choose rng (Array.of_list l)) l)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy does not advance" `Quick test_copy_does_not_advance;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "pareto support" `Quick test_pareto_positive;
+    Alcotest.test_case "lognormal support" `Quick test_lognormal_positive;
+    QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+    QCheck_alcotest.to_alcotest prop_choose_member;
+  ]
