@@ -2,6 +2,14 @@
    paper's evaluation (sections 4.1-4.3.1) and then times the
    library's core operations with Bechamel.
 
+   Usage: main.exe [SECTION ...] [--jobs N] [--no-cache] [--telemetry FILE]
+
+   With section names (e.g. `main.exe fig5 rankings`) only those
+   sections run; without any, the full suite runs.  --jobs fans the
+   heavyweight sweeps out across worker domains through wmm_engine;
+   the result cache (under _wmm_cache/) makes re-runs incremental
+   unless --no-cache is given.
+
    Set WMM_FAST=1 to run a reduced version (fewer samples, smaller
    sweeps) in under a minute. *)
 
@@ -116,20 +124,86 @@ let bechamel_section () =
     tests;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Command line: optional section filter plus engine flags.            *)
+(* ------------------------------------------------------------------ *)
+
+type options = {
+  sections : string list;  (* empty = all *)
+  jobs : int;
+  use_cache : bool;
+  telemetry_out : string option;
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [SECTION ...] [--jobs N] [--no-cache] [--telemetry FILE]";
+  prerr_endline "sections: litmus fig1 fig2_3 fig4 fig5 fig6 jvm_tables rankings";
+  prerr_endline "          rbd counters optimizer bechamel";
+  exit 2
+
+let parse_options () =
+  let rec go opts = function
+    | [] -> { opts with sections = List.rev opts.sections }
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some jobs -> go { opts with jobs } rest
+        | None -> usage ())
+    | "--no-cache" :: rest -> go { opts with use_cache = false } rest
+    | "--telemetry" :: file :: rest -> go { opts with telemetry_out = Some file } rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | name :: rest -> go { opts with sections = name :: opts.sections } rest
+  in
+  go
+    { sections = []; jobs = 1; use_cache = true; telemetry_out = None }
+    (List.tl (Array.to_list Sys.argv))
+
 let () =
+  let opts = parse_options () in
+  let cache =
+    if opts.use_cache then Wmm_engine.Cache.create () else Wmm_engine.Cache.disabled
+  in
+  let engine = Wmm_engine.Engine.create ~jobs:opts.jobs ~cache () in
+  let all_sections =
+    [
+      ("litmus", fun () -> section "litmus" litmus_summary);
+      ("fig1", fun () -> section "fig1" Fig1.report);
+      ("fig2_3", fun () -> section "fig2_3" Fig2_3.report);
+      ("fig4", fun () -> section "fig4" Fig4.report);
+      ("fig5", fun () -> section "fig5" (Fig5.report ~engine));
+      ("fig6", fun () -> section "fig6" (Fig6.report ~engine));
+      ("jvm_tables", fun () -> section "jvm_tables" Jvm_tables.report);
+      ("rankings", fun () -> section "rankings" (Rankings.report ~engine));
+      ("rbd", fun () -> section "rbd" (Rbd.report ~engine));
+      ("counters", fun () -> section "counters" Counters.report);
+      ("optimizer", fun () -> section "optimizer" Optimizer_exp.report);
+      ("bechamel", bechamel_section);
+    ]
+  in
+  let selected =
+    match opts.sections with
+    | [] -> all_sections
+    | names ->
+        List.iter
+          (fun name ->
+            if not (List.mem_assoc name all_sections) then begin
+              Printf.eprintf "unknown section %S\n" name;
+              usage ()
+            end)
+          names;
+        List.filter (fun (name, _) -> List.mem name names) all_sections
+  in
   let t0 = Unix.gettimeofday () in
   Printf.printf "WMM-Bench: reproducing 'Benchmarking Weak Memory Models' (PPoPP 2016)\n";
-  Printf.printf "mode: %s\n\n" (if Exp_common.fast () then "FAST (WMM_FAST set)" else "full");
-  section "litmus" litmus_summary;
-  section "fig1" Fig1.report;
-  section "fig2_3" Fig2_3.report;
-  section "fig4" Fig4.report;
-  section "fig5" Fig5.report;
-  section "fig6" Fig6.report;
-  section "jvm_tables" Jvm_tables.report;
-  section "rankings" Rankings.report;
-  section "rbd" Rbd.report;
-  section "counters" Counters.report;
-  section "optimizer" Optimizer_exp.report;
-  bechamel_section ();
+  Printf.printf "mode: %s | jobs: %d | cache: %s\n\n"
+    (if Exp_common.fast () then "FAST (WMM_FAST set)" else "full")
+    (Wmm_engine.Engine.jobs engine)
+    (if opts.use_cache then Wmm_engine.Cache.default_dir else "off");
+  List.iter (fun (_, run) -> run ()) selected;
+  print_endline (Wmm_engine.Engine.render_summary engine);
+  Option.iter
+    (fun path ->
+      try Wmm_engine.Engine.write_telemetry engine path
+      with Sys_error msg -> Printf.eprintf "warning: cannot write telemetry: %s\n" msg)
+    opts.telemetry_out;
   Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -320,27 +320,63 @@ let figure_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id")
   in
-  let run id =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the execution engine (0 = all cores; 1 = sequential)")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Wmm_engine.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory")
+  in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE" ~doc:"Dump run telemetry as JSON to $(docv)")
+  in
+  let run id jobs no_cache cache_dir telemetry_out =
     let open Wmm_experiments in
     let report =
       match id with
-      | "fig1" -> Fig1.report
-      | "fig2_3" | "fig2" | "fig3" -> Fig2_3.report
-      | "fig4" -> Fig4.report
-      | "fig5" -> Fig5.report
-      | "fig6" -> Fig6.report
-      | "jvm_tables" | "t1" | "t2" | "t3" | "t4" -> Jvm_tables.report
-      | "rankings" | "fig7" | "fig8" | "t5" -> Rankings.report
-      | "rbd" | "fig9" | "fig10" | "t6" -> Rbd.report
-      | "counters" -> Counters.report
-      | "optimizer" -> Optimizer_exp.report
+      | "fig1" -> fun _engine -> Fig1.report ()
+      | "fig2_3" | "fig2" | "fig3" -> fun _engine -> Fig2_3.report ()
+      | "fig4" -> fun _engine -> Fig4.report ()
+      | "fig5" -> fun engine -> Fig5.report ~engine ()
+      | "fig6" -> fun engine -> Fig6.report ~engine ()
+      | "jvm_tables" | "t1" | "t2" | "t3" | "t4" -> fun _engine -> Jvm_tables.report ()
+      | "rankings" | "fig7" | "fig8" | "t5" -> fun engine -> Rankings.report ~engine ()
+      | "rbd" | "fig9" | "fig10" | "t6" -> fun engine -> Rbd.report ~engine ()
+      | "counters" -> fun _engine -> Counters.report ()
+      | "optimizer" -> fun _engine -> Optimizer_exp.report ()
       | other -> failwith (Printf.sprintf "unknown experiment %S (try `list`)" other)
     in
-    print_endline (report ())
+    let cache =
+      if no_cache then Wmm_engine.Cache.disabled
+      else Wmm_engine.Cache.create ~dir:cache_dir ()
+    in
+    let engine = Wmm_engine.Engine.create ~jobs ~cache () in
+    print_endline (report engine);
+    (* The run summary goes to stderr so figure output on stdout
+       stays byte-identical across --jobs settings. *)
+    prerr_endline (Wmm_engine.Engine.render_summary engine);
+    Option.iter
+      (fun path ->
+        try Wmm_engine.Engine.write_telemetry engine path
+        with Sys_error msg ->
+          Printf.eprintf "warning: cannot write telemetry: %s\n" msg)
+      telemetry_out
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures or tables")
-    Term.(const run $ id_arg)
+    Term.(
+      const run $ id_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ telemetry_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -66,6 +66,127 @@ let sweep ?(samples = 6) ?(seed = 11) ?(light = false) ?iteration_counts ~code_p
   let fit = Sensitivity.fit_k ~xs ~ys in
   { benchmark = profile.Profile.name; arch; code_path; points; fit }
 
+(* ------------------------------------------------------------------ *)
+(* Engine-backed execution: reify performance_summary calls - the    *)
+(* atomic sample of every figure - as cacheable, parallelisable      *)
+(* tasks.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type sample_request = {
+  sr_profile : Profile.t;
+  sr_platform : Generate.platform;
+  sr_samples : int;
+  sr_warmups : int;
+  sr_seed : int;
+  sr_measure : measure;
+  sr_label : string;
+}
+
+let sample_request ?(samples = 6) ?(warmups = 2) ?(seed = 11) ?measure ~label profile
+    platform =
+  let measure = match measure with Some m -> m | None -> measure_of_profile profile in
+  {
+    sr_profile = profile;
+    sr_platform = platform;
+    sr_samples = samples;
+    sr_warmups = warmups;
+    sr_seed = seed;
+    sr_measure = measure;
+    sr_label = label;
+  }
+
+let sample_key r =
+  (* Everything that determines the summary, canonically serialised
+     ([No_sharing] so physically different but structurally equal
+     configurations produce the same bytes).  The label is display
+     metadata and deliberately excluded. *)
+  let payload =
+    Marshal.to_string
+      (r.sr_profile, r.sr_platform, r.sr_samples, r.sr_warmups, r.sr_seed, r.sr_measure)
+      [ Marshal.No_sharing ]
+  in
+  Printf.sprintf "sample/v1|%s|%s" r.sr_profile.Profile.name
+    (Digest.to_hex (Digest.string payload))
+
+let sample_task r =
+  Wmm_engine.Task.pure ~key:(sample_key r) ~label:r.sr_label (fun () ->
+      performance_summary ~samples:r.sr_samples ~warmups:r.sr_warmups ~seed:r.sr_seed
+        ~measure:r.sr_measure r.sr_profile r.sr_platform)
+
+type batch = Stats.summary Wmm_engine.Engine.Batch.t
+
+let batch () = Wmm_engine.Engine.Batch.create ()
+let run_batch engine b = Wmm_engine.Engine.Batch.run engine b
+
+let submit b r = Wmm_engine.Engine.Batch.add b (sample_task r)
+
+let summary_deferred b r =
+  let get = submit b r in
+  fun () -> Wmm_engine.Engine.value (get ())
+
+let relative_deferred b ?(samples = 6) ?(seed = 11) ?measure ~label profile ~base ~test =
+  let test_get =
+    submit b (sample_request ~samples ~seed ?measure ~label:(label ^ " [test]") profile test)
+  in
+  let base_get =
+    submit b (sample_request ~samples ~seed ?measure ~label:(label ^ " [base]") profile base)
+  in
+  fun () ->
+    match
+      (Wmm_engine.Engine.value (test_get ()), Wmm_engine.Engine.value (base_get ()))
+    with
+    | Ok t, Ok bse -> Ok (Stats.ratio_summary ~test:t ~base:bse)
+    | Error e, _ | _, Error e -> Error e
+
+let sweep_deferred b ?(samples = 6) ?(seed = 11) ?(light = false) ?iteration_counts
+    ~code_path ~base ~inject profile =
+  let arch = Generate.platform_arch base in
+  let counts =
+    match iteration_counts with Some c -> c | None -> default_iteration_counts
+  in
+  let label suffix =
+    Printf.sprintf "%s/%s/%s %s" profile.Profile.name (Arch.name arch) code_path suffix
+  in
+  let base_get =
+    submit b (sample_request ~samples ~seed ~label:(label "base") profile base)
+  in
+  let point_gets =
+    List.map
+      (fun n ->
+        let cf = Cost_function.make ~light arch n in
+        let get =
+          submit b
+            (sample_request ~samples ~seed
+               ~label:(label (Printf.sprintf "n=%d" n))
+               profile (inject cf))
+        in
+        (n, cf, get))
+      counts
+  in
+  fun () ->
+    let base_summary = Wmm_engine.Engine.get (base_get ()) in
+    (* Crash isolation: a failed sweep point is dropped (and counted
+       in the engine telemetry) rather than aborting the figure; the
+       fit runs over the surviving points. *)
+    let points =
+      List.filter_map
+        (fun (n, cf, get) ->
+          match Wmm_engine.Engine.value (get ()) with
+          | Ok test_summary ->
+              Some
+                {
+                  iterations = n;
+                  cost_ns = Cost_function.standalone_ns cf;
+                  relative = Stats.ratio_summary ~test:test_summary ~base:base_summary;
+                }
+          | Error _ -> None)
+        point_gets
+    in
+    let xs = Array.of_list (List.map (fun p -> p.cost_ns) points) in
+    let ys = Array.of_list (List.map (fun p -> p.relative.Stats.gmean) points) in
+    let fit = Sensitivity.fit_k ~xs ~ys in
+    { benchmark = profile.Profile.name; arch; code_path; points; fit }
+
 type cell = { benchmark : string; code_path : string; relative : Stats.summary }
 
 let ranking_matrix ?(samples = 3) ?(seed = 23) ?(spin_iterations = 1024) ~paths ~benchmarks ()

@@ -67,6 +67,80 @@ val sweep :
     fit the sensitivity model.  Default iteration counts are powers
     of two from 1 to 512 (covering the paper's 2^0..2^8 ns x-axis). *)
 
+(** {1 Engine-backed execution}
+
+    Every measurement above reduces to {!performance_summary} calls
+    on independent (profile, platform, samples, seed) tuples.  The
+    deferred API reifies each such call as a [wmm_engine] task:
+    figure code first {e submits} all its samples into a shared
+    {!batch}, the batch is fanned out across worker domains (and
+    served from the result cache) by {!run_batch}, and only then are
+    the per-figure finalizer closures invoked to assemble sweeps,
+    ratios and tables from the completed summaries.  Assembly depends
+    only on task results, never on completion order, so output is
+    bit-identical for any [--jobs] setting. *)
+
+type sample_request
+
+val sample_request :
+  ?samples:int ->
+  ?warmups:int ->
+  ?seed:int ->
+  ?measure:measure ->
+  label:string ->
+  Profile.t ->
+  Generate.platform ->
+  sample_request
+(** Same defaults as {!performance_summary}.  [label] is only used
+    in telemetry. *)
+
+val sample_key : sample_request -> string
+(** The task's content key: profile name plus a digest of the
+    canonically marshalled request (excluding the label). *)
+
+type batch = Stats.summary Wmm_engine.Engine.Batch.t
+
+val batch : unit -> batch
+val run_batch : Wmm_engine.Engine.t -> batch -> unit
+
+val submit :
+  batch -> sample_request -> unit -> Stats.summary Wmm_engine.Engine.outcome
+
+val summary_deferred :
+  batch -> sample_request -> unit -> (Stats.summary, string) result
+
+val relative_deferred :
+  batch ->
+  ?samples:int ->
+  ?seed:int ->
+  ?measure:measure ->
+  label:string ->
+  Profile.t ->
+  base:Generate.platform ->
+  test:Generate.platform ->
+  unit ->
+  (Stats.summary, string) result
+(** Deferred {!relative_performance}: submits the base and test
+    samples, returns a finalizer.  [Error] when either sample
+    failed. *)
+
+val sweep_deferred :
+  batch ->
+  ?samples:int ->
+  ?seed:int ->
+  ?light:bool ->
+  ?iteration_counts:int list ->
+  code_path:string ->
+  base:Generate.platform ->
+  inject:(Wmm_costfn.Cost_function.t -> Generate.platform) ->
+  Profile.t ->
+  unit ->
+  sweep
+(** Deferred {!sweep}: submits the base sample and one sample per
+    cost size, returns a finalizer assembling the sweep.  Failed
+    points are dropped from the fit (crash isolation); a failed base
+    raises [Failure]. *)
+
 (** {1 Fixed-cost rankings (paper Figs. 7 and 8)} *)
 
 type cell = { benchmark : string; code_path : string; relative : Stats.summary }

@@ -1,0 +1,108 @@
+type stats = { hits : int; misses : int; stores : int; errors : int }
+
+type active = {
+  a_dir : string;
+  version : string;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable errors : int;
+}
+
+type t = Disabled | Active of active
+
+let default_dir = "_wmm_cache"
+
+let disabled = Disabled
+
+let code_version =
+  let v =
+    lazy
+      (try Digest.to_hex (Digest.file Sys.executable_name)
+       with _ -> "unversioned")
+  in
+  fun () -> Lazy.force v
+
+let create ?(dir = default_dir) ?version () =
+  let version = match version with Some v -> v | None -> code_version () in
+  Active
+    { a_dir = dir; version; lock = Mutex.create (); hits = 0; misses = 0;
+      stores = 0; errors = 0 }
+
+let enabled = function Disabled -> false | Active _ -> true
+let dir = function Disabled -> None | Active a -> Some a.a_dir
+
+let stats = function
+  | Disabled -> { hits = 0; misses = 0; stores = 0; errors = 0 }
+  | Active a ->
+      Mutex.lock a.lock;
+      let s = { hits = a.hits; misses = a.misses; stores = a.stores; errors = a.errors } in
+      Mutex.unlock a.lock;
+      s
+
+let bump a f =
+  Mutex.lock a.lock;
+  f a;
+  Mutex.unlock a.lock
+
+let path a key =
+  Filename.concat a.a_dir (Digest.to_hex (Digest.string (a.version ^ "\x00" ^ key)) ^ ".cache")
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let find t ~key =
+  match t with
+  | Disabled -> None
+  | Active a -> (
+      let file = path a key in
+      match
+        (try
+           let ic = open_in_bin file in
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () ->
+               let stored_key : string = Marshal.from_channel ic in
+               if stored_key = key then `Hit (Marshal.from_channel ic) else `Miss)
+         with
+        | Sys_error _ -> `Miss
+        | _ -> `Error)
+      with
+      | `Hit v ->
+          bump a (fun a -> a.hits <- a.hits + 1);
+          Some v
+      | `Miss ->
+          bump a (fun a -> a.misses <- a.misses + 1);
+          None
+      | `Error ->
+          bump a (fun a ->
+              a.errors <- a.errors + 1;
+              a.misses <- a.misses + 1);
+          None)
+
+let store t ~key value =
+  match t with
+  | Disabled -> ()
+  | Active a -> (
+      let file = path a key in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ())
+          (Domain.self () :> int)
+      in
+      try
+        mkdir_p a.a_dir;
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            Marshal.to_channel oc key [];
+            Marshal.to_channel oc value []);
+        Sys.rename tmp file;
+        bump a (fun a -> a.stores <- a.stores + 1)
+      with _ ->
+        (try Sys.remove tmp with _ -> ());
+        bump a (fun a -> a.errors <- a.errors + 1))

@@ -1,0 +1,46 @@
+(** Content-addressed result cache.
+
+    Each cached entry lives in its own file under the cache
+    directory, named by the hex MD5 of [version ^ key].  The version
+    tag defaults to a digest of the running executable, so results
+    computed by a stale binary are never reused after a rebuild; the
+    task key carries everything else that determines the result
+    (benchmark profile, platform configuration, sample counts,
+    seeds).
+
+    Values are stored with [Marshal] alongside their key; a lookup
+    only succeeds when the stored key matches exactly, which guards
+    against digest collisions and truncated files.  As with any
+    marshalling cache, the caller must ensure that equal keys imply
+    equal result {e types}.
+
+    All operations are safe to call concurrently from multiple
+    domains: counters are mutex-protected and stores write to a
+    unique temporary file before an atomic rename. *)
+
+type t
+
+type stats = { hits : int; misses : int; stores : int; errors : int }
+(** [errors] counts unreadable or corrupt entries (treated as
+    misses) and failed writes. *)
+
+val default_dir : string
+(** ["_wmm_cache"]. *)
+
+val disabled : t
+(** A cache that never hits and never stores. *)
+
+val create : ?dir:string -> ?version:string -> unit -> t
+(** [dir] defaults to {!default_dir}; [version] to
+    {!code_version}[ ()]. *)
+
+val enabled : t -> bool
+val dir : t -> string option
+
+val code_version : unit -> string
+(** Hex MD5 of the running executable, or ["unversioned"] when it
+    cannot be read.  Computed once. *)
+
+val find : t -> key:string -> 'a option
+val store : t -> key:string -> 'a -> unit
+val stats : t -> stats

@@ -1,0 +1,109 @@
+type t = {
+  jobs : int;
+  cache : Cache.t;
+  seed : int;
+  soft_deadline_s : float option;
+  telemetry : Telemetry.t;
+}
+
+type 'a outcome = Computed of 'a | Cached of 'a | Failed of string
+
+let create ?(jobs = 1) ?(cache = Cache.disabled) ?(seed = 0) ?soft_deadline_s () =
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  { jobs; cache; seed; soft_deadline_s; telemetry = Telemetry.create () }
+
+let sequential () = create ()
+
+let jobs t = t.jobs
+let cache t = t.cache
+
+let run_all t tasks =
+  let n = Array.length tasks in
+  let results = Array.make n (Failed "not executed") in
+  let started = Atomic.make 0 in
+  let batch_start = Unix.gettimeofday () in
+  Pool.run ~jobs:t.jobs n (fun i ->
+      let task = tasks.(i) in
+      let queue_depth = n - Atomic.fetch_and_add started 1 - 1 in
+      let record wall_s outcome =
+        Telemetry.add t.telemetry
+          {
+            Telemetry.label = task.Task.label;
+            key = task.Task.key;
+            wall_s;
+            queue_depth;
+            outcome;
+          }
+      in
+      match Cache.find t.cache ~key:task.Task.key with
+      | Some v ->
+          results.(i) <- Cached v;
+          record 0. Telemetry.Cache_hit
+      | None -> (
+          let t0 = Unix.gettimeofday () in
+          match task.Task.run (Task.rng_for ~root_seed:t.seed task.Task.key) with
+          | v -> (
+              let wall = Unix.gettimeofday () -. t0 in
+              match t.soft_deadline_s with
+              | Some limit when wall > limit ->
+                  let msg =
+                    Printf.sprintf "exceeded soft deadline (%.2fs > %.2fs)" wall limit
+                  in
+                  results.(i) <- Failed msg;
+                  record wall (Telemetry.Failed msg)
+              | _ ->
+                  Cache.store t.cache ~key:task.Task.key v;
+                  results.(i) <- Computed v;
+                  record wall Telemetry.Ran)
+          | exception e ->
+              let wall = Unix.gettimeofday () -. t0 in
+              let msg = Printexc.to_string e in
+              results.(i) <- Failed msg;
+              record wall (Telemetry.Failed msg)));
+  Telemetry.add_batch_wall t.telemetry (Unix.gettimeofday () -. batch_start);
+  results
+
+let run t task = (run_all t [| task |]).(0)
+
+let value = function
+  | Computed v | Cached v -> Ok v
+  | Failed msg -> Error msg
+
+let get = function
+  | Computed v | Cached v -> v
+  | Failed msg -> failwith ("engine task failed: " ^ msg)
+
+let summary t = Telemetry.summary ~jobs:t.jobs ~cache:(Cache.stats t.cache) t.telemetry
+let render_summary t = Telemetry.render_summary (summary t)
+
+let write_telemetry t path =
+  Telemetry.write_json ~path (summary t) (Telemetry.records t.telemetry)
+
+module Batch = struct
+  type 'a t = {
+    mutable tasks : 'a Task.t list;  (* reversed *)
+    index : (string, int) Hashtbl.t;
+    mutable results : 'a outcome array option;
+  }
+
+  let create () = { tasks = []; index = Hashtbl.create 64; results = None }
+
+  let add b task =
+    let i =
+      match Hashtbl.find_opt b.index task.Task.key with
+      | Some i -> i
+      | None ->
+          let i = Hashtbl.length b.index in
+          Hashtbl.add b.index task.Task.key i;
+          b.tasks <- task :: b.tasks;
+          i
+    in
+    fun () ->
+      match b.results with
+      | None -> invalid_arg "Engine.Batch: result requested before the batch ran"
+      | Some r -> r.(i)
+
+  let run engine b =
+    let tasks = Array.of_list (List.rev b.tasks) in
+    b.results <- Some (run_all engine tasks)
+end

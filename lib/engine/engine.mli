@@ -1,0 +1,70 @@
+(** The experiment execution engine.
+
+    An engine fans independent tasks (see {!Task}) out across a pool
+    of worker domains, consults the result cache before computing,
+    isolates per-task crashes, and accumulates run telemetry.  One
+    engine is created per run (CLI invocation, bench harness run,
+    test); its telemetry spans every batch submitted to it.
+
+    Because tasks are pure functions of their key-derived inputs and
+    results are written back by submission index, output is
+    bit-identical for any [jobs] setting and any scheduling
+    interleaving. *)
+
+type t
+
+type 'a outcome =
+  | Computed of 'a
+  | Cached of 'a  (** Served from the result cache. *)
+  | Failed of string
+      (** The task raised (crash isolation), or overran the
+          soft deadline when one was configured. *)
+
+val create :
+  ?jobs:int -> ?cache:Cache.t -> ?seed:int -> ?soft_deadline_s:float -> unit -> t
+(** [jobs] defaults to 1 (sequential; [0] means all recommended
+    domains); [cache] to {!Cache.disabled}; [seed] (the root of the
+    per-task RNG streams) to 0.  [soft_deadline_s], when given,
+    marks any task whose wall-clock exceeds it as [Failed]; running
+    domains cannot be preempted, so the deadline is checked on
+    completion, and enabling it trades run-to-run determinism of
+    failure marking for boundedness. *)
+
+val sequential : unit -> t
+(** Fresh single-threaded engine with caching disabled: the drop-in
+    default for library callers that were previously direct calls. *)
+
+val jobs : t -> int
+val cache : t -> Cache.t
+
+val run_all : t -> 'a Task.t array -> 'a outcome array
+(** Execute one batch.  Result [i] corresponds to task [i]. *)
+
+val run : t -> 'a Task.t -> 'a outcome
+
+val value : 'a outcome -> ('a, string) result
+val get : 'a outcome -> 'a
+(** Raises [Failure] with the recorded message on [Failed]. *)
+
+val summary : t -> Telemetry.summary
+val render_summary : t -> string
+val write_telemetry : t -> string -> unit
+(** Dump summary plus per-task records as JSON to the given path. *)
+
+(** A batch under construction: collect tasks from several
+    independent producers (e.g. every sweep of a figure), run them
+    as one fan-out, then read each producer's results back through
+    the getter [add] returned.  Tasks with equal keys are
+    deduplicated - the second [add] returns the first's getter. *)
+module Batch : sig
+  type engine := t
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val add : 'a t -> 'a Task.t -> unit -> 'a outcome
+  (** The returned getter raises [Invalid_argument] until {!run} has
+      been called on the batch. *)
+
+  val run : engine -> 'a t -> unit
+end

@@ -1,0 +1,31 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ~jobs n f =
+  if n <= 0 then ()
+  else if jobs <= 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let first_error = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try f i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set first_error None (Some (e, bt))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end

@@ -1,0 +1,17 @@
+(** Domain-pool scheduling.
+
+    Tasks self-schedule off a shared atomic counter: each worker
+    repeatedly claims the next unclaimed index, so load balances
+    automatically however uneven the per-task costs are.  With
+    [jobs <= 1] no domains are spawned and the body runs in a plain
+    sequential loop - the scheduling strategy can never change
+    results, only their arrival order. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run : jobs:int -> int -> (int -> unit) -> unit
+(** [run ~jobs n f] applies [f] to every index in [0, n): with at
+    most [jobs] domains ([jobs - 1] spawned workers plus the calling
+    domain).  [f] is expected not to raise; if it does, the first
+    exception is re-raised after all workers have drained. *)

@@ -1,0 +1,23 @@
+open Wmm_util
+
+type 'a t = { key : string; label : string; run : Rng.t -> 'a }
+
+let default_label key =
+  if String.length key <= 60 then key else String.sub key 0 57 ^ "..."
+
+let make ~key ?label run =
+  let label = match label with Some l -> l | None -> default_label key in
+  { key; label; run }
+
+let pure ~key ?label f = make ~key ?label (fun _rng -> f ())
+
+let rng_for ~root_seed key =
+  (* Fold the 128-bit MD5 of the key into an int so the stream
+     depends on the key's full content, then mix in the root seed and
+     take one split to decorrelate from any generator the caller
+     might have built from the same integers. *)
+  let digest = Digest.string key in
+  let h = ref 0 in
+  String.iter (fun c -> h := (!h * 257) + Char.code c) digest;
+  let mixed = !h lxor (root_seed * 0x9E3779B9) in
+  Rng.split (Rng.create (mixed land max_int))

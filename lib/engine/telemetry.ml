@@ -1,0 +1,151 @@
+type outcome = Ran | Cache_hit | Failed of string
+
+type record = {
+  label : string;
+  key : string;
+  wall_s : float;
+  queue_depth : int;
+  outcome : outcome;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable entries : record list;  (* reversed *)
+  mutable batch_wall_s : float;
+}
+
+let create () = { lock = Mutex.create (); entries = []; batch_wall_s = 0. }
+
+let add t r =
+  Mutex.lock t.lock;
+  t.entries <- r :: t.entries;
+  Mutex.unlock t.lock
+
+let add_batch_wall t s =
+  Mutex.lock t.lock;
+  t.batch_wall_s <- t.batch_wall_s +. s;
+  Mutex.unlock t.lock
+
+let records t =
+  Mutex.lock t.lock;
+  let rs = List.rev t.entries in
+  Mutex.unlock t.lock;
+  rs
+
+type summary = {
+  jobs : int;
+  total : int;
+  ran : int;
+  cached : int;
+  failed : int;
+  wall_s : float;
+  busy_s : float;
+  speedup_estimate : float;
+  max_queue_depth : int;
+  cache : Cache.stats;
+}
+
+let summary ~jobs ~cache t =
+  let rs = records t in
+  let count p = List.length (List.filter p rs) in
+  let ran = count (fun (r : record) -> r.outcome = Ran) in
+  let cached = count (fun (r : record) -> r.outcome = Cache_hit) in
+  let failed =
+    count (fun (r : record) -> match r.outcome with Failed _ -> true | _ -> false)
+  in
+  let busy_s = List.fold_left (fun acc (r : record) -> acc +. r.wall_s) 0. rs in
+  let wall_s = t.batch_wall_s in
+  let max_queue_depth =
+    List.fold_left (fun acc (r : record) -> max acc r.queue_depth) 0 rs
+  in
+  {
+    jobs;
+    total = List.length rs;
+    ran;
+    cached;
+    failed;
+    wall_s;
+    busy_s;
+    (* Meaningless when nothing actually ran (fully cached batch). *)
+    speedup_estimate = (if wall_s > 0. && busy_s > 0. then busy_s /. wall_s else 1.);
+    max_queue_depth;
+    cache;
+  }
+
+let render_summary s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "--- engine run summary ---\n";
+  Buffer.add_string b
+    (Printf.sprintf "jobs %d | tasks %d (ran %d, cached %d, failed %d)\n" s.jobs
+       s.total s.ran s.cached s.failed);
+  Buffer.add_string b
+    (Printf.sprintf "wall %.2fs | busy %.2fs | speedup vs sequential est. %.2fx\n"
+       s.wall_s s.busy_s s.speedup_estimate);
+  Buffer.add_string b
+    (Printf.sprintf "cache: %d hits, %d misses, %d stores, %d errors | max queue depth %d"
+       s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores
+       s.cache.Cache.errors s.max_queue_depth);
+  Buffer.contents b
+
+(* Minimal JSON emission: only strings, numbers and the two shapes
+   below are ever produced, so a purpose-built printer beats pulling
+   in a dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "null"
+
+let outcome_json = function
+  | Ran -> Printf.sprintf {|"ran"|}
+  | Cache_hit -> Printf.sprintf {|"cached"|}
+  | Failed msg -> Printf.sprintf {|{"failed": "%s"}|} (json_escape msg)
+
+let to_json s rs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" s.jobs);
+  Buffer.add_string b (Printf.sprintf "  \"tasks_total\": %d,\n" s.total);
+  Buffer.add_string b (Printf.sprintf "  \"tasks_ran\": %d,\n" s.ran);
+  Buffer.add_string b (Printf.sprintf "  \"tasks_cached\": %d,\n" s.cached);
+  Buffer.add_string b (Printf.sprintf "  \"tasks_failed\": %d,\n" s.failed);
+  Buffer.add_string b (Printf.sprintf "  \"wall_s\": %s,\n" (json_float s.wall_s));
+  Buffer.add_string b (Printf.sprintf "  \"busy_s\": %s,\n" (json_float s.busy_s));
+  Buffer.add_string b
+    (Printf.sprintf "  \"speedup_estimate\": %s,\n" (json_float s.speedup_estimate));
+  Buffer.add_string b (Printf.sprintf "  \"max_queue_depth\": %d,\n" s.max_queue_depth);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \"errors\": %d},\n"
+       s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores s.cache.Cache.errors);
+  Buffer.add_string b "  \"tasks\": [\n";
+  let n = List.length rs in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"label\": \"%s\", \"wall_s\": %s, \"queue_depth\": %d, \"outcome\": %s}%s\n"
+           (json_escape r.label) (json_float r.wall_s) r.queue_depth
+           (outcome_json r.outcome)
+           (if i = n - 1 then "" else ",")))
+    rs;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_json ~path s rs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json s rs))

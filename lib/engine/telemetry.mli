@@ -1,0 +1,60 @@
+(** Run telemetry: what the engine did, how long each task took, and
+    a structured end-of-run summary.
+
+    Records accumulate across every batch an engine executes; the
+    summary aggregates them together with the cache counters.  The
+    whole data set can be rendered as a human-readable block or
+    dumped as JSON ([wmm_bench figure ... --telemetry out.json]). *)
+
+type outcome =
+  | Ran  (** Computed by a worker. *)
+  | Cache_hit  (** Served from the result cache. *)
+  | Failed of string  (** The task raised; the message is recorded. *)
+
+type record = {
+  label : string;
+  key : string;
+  wall_s : float;  (** Task wall-clock (0 for cache hits). *)
+  queue_depth : int;  (** Tasks not yet started when this one began. *)
+  outcome : outcome;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> record -> unit
+(** Thread-safe; call from worker domains. *)
+
+val add_batch_wall : t -> float -> unit
+(** Accumulate the wall-clock of one engine batch (the denominator
+    of the speedup estimate). *)
+
+val records : t -> record list
+(** In insertion (completion) order. *)
+
+type summary = {
+  jobs : int;
+  total : int;
+  ran : int;
+  cached : int;
+  failed : int;
+  wall_s : float;  (** Total batch wall-clock. *)
+  busy_s : float;  (** Sum of per-task wall-clocks. *)
+  speedup_estimate : float;
+      (** [busy_s /. wall_s]: how much faster the run was than a
+          sequential execution of the same (uncached) tasks. *)
+  max_queue_depth : int;
+  cache : Cache.stats;
+}
+
+val summary : jobs:int -> cache:Cache.stats -> t -> summary
+
+val render_summary : summary -> string
+(** Multi-line human-readable block, e.g. for stderr. *)
+
+val to_json : summary -> record list -> string
+(** The full run as a JSON object: the summary fields plus a [tasks]
+    array with per-task label, wall-clock, queue depth and outcome. *)
+
+val write_json : path:string -> summary -> record list -> unit

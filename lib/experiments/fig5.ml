@@ -38,22 +38,33 @@ let paper_k = function
   | "xalan", Arch.Power7 -> 0.00152
   | _ -> nan
 
-let sweep_benchmark arch (profile : Profile.t) =
+let sweep_benchmark batch arch (profile : Profile.t) =
   let light = Exp_common.light_for arch in
-  Experiment.sweep ~samples:(Exp_common.samples ()) ~light
+  Experiment.sweep_deferred batch ~samples:(Exp_common.samples ()) ~light
     ~iteration_counts:(Exp_common.sweep_counts ())
     ~code_path:"all elemental barriers" ~base:(Exp_common.jvm_nop_base arch)
     ~inject:(fun cf ->
       Exp_common.jvm_platform ~inject_all:[ Cost_function.uop cf ] arch)
     profile
 
-let all_sweeps () =
-  List.concat_map
-    (fun arch -> List.map (fun p -> (arch, sweep_benchmark arch p)) Dacapo.all)
-    Arch.all
+(* The full 8-benchmark x 2-architecture matrix is submitted as one
+   engine batch, so every (benchmark, arch, cost size) sample runs as
+   an independent task across the worker domains. *)
+let all_sweeps engine =
+  let batch = Experiment.batch () in
+  let pending =
+    List.concat_map
+      (fun arch -> List.map (fun p -> (arch, sweep_benchmark batch arch p)) Dacapo.all)
+      Arch.all
+  in
+  Experiment.run_batch engine batch;
+  List.map (fun (arch, finish) -> (arch, finish ())) pending
 
-let report () =
-  let sweeps = all_sweeps () in
+let report ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
+  in
+  let sweeps = all_sweeps engine in
   let fits = Table.create [ "benchmark"; "arch"; "fitted k"; "paper k"; "stable?" ] in
   let buffer = Buffer.create 4096 in
   Buffer.add_string buffer

@@ -26,9 +26,9 @@ let paper_k = function
   | Barrier.Store_store, Arch.Armv8 -> 0.00885
   | Barrier.Store_store, Arch.Power7 -> 0.01333
 
-let sweep_elemental arch elemental =
+let sweep_elemental batch arch elemental =
   let light = Exp_common.light_for arch in
-  Experiment.sweep ~samples:(Exp_common.samples ()) ~light
+  Experiment.sweep_deferred batch ~samples:(Exp_common.samples ()) ~light
     ~iteration_counts:(Exp_common.sweep_counts ())
     ~code_path:(Barrier.elemental_name elemental)
     ~base:
@@ -39,22 +39,32 @@ let sweep_elemental arch elemental =
       Exp_common.jvm_platform ~inject:[ (elemental, [ Cost_function.uop cf ]) ] arch)
     Dacapo.spark
 
-let report () =
+let report ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
+  in
+  let batch = Experiment.batch () in
+  let pending =
+    List.concat_map
+      (fun arch ->
+        List.map
+          (fun elemental -> (arch, elemental, sweep_elemental batch arch elemental))
+          Barrier.all_elementals)
+      Arch.all
+  in
+  Experiment.run_batch engine batch;
   let table = Table.create [ "barrier"; "arch"; "fitted k"; "paper k" ] in
   List.iter
-    (fun arch ->
-      List.iter
-        (fun elemental ->
-          let sweep = sweep_elemental arch elemental in
-          Table.add_row table
-            [
-              Barrier.elemental_name elemental;
-              Arch.name arch;
-              Exp_common.fmt_fit sweep.Experiment.fit;
-              Table.float_cell ~decimals:5 (paper_k (elemental, arch));
-            ])
-        Barrier.all_elementals)
-    Arch.all;
+    (fun (arch, elemental, finish) ->
+      let sweep = finish () in
+      Table.add_row table
+        [
+          Barrier.elemental_name elemental;
+          Arch.name arch;
+          Exp_common.fmt_fit sweep.Experiment.fit;
+          Table.float_cell ~decimals:5 (paper_k (elemental, arch));
+        ])
+    pending;
   String.concat "\n"
     [
       Exp_common.header "Figure 6: spark sensitivity per elemental barrier";

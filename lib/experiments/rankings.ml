@@ -37,32 +37,44 @@ let measures_of (p : Profile.t) =
 (* T5: nop padding.                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let nop_padding_table () =
-  let table = Table.create [ "benchmark"; "relative perf"; "change" ] in
+let nop_padding_deferred batch =
   let nops = Exp_common.nop_uop arch ~light:false in
-  let drops =
+  let pending =
     List.concat_map
       (fun (profile : Profile.t) ->
         List.map
           (fun (label, measure) ->
-            let rel =
-              Experiment.relative_performance ~samples:(Exp_common.samples ()) ~measure
-                profile
+            ( label,
+              Experiment.relative_deferred batch ~samples:(Exp_common.samples ())
+                ~measure ~label:("t5 nop " ^ label) profile
                 ~base:(Exp_common.kernel_platform arch)
-                ~test:(Exp_common.kernel_platform ~inject_all:[ nops ] arch)
-            in
-            Table.add_row table
-              [ label; Exp_common.fmt_summary rel; Exp_common.fmt_pct_change rel ];
-            rel.Stats.gmean)
+                ~test:(Exp_common.kernel_platform ~inject_all:[ nops ] arch) ))
           (measures_of profile))
       (benchmarks ())
   in
-  let mean = Stats.mean (Array.of_list drops) in
-  let worst = List.fold_left min 1. drops in
-  ( table,
-    Printf.sprintf "mean drop %.1f%% (paper 1.9%%), worst %.1f%% (paper 6.6%%, netperf)"
-      ((1. -. mean) *. 100.)
-      ((1. -. worst) *. 100.) )
+  fun () ->
+    let table = Table.create [ "benchmark"; "relative perf"; "change" ] in
+    (* A failed sample renders as a failed cell; the aggregates run
+       over the cells that survive. *)
+    let drops =
+      List.filter_map
+        (fun (label, finish) ->
+          match finish () with
+          | Ok rel ->
+              Table.add_row table
+                [ label; Exp_common.fmt_summary rel; Exp_common.fmt_pct_change rel ];
+              Some rel.Stats.gmean
+          | Error msg ->
+              Table.add_row table [ label; "failed: " ^ msg; "-" ];
+              None)
+        pending
+    in
+    let mean = Stats.mean (Array.of_list drops) in
+    let worst = List.fold_left min 1. drops in
+    ( table,
+      Printf.sprintf "mean drop %.1f%% (paper 1.9%%), worst %.1f%% (paper 6.6%%, netperf)"
+        ((1. -. mean) *. 100.)
+        ((1. -. worst) *. 100.) )
 
 (* ------------------------------------------------------------------ *)
 (* Figs. 7 and 8: the 14-macro x 11-benchmark matrix.                  *)
@@ -74,7 +86,7 @@ type matrix_cell = {
   relative : Stats.summary;
 }
 
-let matrix () =
+let matrix_deferred batch =
   let spin = if Exp_common.fast () then 256 else 1024 in
   let cf = Wmm_costfn.Cost_function.make arch spin in
   let samples = if Exp_common.fast () then 2 else 3 in
@@ -83,27 +95,56 @@ let matrix () =
       ~inject_all:[ Wmm_costfn.Cost_function.nop_padding arch cf ]
       arch
   in
-  List.concat_map
-    (fun (profile : Profile.t) ->
-      List.concat_map
-        (fun (label, measure) ->
-          let base =
-            Experiment.performance_summary ~samples ~measure profile base_platform
-          in
-          List.map
-            (fun macro ->
-              let test_platform =
-                Exp_common.kernel_platform
-                  ~inject:[ (macro, [ Wmm_costfn.Cost_function.uop cf ]) ]
-                  arch
-              in
-              let test =
-                Experiment.performance_summary ~samples ~measure profile test_platform
-              in
-              { benchmark = label; macro; relative = Stats.ratio_summary ~test ~base })
-            Kernel.all_macros)
-        (measures_of profile))
-    (benchmarks ())
+  let pending =
+    List.concat_map
+      (fun (profile : Profile.t) ->
+        List.map
+          (fun (label, measure) ->
+            let base_get =
+              Experiment.summary_deferred batch
+                (Experiment.sample_request ~samples ~measure
+                   ~label:("rank base " ^ label) profile base_platform)
+            in
+            let test_gets =
+              List.map
+                (fun macro ->
+                  let test_platform =
+                    Exp_common.kernel_platform
+                      ~inject:[ (macro, [ Wmm_costfn.Cost_function.uop cf ]) ]
+                      arch
+                  in
+                  ( macro,
+                    Experiment.summary_deferred batch
+                      (Experiment.sample_request ~samples ~measure
+                         ~label:
+                           (Printf.sprintf "rank %s x %s" label
+                              (Kernel.macro_name macro))
+                         profile test_platform) ))
+                Kernel.all_macros
+            in
+            (label, base_get, test_gets))
+          (measures_of profile))
+      (benchmarks ())
+  in
+  fun () ->
+    List.concat_map
+      (fun (label, base_get, test_gets) ->
+        match base_get () with
+        | Error _ -> []
+        | Ok base ->
+            List.filter_map
+              (fun (macro, test_get) ->
+                match test_get () with
+                | Ok test ->
+                    Some
+                      {
+                        benchmark = label;
+                        macro;
+                        relative = Stats.ratio_summary ~test ~base;
+                      }
+                | Error _ -> None)
+              test_gets)
+      pending
 
 let fig7 cells =
   let table = Table.create [ "macro"; "sum of relative performance" ] in
@@ -146,9 +187,16 @@ let fig8 cells =
     sums;
   (table, sums)
 
-let report () =
-  let nop_table, nop_summary = nop_padding_table () in
-  let cells = matrix () in
+let report ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
+  in
+  let batch = Experiment.batch () in
+  let nop_finish = nop_padding_deferred batch in
+  let matrix_finish = matrix_deferred batch in
+  Experiment.run_batch engine batch;
+  let nop_table, nop_summary = nop_finish () in
+  let cells = matrix_finish () in
   let fig7_table, _ = fig7 cells in
   let fig8_table, _ = fig8 cells in
   String.concat "\n"

@@ -43,8 +43,8 @@ let subjects () =
     Kernelbench.netperf_tcp;
   ]
 
-let rbd_sweep (profile : Profile.t) =
-  Experiment.sweep ~samples:(Exp_common.samples ())
+let rbd_sweep batch (profile : Profile.t) =
+  Experiment.sweep_deferred batch ~samples:(Exp_common.samples ())
     ~iteration_counts:(Exp_common.sweep_counts ())
     ~code_path:"read_barrier_depends"
     ~base:
@@ -57,19 +57,23 @@ let rbd_sweep (profile : Profile.t) =
         arch)
     profile
 
-let fig9 () =
-  let table = Table.create [ "benchmark"; "fitted k"; "paper k" ] in
-  let sweeps = List.map (fun p -> (p, rbd_sweep p)) (subjects ()) in
-  List.iter
-    (fun ((p : Profile.t), (sweep : Experiment.sweep)) ->
-      Table.add_row table
-        [
-          p.Profile.name;
-          Exp_common.fmt_fit sweep.Experiment.fit;
-          Table.float_cell ~decimals:5 (paper_k p.Profile.name);
-        ])
-    sweeps;
-  (table, sweeps)
+let fig9_deferred batch =
+  let pending = List.map (fun p -> (p, rbd_sweep batch p)) (subjects ()) in
+  fun () ->
+    let table = Table.create [ "benchmark"; "fitted k"; "paper k" ] in
+    let sweeps =
+      List.map (fun (p, finish) -> (p, (finish () : Experiment.sweep))) pending
+    in
+    List.iter
+      (fun ((p : Profile.t), (sweep : Experiment.sweep)) ->
+        Table.add_row table
+          [
+            p.Profile.name;
+            Exp_common.fmt_fit sweep.Experiment.fit;
+            Table.float_cell ~decimals:5 (paper_k p.Profile.name);
+          ])
+      sweeps;
+    (table, sweeps)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: candidate implementations.                                 *)
@@ -77,36 +81,61 @@ let fig9 () =
 
 let strategies = Kernel.all_rbd_strategies
 
-let fig10 () =
-  let table =
-    Table.create
-      ("benchmark"
-      :: List.map Kernel.rbd_name (List.filter (fun s -> s <> Kernel.Rbd_none) strategies))
-  in
-  let cells =
+(* The base-case sample of each benchmark is shared by all five
+   strategies: equal task keys are deduplicated inside the batch. *)
+let fig10_deferred batch =
+  let pending =
     List.map
       (fun (profile : Profile.t) ->
         let rels =
           List.filter_map
             (fun strategy ->
               if strategy = Kernel.Rbd_none then None
-              else begin
-                let rel =
-                  Experiment.relative_performance ~samples:(Exp_common.samples ()) profile
-                    ~base:(Exp_common.kernel_platform ~rbd:Kernel.Rbd_none arch)
-                    ~test:(Exp_common.kernel_platform ~rbd:strategy arch)
-                in
-                Some (strategy, rel)
-              end)
+              else
+                Some
+                  ( strategy,
+                    Experiment.relative_deferred batch
+                      ~samples:(Exp_common.samples ())
+                      ~label:
+                        (Printf.sprintf "fig10 %s / %s" profile.Profile.name
+                           (Kernel.rbd_name strategy))
+                      profile
+                      ~base:(Exp_common.kernel_platform ~rbd:Kernel.Rbd_none arch)
+                      ~test:(Exp_common.kernel_platform ~rbd:strategy arch) ))
             strategies
         in
-        Table.add_row table
-          (profile.Profile.name
-          :: List.map (fun (_, rel) -> Exp_common.fmt_pct_change rel) rels);
         (profile, rels))
       (subjects ())
   in
-  (table, cells)
+  fun () ->
+    let table =
+      Table.create
+        ("benchmark"
+        :: List.map Kernel.rbd_name
+             (List.filter (fun s -> s <> Kernel.Rbd_none) strategies))
+    in
+    let cells =
+      List.map
+        (fun ((profile : Profile.t), rels) ->
+          let finished =
+            List.map (fun (strategy, finish) -> (strategy, finish ())) rels
+          in
+          Table.add_row table
+            (profile.Profile.name
+            :: List.map
+                 (fun (_, outcome) ->
+                   match outcome with
+                   | Ok rel -> Exp_common.fmt_pct_change rel
+                   | Error _ -> "failed")
+                 finished);
+          ( profile,
+            List.filter_map
+              (fun (strategy, outcome) ->
+                match outcome with Ok rel -> Some (strategy, rel) | Error _ -> None)
+              finished ))
+        pending
+    in
+    (table, cells)
 
 (* ------------------------------------------------------------------ *)
 (* T6: inferred per-invocation costs (eq. 2) per strategy.             *)
@@ -134,20 +163,33 @@ let t6 sweeps cells =
   List.iter
     (fun strategy ->
       if strategy <> Kernel.Rbd_none then begin
+        (* Cells missing because their sample failed are excluded
+           from the aggregates. *)
         let cost_for (profile : Profile.t) =
-          let _, rels =
-            List.find (fun ((p : Profile.t), _) -> p == profile || p.Profile.name = profile.Profile.name) cells
-          in
-          let rel = List.assoc strategy rels in
-          Experiment.inferred_cost_ns (fit_for profile.Profile.name) rel
+          match
+            List.find_opt
+              (fun ((p : Profile.t), _) ->
+                p == profile || p.Profile.name = profile.Profile.name)
+              cells
+          with
+          | None -> None
+          | Some (_, rels) ->
+              Option.map
+                (Experiment.inferred_cost_ns (fit_for profile.Profile.name))
+                (List.assoc_opt strategy rels)
         in
-        let lmbench_cost = cost_for Kernelbench.lmbench in
+        let lmbench_cost =
+          match cost_for Kernelbench.lmbench with Some c -> c | None -> nan
+        in
         let others =
           List.filter
             (fun (p : Profile.t) -> p.Profile.name <> "lmbench")
             (subjects ())
         in
-        let mean_others = Stats.mean (Array.of_list (List.map cost_for others)) in
+        let other_costs = List.filter_map cost_for others in
+        let mean_others =
+          if other_costs = [] then nan else Stats.mean (Array.of_list other_costs)
+        in
         let paper_lm, paper_others = paper_t6 strategy in
         Table.add_row table
           [
@@ -164,31 +206,54 @@ let t6 sweeps cells =
 (* The paper aggregates lmbench as the arithmetic mean of its twelve
    sub-benchmarks after comparison to the base case; this table shows
    the parts individually for one strategy. *)
-let lmbench_parts_table () =
-  let table = Table.create [ "lmbench part"; "dmb ish vs base"; "change" ] in
+let lmbench_parts_deferred batch =
   let samples = if Exp_common.fast () then 2 else 4 in
-  let changes =
+  let pending =
     List.map
       (fun (part : Profile.t) ->
-        let rel =
-          Experiment.relative_performance ~samples part
+        ( part,
+          Experiment.relative_deferred batch ~samples
+            ~label:("lmbench part " ^ part.Profile.name)
+            part
             ~base:(Exp_common.kernel_platform ~rbd:Kernel.Rbd_none arch)
-            ~test:(Exp_common.kernel_platform ~rbd:Kernel.Rbd_dmb_ish arch)
-        in
-        Table.add_row table
-          [ part.Profile.name; Exp_common.fmt_summary rel; Exp_common.fmt_pct_change rel ];
-        rel.Wmm_util.Stats.gmean)
+            ~test:(Exp_common.kernel_platform ~rbd:Kernel.Rbd_dmb_ish arch) ))
       Kernelbench.lmbench_parts
   in
-  let mean = Wmm_util.Stats.mean (Array.of_list changes) in
-  Table.add_row table
-    [ "arithmetic mean"; Printf.sprintf "%.4f" mean;
-      Printf.sprintf "%+.1f%%" ((mean -. 1.) *. 100.) ];
-  table
+  fun () ->
+    let table = Table.create [ "lmbench part"; "dmb ish vs base"; "change" ] in
+    let changes =
+      List.filter_map
+        (fun ((part : Profile.t), finish) ->
+          match finish () with
+          | Ok rel ->
+              Table.add_row table
+                [
+                  part.Profile.name; Exp_common.fmt_summary rel;
+                  Exp_common.fmt_pct_change rel;
+                ];
+              Some rel.Wmm_util.Stats.gmean
+          | Error msg ->
+              Table.add_row table [ part.Profile.name; "failed: " ^ msg; "-" ];
+              None)
+        pending
+    in
+    let mean = Wmm_util.Stats.mean (Array.of_list changes) in
+    Table.add_row table
+      [ "arithmetic mean"; Printf.sprintf "%.4f" mean;
+        Printf.sprintf "%+.1f%%" ((mean -. 1.) *. 100.) ];
+    table
 
-let report () =
-  let fig9_table, sweeps = fig9 () in
-  let fig10_table, cells = fig10 () in
+let report ?engine () =
+  let engine =
+    match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
+  in
+  let batch = Experiment.batch () in
+  let fig9_finish = fig9_deferred batch in
+  let fig10_finish = fig10_deferred batch in
+  let lmbench_finish = lmbench_parts_deferred batch in
+  Experiment.run_batch engine batch;
+  let fig9_table, sweeps = fig9_finish () in
+  let fig10_table, cells = fig10_finish () in
   String.concat "\n"
     [
       Exp_common.header "Figure 9: sensitivity to read_barrier_depends";
@@ -203,5 +268,5 @@ let report () =
       "context-dependent behaviour (the paper highlights ctrl and dmb ishld).";
       "";
       Exp_common.header "lmbench sub-benchmarks (aggregated by arithmetic mean, as in the paper)";
-      Table.render (lmbench_parts_table ());
+      Table.render (lmbench_finish ());
     ]

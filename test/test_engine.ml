@@ -1,0 +1,187 @@
+(* The execution engine: scheduling determinism, cache behaviour,
+   crash isolation, telemetry. *)
+
+let () = Unix.putenv "WMM_FAST" "1"
+
+open Wmm_engine
+open Wmm_core
+open Wmm_experiments
+
+let arch = Wmm_isa.Arch.Armv8
+
+(* A deliberately tiny benchmark so each engine test runs in
+   milliseconds. *)
+let profile =
+  { Wmm_workload.Dacapo.spark with Wmm_workload.Profile.threads = 2; units_per_thread = 30 }
+
+let small_sweep engine =
+  let batch = Experiment.batch () in
+  let finish =
+    Experiment.sweep_deferred batch ~samples:2 ~light:true ~iteration_counts:[ 4; 32 ]
+      ~code_path:"engine test" ~base:(Exp_common.jvm_nop_base arch)
+      ~inject:(fun cf ->
+        Exp_common.jvm_platform ~inject_all:[ Wmm_costfn.Cost_function.uop cf ] arch)
+      profile
+  in
+  Experiment.run_batch engine batch;
+  finish ()
+
+let test_sequential_vs_parallel () =
+  let seq = small_sweep (Engine.create ~jobs:1 ()) in
+  let par = small_sweep (Engine.create ~jobs:4 ()) in
+  Alcotest.(check bool) "jobs=4 sweep structurally equal to jobs=1" true (seq = par);
+  (* The deferred path must also agree with the original direct
+     implementation it replaces. *)
+  let direct =
+    Experiment.sweep ~samples:2 ~light:true ~iteration_counts:[ 4; 32 ]
+      ~code_path:"engine test" ~base:(Exp_common.jvm_nop_base arch)
+      ~inject:(fun cf ->
+        Exp_common.jvm_platform ~inject_all:[ Wmm_costfn.Cost_function.uop cf ] arch)
+      profile
+  in
+  Alcotest.(check bool) "deferred sweep equals direct sweep" true (seq = direct)
+
+let with_temp_cache f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wmm_engine_test_%d_%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_cache_hit_on_second_run () =
+  with_temp_cache (fun dir ->
+      let first_engine = Engine.create ~jobs:1 ~cache:(Cache.create ~dir ()) () in
+      let first = small_sweep first_engine in
+      let s1 = Engine.summary first_engine in
+      Alcotest.(check int) "first run computes everything" 0 s1.Telemetry.cached;
+      Alcotest.(check bool) "first run stores results" true
+        ((Cache.stats (Engine.cache first_engine)).Cache.stores > 0);
+      let second_engine = Engine.create ~jobs:2 ~cache:(Cache.create ~dir ()) () in
+      let second = small_sweep second_engine in
+      let s2 = Engine.summary second_engine in
+      Alcotest.(check int) "second run fully cached" s2.Telemetry.total
+        s2.Telemetry.cached;
+      Alcotest.(check int) "second run computes nothing" 0 s2.Telemetry.ran;
+      Alcotest.(check bool) "cached result identical" true (first = second))
+
+let test_failed_task_isolation () =
+  let engine = Engine.create ~jobs:2 () in
+  let tasks =
+    [|
+      Task.pure ~key:"ok-1" (fun () -> 1);
+      Task.pure ~key:"boom" (fun () -> failwith "boom");
+      Task.pure ~key:"ok-3" (fun () -> 3);
+    |]
+  in
+  let results = Engine.run_all engine tasks in
+  (match results.(0) with
+  | Engine.Computed 1 -> ()
+  | _ -> Alcotest.fail "task 0 should compute 1");
+  (match results.(1) with
+  | Engine.Failed msg ->
+      Alcotest.(check bool) "failure message recorded" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "task 1 should fail");
+  (match results.(2) with
+  | Engine.Computed 3 -> ()
+  | _ -> Alcotest.fail "task 2 should compute 3");
+  let s = Engine.summary engine in
+  Alcotest.(check int) "one failure in telemetry" 1 s.Telemetry.failed;
+  Alcotest.(check int) "two tasks ran" 2 s.Telemetry.ran
+
+let test_batch_dedupes_equal_keys () =
+  let engine = Engine.create ~jobs:2 () in
+  let batch = Engine.Batch.create () in
+  let get_a = Engine.Batch.add batch (Task.pure ~key:"shared" (fun () -> 7)) in
+  let get_b = Engine.Batch.add batch (Task.pure ~key:"shared" (fun () -> 7)) in
+  Engine.Batch.run engine batch;
+  Alcotest.(check int) "deduplicated to one task" 1 (Engine.summary engine).Telemetry.total;
+  Alcotest.(check int) "both getters see the value" 14
+    (Engine.get (get_a ()) + Engine.get (get_b ()))
+
+let test_task_rng_deterministic () =
+  let a = Task.rng_for ~root_seed:5 "some/task/key" in
+  let b = Task.rng_for ~root_seed:5 "some/task/key" in
+  let c = Task.rng_for ~root_seed:5 "other/key" in
+  Alcotest.(check int64) "same key, same stream" (Wmm_util.Rng.int64 a)
+    (Wmm_util.Rng.int64 b);
+  Alcotest.(check bool) "different keys decorrelated" true
+    (List.init 8 (fun _ -> Wmm_util.Rng.int64 a)
+    <> List.init 8 (fun _ -> Wmm_util.Rng.int64 c))
+
+let test_telemetry_json () =
+  let engine = Engine.create ~jobs:1 () in
+  ignore (Engine.run_all engine [| Task.pure ~key:"t" (fun () -> ()) |]);
+  let path = Filename.temp_file "wmm_telemetry" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Engine.write_telemetry engine path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      List.iter
+        (fun needle ->
+          let found =
+            let n = String.length needle and h = String.length body in
+            let rec go i = i + n <= h && (String.sub body i n = needle || go (i + 1)) in
+            go 0
+          in
+          if not found then Alcotest.failf "telemetry JSON missing %S" needle)
+        [ "\"tasks_total\": 1"; "\"tasks_ran\": 1"; "\"cache\""; "\"outcome\": \"ran\"" ])
+
+(* The load-bearing determinism property: however the scheduler
+   interleaves tasks (any worker count, any submission order), the
+   fitted k of a sweep is bit-identical to the sequential result. *)
+let prop_scheduling_never_changes_k =
+  let reference = lazy (small_sweep (Engine.create ~jobs:1 ())) in
+  QCheck.Test.make ~name:"scheduling order never changes fitted k" ~count:6
+    QCheck.(pair (int_range 1 4) (int_range 0 5))
+    (fun (jobs, noise_tasks) ->
+      (* Vary the two scheduling knobs - worker count and what else
+         competes for the queue - while the sweep's own submission
+         stays fixed.  The fitted k and every point must be
+         bit-identical to the sequential reference. *)
+      let engine = Engine.create ~jobs () in
+      let batch = Experiment.batch () in
+      let noise_before =
+        List.init noise_tasks (fun i ->
+            Engine.Batch.add batch
+              (Task.make ~key:(Printf.sprintf "noise-%d" i) (fun rng ->
+                   Wmm_util.Stats.summarise
+                     (Array.init 4 (fun _ -> 1. +. Wmm_util.Rng.unit_float rng)))))
+      in
+      let finish =
+        Experiment.sweep_deferred batch ~samples:2 ~light:true
+          ~iteration_counts:[ 4; 32 ] ~code_path:"engine test"
+          ~base:(Exp_common.jvm_nop_base arch)
+          ~inject:(fun cf ->
+            Exp_common.jvm_platform ~inject_all:[ Wmm_costfn.Cost_function.uop cf ]
+              arch)
+          profile
+      in
+      Experiment.run_batch engine batch;
+      List.iter (fun get -> ignore (Engine.get (get ()))) noise_before;
+      let sweep = finish () in
+      let reference = Lazy.force reference in
+      sweep.Experiment.fit.Sensitivity.k = reference.Experiment.fit.Sensitivity.k
+      && sweep.Experiment.points = reference.Experiment.points)
+
+let suite =
+  [
+    Alcotest.test_case "sequential vs parallel equality" `Quick
+      test_sequential_vs_parallel;
+    Alcotest.test_case "cache hit on second run" `Quick test_cache_hit_on_second_run;
+    Alcotest.test_case "failed-task isolation" `Quick test_failed_task_isolation;
+    Alcotest.test_case "batch dedupes equal keys" `Quick test_batch_dedupes_equal_keys;
+    Alcotest.test_case "task rng determinism" `Quick test_task_rng_deterministic;
+    Alcotest.test_case "telemetry json" `Quick test_telemetry_json;
+    QCheck_alcotest.to_alcotest prop_scheduling_never_changes_k;
+  ]

@@ -19,6 +19,7 @@ let () =
       ("platform", Test_platform.suite);
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
+      ("engine", Test_engine.suite);
       ("litmus", Test_litmus.suite);
       ("fuzz", Test_fuzz.suite);
       ("litmus-parse", Test_parse.suite);

@@ -26,6 +26,27 @@ let test_split_independent () =
   let ys = List.init 20 (fun _ -> Rng.bits b) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
 
+(* The property the execution engine depends on: once split streams
+   are derived, the order in which they are consumed - i.e. the order
+   worker domains happen to schedule their tasks - cannot change any
+   stream's output. *)
+let test_split_order_independent () =
+  let consume order =
+    let root = Rng.create 99 in
+    let streams = Array.init 4 (fun _ -> Rng.split root) in
+    let out = Array.make 4 [] in
+    List.iter (fun i -> out.(i) <- List.init 8 (fun _ -> Rng.int64 streams.(i))) order;
+    out
+  in
+  let sequential = consume [ 0; 1; 2; 3 ] in
+  let shuffled = consume [ 3; 1; 0; 2 ] in
+  Array.iteri
+    (fun i xs ->
+      Alcotest.(check (list int64))
+        (Printf.sprintf "stream %d identical under reordering" i)
+        xs shuffled.(i))
+    sequential
+
 let test_int_bounds () =
   let rng = Rng.create 3 in
   for _ = 1 to 1000 do
@@ -104,6 +125,7 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy does not advance" `Quick test_copy_does_not_advance;
     Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "split order independence" `Quick test_split_order_independent;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
     Alcotest.test_case "unit_float range" `Quick test_unit_float_range;
