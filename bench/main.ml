@@ -3,12 +3,16 @@
    library's core operations with Bechamel.
 
    Usage: main.exe [SECTION ...] [--jobs N] [--no-cache] [--telemetry FILE]
+                   [--inject-faults SPEC] [--retries N] [--resume RUN-ID]
+                   [--robust-fit]
 
    With section names (e.g. `main.exe fig5 rankings`) only those
    sections run; without any, the full suite runs.  --jobs fans the
    heavyweight sweeps out across worker domains through wmm_engine;
    the result cache (under _wmm_cache/) makes re-runs incremental
-   unless --no-cache is given.
+   unless --no-cache is given.  Completed tasks are journaled under
+   _wmm_cache/journal/, so an interrupted run resumes where it left
+   off when rerun identically (or explicitly via --resume).
 
    Set WMM_FAST=1 to run a reduced version (fewer samples, smaller
    sweeps) in under a minute. *)
@@ -133,11 +137,17 @@ type options = {
   jobs : int;
   use_cache : bool;
   telemetry_out : string option;
+  faults : Wmm_engine.Fault.t;
+  retries : int;
+  resume : string option;
+  robust : bool;
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe [SECTION ...] [--jobs N] [--no-cache] [--telemetry FILE]";
+  prerr_endline
+    "                [--inject-faults SPEC] [--retries N] [--resume RUN-ID] [--robust-fit]";
   prerr_endline "sections: litmus fig1 fig2_3 fig4 fig5 fig6 jvm_tables rankings";
   prerr_endline "          rbd counters optimizer bechamel";
   exit 2
@@ -151,30 +161,80 @@ let parse_options () =
         | None -> usage ())
     | "--no-cache" :: rest -> go { opts with use_cache = false } rest
     | "--telemetry" :: file :: rest -> go { opts with telemetry_out = Some file } rest
+    | "--inject-faults" :: spec :: rest -> (
+        match Wmm_engine.Fault.parse spec with
+        | Ok faults -> go { opts with faults } rest
+        | Error msg ->
+            Printf.eprintf "--inject-faults: %s\n" msg;
+            usage ())
+    | "--retries" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some retries when retries >= 0 -> go { opts with retries } rest
+        | _ -> usage ())
+    | "--resume" :: id :: rest -> go { opts with resume = Some id } rest
+    | "--robust-fit" :: rest -> go { opts with robust = true } rest
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
     | name :: rest -> go { opts with sections = name :: opts.sections } rest
   in
   go
-    { sections = []; jobs = 1; use_cache = true; telemetry_out = None }
+    {
+      sections = [];
+      jobs = 1;
+      use_cache = true;
+      telemetry_out = None;
+      faults = Wmm_engine.Fault.none;
+      retries = 2;
+      resume = None;
+      robust = false;
+    }
     (List.tl (Array.to_list Sys.argv))
 
 let () =
   let opts = parse_options () in
+  Wmm_engine.Fault.set_ambient opts.faults;
+  let robust = opts.robust in
   let cache =
     if opts.use_cache then Wmm_engine.Cache.create () else Wmm_engine.Cache.disabled
   in
-  let engine = Wmm_engine.Engine.create ~jobs:opts.jobs ~cache () in
+  let journal =
+    let run_id =
+      match opts.resume with
+      | Some id -> Some id
+      | None when not opts.use_cache -> None
+      | None ->
+          Some
+            (Wmm_engine.Journal.derived_run_id ~tag:"bench"
+               [
+                 String.concat "," opts.sections;
+                 Wmm_engine.Cache.code_version ();
+                 (if Exp_common.fast () then "fast" else "full");
+                 Wmm_engine.Fault.fingerprint opts.faults;
+                 string_of_bool robust;
+               ])
+    in
+    Option.map
+      (fun run_id ->
+        let j = Wmm_engine.Journal.open_ ~run_id () in
+        Printf.eprintf "journal: run id %s (%d completed tasks on file)\n%!" run_id
+          (Wmm_engine.Journal.loaded j);
+        j)
+      run_id
+  in
+  let engine =
+    Wmm_engine.Engine.create ~jobs:opts.jobs ~cache ~retries:opts.retries
+      ~faults:opts.faults ?journal ()
+  in
   let all_sections =
     [
       ("litmus", fun () -> section "litmus" litmus_summary);
       ("fig1", fun () -> section "fig1" Fig1.report);
       ("fig2_3", fun () -> section "fig2_3" Fig2_3.report);
       ("fig4", fun () -> section "fig4" Fig4.report);
-      ("fig5", fun () -> section "fig5" (Fig5.report ~engine));
-      ("fig6", fun () -> section "fig6" (Fig6.report ~engine));
+      ("fig5", fun () -> section "fig5" (Fig5.report ~engine ~robust));
+      ("fig6", fun () -> section "fig6" (Fig6.report ~engine ~robust));
       ("jvm_tables", fun () -> section "jvm_tables" Jvm_tables.report);
-      ("rankings", fun () -> section "rankings" (Rankings.report ~engine));
-      ("rbd", fun () -> section "rbd" (Rbd.report ~engine));
+      ("rankings", fun () -> section "rankings" (Rankings.report ~engine ~robust));
+      ("rbd", fun () -> section "rbd" (Rbd.report ~engine ~robust));
       ("counters", fun () -> section "counters" Counters.report);
       ("optimizer", fun () -> section "optimizer" Optimizer_exp.report);
       ("bechamel", bechamel_section);

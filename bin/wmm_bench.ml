@@ -6,7 +6,8 @@
      asm         - show a litmus test or cost function as assembly
      micro       - microbenchmark fence instruction sequences
      sensitivity - fit a benchmark's sensitivity to a code path
-     figure      - regenerate one of the paper's figures/tables *)
+     figure      - regenerate one of the paper's figures/tables
+     cache       - inspect or trim the result cache *)
 
 open Cmdliner
 
@@ -341,18 +342,65 @@ let figure_cmd =
       & opt (some string) None
       & info [ "telemetry" ] ~docv:"FILE" ~doc:"Dump run telemetry as JSON to $(docv)")
   in
-  let run id jobs no_cache cache_dir telemetry_out =
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, e.g. \
+             $(b,seed=7,transient=0.3x2,outlier=0.05x10,corrupt=0.1)")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries (with capped exponential backoff) for transient task failures")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"RUN-ID"
+          ~doc:
+            "Journal run id to resume: replays completed tasks from \
+             $(b,_wmm_cache/journal/RUN-ID.jsonl) and computes only the remainder. \
+             Without this flag a run id is derived from the request, so rerunning an \
+             interrupted identical invocation resumes automatically.")
+  in
+  let robust_arg =
+    Arg.(
+      value & flag
+      & info [ "robust-fit" ]
+          ~doc:
+            "Robust estimation: MAD outlier rejection on raw samples and \
+             Huber-weighted sensitivity fits")
+  in
+  let run id jobs no_cache cache_dir telemetry_out faults_spec retries resume robust =
     let open Wmm_experiments in
+    let faults =
+      match faults_spec with
+      | None -> Wmm_engine.Fault.none
+      | Some spec -> (
+          match Wmm_engine.Fault.parse spec with
+          | Ok f -> f
+          | Error msg -> failwith ("--inject-faults: " ^ msg))
+    in
+    (* Installed before any sample request is built: the experiment
+       layer captures the ambient plan into each task's closure and
+       cache key. *)
+    Wmm_engine.Fault.set_ambient faults;
     let report =
       match id with
       | "fig1" -> fun _engine -> Fig1.report ()
       | "fig2_3" | "fig2" | "fig3" -> fun _engine -> Fig2_3.report ()
       | "fig4" -> fun _engine -> Fig4.report ()
-      | "fig5" -> fun engine -> Fig5.report ~engine ()
-      | "fig6" -> fun engine -> Fig6.report ~engine ()
+      | "fig5" -> fun engine -> Fig5.report ~engine ~robust ()
+      | "fig6" -> fun engine -> Fig6.report ~engine ~robust ()
       | "jvm_tables" | "t1" | "t2" | "t3" | "t4" -> fun _engine -> Jvm_tables.report ()
-      | "rankings" | "fig7" | "fig8" | "t5" -> fun engine -> Rankings.report ~engine ()
-      | "rbd" | "fig9" | "fig10" | "t6" -> fun engine -> Rbd.report ~engine ()
+      | "rankings" | "fig7" | "fig8" | "t5" ->
+          fun engine -> Rankings.report ~engine ~robust ()
+      | "rbd" | "fig9" | "fig10" | "t6" -> fun engine -> Rbd.report ~engine ~robust ()
       | "counters" -> fun _engine -> Counters.report ()
       | "optimizer" -> fun _engine -> Optimizer_exp.report ()
       | other -> failwith (Printf.sprintf "unknown experiment %S (try `list`)" other)
@@ -361,7 +409,36 @@ let figure_cmd =
       if no_cache then Wmm_engine.Cache.disabled
       else Wmm_engine.Cache.create ~dir:cache_dir ()
     in
-    let engine = Wmm_engine.Engine.create ~jobs ~cache () in
+    let journal =
+      (* Automatic resume: identical requests derive identical run
+         ids.  --no-cache opts out of reuse entirely, unless an
+         explicit --resume asks for the journal anyway (journal
+         entries are self-contained, so resume works cacheless). *)
+      let run_id =
+        match resume with
+        | Some id -> Some id
+        | None when no_cache -> None
+        | None ->
+            Some
+              (Wmm_engine.Journal.derived_run_id ~tag:("figure-" ^ id)
+                 [
+                   id;
+                   Wmm_engine.Cache.code_version ();
+                   (if Sys.getenv_opt "WMM_FAST" <> None then "fast" else "full");
+                   Wmm_engine.Fault.fingerprint faults;
+                   string_of_bool robust;
+                 ])
+      in
+      Option.map
+        (fun run_id ->
+          let dir = Filename.concat cache_dir "journal" in
+          let j = Wmm_engine.Journal.open_ ~dir ~run_id () in
+          Printf.eprintf "journal: run id %s (%d completed tasks on file)\n%!" run_id
+            (Wmm_engine.Journal.loaded j);
+          j)
+        run_id
+    in
+    let engine = Wmm_engine.Engine.create ~jobs ~cache ~retries ~faults ?journal () in
     print_endline (report engine);
     (* The run summary goes to stderr so figure output on stdout
        stays byte-identical across --jobs settings. *)
@@ -376,7 +453,59 @@ let figure_cmd =
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures or tables")
     Term.(
-      const run $ id_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ telemetry_arg)
+      const run $ id_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ telemetry_arg
+      $ faults_arg $ retries_arg $ resume_arg $ robust_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"stats, clear, or prune")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Wmm_engine.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory")
+  in
+  let max_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-mb" ] ~docv:"N" ~doc:"Size budget for prune, in megabytes")
+  in
+  let run action cache_dir max_mb =
+    let cache = Wmm_engine.Cache.create ~dir:cache_dir () in
+    let usage () =
+      match Wmm_engine.Cache.disk_usage cache with
+      | Some (entries, bytes) ->
+          Printf.printf "%s: %d entries, %.2f MB\n" cache_dir entries
+            (float_of_int bytes /. (1024. *. 1024.))
+      | None -> print_endline "cache disabled"
+    in
+    match action with
+    | "stats" -> usage ()
+    | "clear" ->
+        Printf.printf "removed %d entries\n" (Wmm_engine.Cache.clear cache);
+        usage ()
+    | "prune" -> (
+        match max_mb with
+        | None -> failwith "prune requires --max-mb N"
+        | Some mb when mb < 0 -> failwith "--max-mb must be non-negative"
+        | Some mb ->
+            Printf.printf "pruned %d entries (oldest first)\n"
+              (Wmm_engine.Cache.prune cache ~max_bytes:(mb * 1024 * 1024));
+            usage ())
+    | other -> failwith (Printf.sprintf "unknown cache action %S (stats | clear | prune)" other)
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Inspect or trim the result cache (stats | clear | prune)")
+    Term.(const run $ action_arg $ cache_dir_arg $ max_mb_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -395,4 +524,5 @@ let () =
             micro_cmd;
             sensitivity_cmd;
             figure_cmd;
+            cache_cmd;
           ]))

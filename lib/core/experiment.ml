@@ -16,14 +16,18 @@ let value_of measure (r : Bench_runner.result) =
   | Response_mean -> 1. /. r.Bench_runner.response_mean_ns
   | Response_max -> 1. /. r.Bench_runner.response_max_ns
 
-let performance_summary ?(samples = 6) ?(warmups = 2) ?(seed = 11) ?measure profile platform =
+let performance_values ?(samples = 6) ?(warmups = 2) ?(seed = 11) ?measure profile
+    platform =
   let measure = match measure with Some m -> m | None -> measure_of_profile profile in
   (* Warm-up runs are discarded, as the paper does for JIT warm-up;
      for the simulator they only advance the seed sequence, which
      keeps sample seeds aligned between base and test cases. *)
   let seeds = List.init samples (fun i -> seed + ((warmups + i) * 1009)) in
   let results = Bench_runner.samples profile platform ~seeds in
-  Stats.summarise (Array.of_list (List.map (value_of measure) results))
+  Array.of_list (List.map (value_of measure) results)
+
+let performance_summary ?samples ?warmups ?seed ?measure profile platform =
+  Stats.summarise (performance_values ?samples ?warmups ?seed ?measure profile platform)
 
 let relative_performance ?(samples = 6) ?(seed = 11) ?measure profile ~base ~test =
   let t = performance_summary ~samples ~seed ?measure profile test in
@@ -37,6 +41,7 @@ type sweep = {
   arch : Arch.t;
   code_path : string;
   points : sweep_point list;
+  dropped : int;
   fit : Sensitivity.fit;
 }
 
@@ -64,7 +69,7 @@ let sweep ?(samples = 6) ?(seed = 11) ?(light = false) ?iteration_counts ~code_p
   let xs = Array.of_list (List.map (fun p -> p.cost_ns) points) in
   let ys = Array.of_list (List.map (fun p -> p.relative.Stats.gmean) points) in
   let fit = Sensitivity.fit_k ~xs ~ys in
-  { benchmark = profile.Profile.name; arch; code_path; points; fit }
+  { benchmark = profile.Profile.name; arch; code_path; points; dropped = 0; fit }
 
 (* ------------------------------------------------------------------ *)
 (* Engine-backed execution: reify performance_summary calls - the    *)
@@ -79,11 +84,13 @@ type sample_request = {
   sr_warmups : int;
   sr_seed : int;
   sr_measure : measure;
+  sr_robust : bool;
+  sr_plan : Wmm_engine.Fault.t;
   sr_label : string;
 }
 
-let sample_request ?(samples = 6) ?(warmups = 2) ?(seed = 11) ?measure ~label profile
-    platform =
+let sample_request ?(samples = 6) ?(warmups = 2) ?(seed = 11) ?measure ?(robust = false)
+    ~label profile platform =
   let measure = match measure with Some m -> m | None -> measure_of_profile profile in
   {
     sr_profile = profile;
@@ -92,6 +99,10 @@ let sample_request ?(samples = 6) ?(warmups = 2) ?(seed = 11) ?measure ~label pr
     sr_warmups = warmups;
     sr_seed = seed;
     sr_measure = measure;
+    sr_robust = robust;
+    (* Captured once, here: the plan that perturbs this request's raw
+       samples is fixed when the task is built, not when it runs. *)
+    sr_plan = Wmm_engine.Fault.ambient ();
     sr_label = label;
   }
 
@@ -99,19 +110,30 @@ let sample_key r =
   (* Everything that determines the summary, canonically serialised
      ([No_sharing] so physically different but structurally equal
      configurations produce the same bytes).  The label is display
-     metadata and deliberately excluded. *)
+     metadata and deliberately excluded; the robust flag and the
+     fault fingerprint are included so perturbed or robustly-filtered
+     summaries never pollute (or reuse) clean cache entries. *)
   let payload =
     Marshal.to_string
       (r.sr_profile, r.sr_platform, r.sr_samples, r.sr_warmups, r.sr_seed, r.sr_measure)
       [ Marshal.No_sharing ]
   in
-  Printf.sprintf "sample/v1|%s|%s" r.sr_profile.Profile.name
+  let fp = Wmm_engine.Fault.fingerprint r.sr_plan in
+  Printf.sprintf "sample/v2|%s|%s%s%s" r.sr_profile.Profile.name
     (Digest.to_hex (Digest.string payload))
+    (if r.sr_robust then "|robust" else "")
+    (if fp = "" then "" else "|faults=" ^ fp)
 
 let sample_task r =
-  Wmm_engine.Task.pure ~key:(sample_key r) ~label:r.sr_label (fun () ->
-      performance_summary ~samples:r.sr_samples ~warmups:r.sr_warmups ~seed:r.sr_seed
-        ~measure:r.sr_measure r.sr_profile r.sr_platform)
+  let key = sample_key r in
+  Wmm_engine.Task.pure ~key ~label:r.sr_label (fun () ->
+      let values =
+        performance_values ~samples:r.sr_samples ~warmups:r.sr_warmups ~seed:r.sr_seed
+          ~measure:r.sr_measure r.sr_profile r.sr_platform
+      in
+      let values = Wmm_engine.Fault.perturb_samples r.sr_plan ~key values in
+      let values = if r.sr_robust then Stats.reject_outliers values else values in
+      Stats.summarise values)
 
 type batch = Stats.summary Wmm_engine.Engine.Batch.t
 
@@ -124,12 +146,17 @@ let summary_deferred b r =
   let get = submit b r in
   fun () -> Wmm_engine.Engine.value (get ())
 
-let relative_deferred b ?(samples = 6) ?(seed = 11) ?measure ~label profile ~base ~test =
+let relative_deferred b ?(samples = 6) ?(seed = 11) ?measure ?robust ~label profile ~base
+    ~test =
   let test_get =
-    submit b (sample_request ~samples ~seed ?measure ~label:(label ^ " [test]") profile test)
+    submit b
+      (sample_request ~samples ~seed ?measure ?robust ~label:(label ^ " [test]") profile
+         test)
   in
   let base_get =
-    submit b (sample_request ~samples ~seed ?measure ~label:(label ^ " [base]") profile base)
+    submit b
+      (sample_request ~samples ~seed ?measure ?robust ~label:(label ^ " [base]") profile
+         base)
   in
   fun () ->
     match
@@ -139,7 +166,7 @@ let relative_deferred b ?(samples = 6) ?(seed = 11) ?measure ~label profile ~bas
     | Error e, _ | _, Error e -> Error e
 
 let sweep_deferred b ?(samples = 6) ?(seed = 11) ?(light = false) ?iteration_counts
-    ~code_path ~base ~inject profile =
+    ?robust ~code_path ~base ~inject profile =
   let arch = Generate.platform_arch base in
   let counts =
     match iteration_counts with Some c -> c | None -> default_iteration_counts
@@ -148,7 +175,7 @@ let sweep_deferred b ?(samples = 6) ?(seed = 11) ?(light = false) ?iteration_cou
     Printf.sprintf "%s/%s/%s %s" profile.Profile.name (Arch.name arch) code_path suffix
   in
   let base_get =
-    submit b (sample_request ~samples ~seed ~label:(label "base") profile base)
+    submit b (sample_request ~samples ~seed ?robust ~label:(label "base") profile base)
   in
   let point_gets =
     List.map
@@ -156,36 +183,49 @@ let sweep_deferred b ?(samples = 6) ?(seed = 11) ?(light = false) ?iteration_cou
         let cf = Cost_function.make ~light arch n in
         let get =
           submit b
-            (sample_request ~samples ~seed
+            (sample_request ~samples ~seed ?robust
                ~label:(label (Printf.sprintf "n=%d" n))
                profile (inject cf))
         in
         (n, cf, get))
       counts
   in
+  let robust = robust = Some true in
   fun () ->
-    let base_summary = Wmm_engine.Engine.get (base_get ()) in
-    (* Crash isolation: a failed sweep point is dropped (and counted
-       in the engine telemetry) rather than aborting the figure; the
-       fit runs over the surviving points. *)
-    let points =
-      List.filter_map
-        (fun (n, cf, get) ->
-          match Wmm_engine.Engine.value (get ()) with
-          | Ok test_summary ->
-              Some
-                {
-                  iterations = n;
-                  cost_ns = Cost_function.standalone_ns cf;
-                  relative = Stats.ratio_summary ~test:test_summary ~base:base_summary;
-                }
-          | Error _ -> None)
-        point_gets
+    let total = List.length counts in
+    let assemble points =
+      (* Degradation, not abortion: with too few surviving points the
+         sweep reports an unavailable fit and the figure annotates the
+         dropped cells; the rest of the report still renders. *)
+      let dropped = total - List.length points in
+      let fit =
+        if List.length points < 2 then Sensitivity.unavailable
+        else
+          let xs = Array.of_list (List.map (fun p -> p.cost_ns) points) in
+          let ys = Array.of_list (List.map (fun p -> p.relative.Stats.gmean) points) in
+          if robust then Sensitivity.fit_k_robust ~xs ~ys else Sensitivity.fit_k ~xs ~ys
+      in
+      { benchmark = profile.Profile.name; arch; code_path; points; dropped; fit }
     in
-    let xs = Array.of_list (List.map (fun p -> p.cost_ns) points) in
-    let ys = Array.of_list (List.map (fun p -> p.relative.Stats.gmean) points) in
-    let fit = Sensitivity.fit_k ~xs ~ys in
-    { benchmark = profile.Profile.name; arch; code_path; points; fit }
+    match Wmm_engine.Engine.value (base_get ()) with
+    | Error _ ->
+        (* No base case: every point is normalised against it, so the
+           whole sweep degrades. *)
+        assemble []
+    | Ok base_summary ->
+        List.filter_map
+          (fun (n, cf, get) ->
+            match Wmm_engine.Engine.value (get ()) with
+            | Ok test_summary ->
+                Some
+                  {
+                    iterations = n;
+                    cost_ns = Cost_function.standalone_ns cf;
+                    relative = Stats.ratio_summary ~test:test_summary ~base:base_summary;
+                  }
+            | Error _ -> None)
+          point_gets
+        |> assemble
 
 type cell = { benchmark : string; code_path : string; relative : Stats.summary }
 

@@ -12,6 +12,19 @@ type measure = Throughput | Response_mean | Response_max
 val measure_of_profile : Profile.t -> measure
 (** [Response_mean] for response-mode profiles, else [Throughput]. *)
 
+val performance_values :
+  ?samples:int ->
+  ?warmups:int ->
+  ?seed:int ->
+  ?measure:measure ->
+  Profile.t ->
+  Generate.platform ->
+  float array
+(** The raw per-sample performance values ([samples] of them, default
+    6, after [warmups] discarded runs, default 2).  The seam where
+    fault-injected outlier perturbation and robust filtering apply,
+    before summarisation. *)
+
 val performance_summary :
   ?samples:int ->
   ?warmups:int ->
@@ -20,10 +33,9 @@ val performance_summary :
   Profile.t ->
   Generate.platform ->
   Stats.summary
-(** Geometric-mean performance over [samples] runs (default 6) after
-    [warmups] discarded runs (default 2), matching the paper's
-    methodology.  Higher is better for every measure (response times
-    are inverted). *)
+(** [Stats.summarise] of {!performance_values}: geometric-mean
+    performance matching the paper's methodology.  Higher is better
+    for every measure (response times are inverted). *)
 
 val relative_performance :
   ?samples:int ->
@@ -49,6 +61,10 @@ type sweep = {
   arch : Arch.t;
   code_path : string;
   points : sweep_point list;
+  dropped : int;
+      (** Sweep points whose sample task failed permanently; they are
+          excluded from [points] and from the fit, and annotated in
+          the figures. *)
   fit : Sensitivity.fit;
 }
 
@@ -87,12 +103,17 @@ val sample_request :
   ?warmups:int ->
   ?seed:int ->
   ?measure:measure ->
+  ?robust:bool ->
   label:string ->
   Profile.t ->
   Generate.platform ->
   sample_request
 (** Same defaults as {!performance_summary}.  [label] is only used
-    in telemetry. *)
+    in telemetry.  With [robust] (default false) the raw samples pass
+    through MAD-based outlier rejection before summarisation.  The
+    ambient fault plan ({!Wmm_engine.Fault.ambient}) is captured into
+    the request: its outlier perturbation applies to the raw samples,
+    and its fingerprint becomes part of the cache key. *)
 
 val sample_key : sample_request -> string
 (** The task's content key: profile name plus a digest of the
@@ -114,6 +135,7 @@ val relative_deferred :
   ?samples:int ->
   ?seed:int ->
   ?measure:measure ->
+  ?robust:bool ->
   label:string ->
   Profile.t ->
   base:Generate.platform ->
@@ -130,6 +152,7 @@ val sweep_deferred :
   ?seed:int ->
   ?light:bool ->
   ?iteration_counts:int list ->
+  ?robust:bool ->
   code_path:string ->
   base:Generate.platform ->
   inject:(Wmm_costfn.Cost_function.t -> Generate.platform) ->
@@ -138,8 +161,11 @@ val sweep_deferred :
   sweep
 (** Deferred {!sweep}: submits the base sample and one sample per
     cost size, returns a finalizer assembling the sweep.  Failed
-    points are dropped from the fit (crash isolation); a failed base
-    raises [Failure]. *)
+    points are dropped from the fit and counted in [dropped] (crash
+    isolation); a failed base - or fewer than two surviving points -
+    degrades the whole sweep to [Sensitivity.unavailable] instead of
+    raising.  With [robust] the samples are outlier-filtered and the
+    fit is Huber-weighted ({!Sensitivity.fit_k_robust}). *)
 
 (** {1 Fixed-cost rankings (paper Figs. 7 and 8)} *)
 

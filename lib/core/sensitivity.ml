@@ -8,7 +8,11 @@ let cost_of_change ~k ~p =
 
 type fit = { k : float; k_error_percent : float; residual_ss : float; converged : bool }
 
-let fit_k ~xs ~ys =
+let unavailable = { k = nan; k_error_percent = infinity; residual_ss = nan; converged = false }
+
+let available f = Float.is_finite f.k
+
+let fit_k_with fitter ~xs ~ys =
   if Array.length xs < 2 then invalid_arg "Sensitivity.fit_k: needs at least two points";
   if Array.length xs <> Array.length ys then
     invalid_arg "Sensitivity.fit_k: xs/ys length mismatch";
@@ -19,7 +23,7 @@ let fit_k ~xs ~ys =
     if a > 1. && p > 0. && p < 1. then ((1. /. p) -. 1.) /. (a -. 1.) else 1e-3
   in
   let model params a = performance ~k:params.(0) ~a in
-  let result = Fit.curve_fit ~f:model ~xs ~ys ~init:[| Float.max 1e-8 init |] () in
+  let result = fitter ~f:model ~xs ~ys ~init:[| Float.max 1e-8 init |] () in
   let k = result.Fit.params.(0) in
   let err =
     if Float.is_finite result.Fit.std_errors.(0) && k <> 0. then
@@ -32,6 +36,11 @@ let fit_k ~xs ~ys =
     residual_ss = result.Fit.residual_ss;
     converged = result.Fit.converged;
   }
+
+let fit_k ~xs ~ys = fit_k_with (fun ~f ~xs ~ys ~init () -> Fit.curve_fit ~f ~xs ~ys ~init ()) ~xs ~ys
+
+let fit_k_robust ~xs ~ys =
+  fit_k_with (fun ~f ~xs ~ys ~init () -> Fit.huber_fit ~f ~xs ~ys ~init ()) ~xs ~ys
 
 let well_suited ?(max_error_percent = 15.) ?(min_k = 1e-4) fit =
   fit.converged && fit.k >= min_k && fit.k_error_percent <= max_error_percent

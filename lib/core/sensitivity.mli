@@ -29,10 +29,24 @@ type fit = {
   converged : bool;
 }
 
+val unavailable : fit
+(** The degraded-run placeholder: [k = nan], infinite error, not
+    converged.  Rendered by the figures as a failed fit instead of
+    aborting the whole report. *)
+
+val available : fit -> bool
+(** False exactly for {!unavailable}-style fits (non-finite [k]). *)
+
 val fit_k : xs:float array -> ys:float array -> fit
 (** Non-linear least-squares fit of eq. 1 to (cost-function size in
     ns, relative performance) samples.  Raises [Invalid_argument] on
     fewer than two points. *)
+
+val fit_k_robust : xs:float array -> ys:float array -> fit
+(** Like {!fit_k} but with Huber-weighted iteratively reweighted
+    least squares ({!Wmm_util.Fit.huber_fit}): sweep points corrupted
+    by outlier samples pull on [k] with bounded force.  Identical to
+    {!fit_k} on clean data. *)
 
 val well_suited : ?max_error_percent:float -> ?min_k:float -> fit -> bool
 (** The paper's usefulness criterion: a benchmark suits a code path

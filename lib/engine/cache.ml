@@ -1,4 +1,4 @@
-type stats = { hits : int; misses : int; stores : int; errors : int }
+type stats = { hits : int; misses : int; stores : int; errors : int; pruned : int }
 
 type active = {
   a_dir : string;
@@ -8,6 +8,7 @@ type active = {
   mutable misses : int;
   mutable stores : int;
   mutable errors : int;
+  mutable pruned : int;
 }
 
 type t = Disabled | Active of active
@@ -28,16 +29,19 @@ let create ?(dir = default_dir) ?version () =
   let version = match version with Some v -> v | None -> code_version () in
   Active
     { a_dir = dir; version; lock = Mutex.create (); hits = 0; misses = 0;
-      stores = 0; errors = 0 }
+      stores = 0; errors = 0; pruned = 0 }
 
 let enabled = function Disabled -> false | Active _ -> true
 let dir = function Disabled -> None | Active a -> Some a.a_dir
 
 let stats = function
-  | Disabled -> { hits = 0; misses = 0; stores = 0; errors = 0 }
+  | Disabled -> { hits = 0; misses = 0; stores = 0; errors = 0; pruned = 0 }
   | Active a ->
       Mutex.lock a.lock;
-      let s = { hits = a.hits; misses = a.misses; stores = a.stores; errors = a.errors } in
+      let s =
+        { hits = a.hits; misses = a.misses; stores = a.stores; errors = a.errors;
+          pruned = a.pruned }
+      in
       Mutex.unlock a.lock;
       s
 
@@ -106,3 +110,82 @@ let store t ~key value =
       with _ ->
         (try Sys.remove tmp with _ -> ());
         bump a (fun a -> a.errors <- a.errors + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance: listing, clearing, LRU pruning.                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every entry this module writes ends in ".cache"; anything else in
+   the directory (journals, tmp files of live writers) is left alone. *)
+let entries dirname =
+  match Sys.readdir dirname with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if Filename.check_suffix name ".cache" then
+               let file = Filename.concat dirname name in
+               match Unix.stat file with
+               | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                   Some (file, st_size, st_mtime)
+               | _ | (exception Unix.Unix_error _) -> None
+             else None)
+
+let disk_usage = function
+  | Disabled -> None
+  | Active a ->
+      let es = entries a.a_dir in
+      Some (List.length es, List.fold_left (fun acc (_, size, _) -> acc + size) 0 es)
+
+let clear t =
+  match t with
+  | Disabled -> 0
+  | Active a ->
+      let removed =
+        List.fold_left
+          (fun n (file, _, _) -> match Sys.remove file with () -> n + 1 | exception Sys_error _ -> n)
+          0 (entries a.a_dir)
+      in
+      bump a (fun a -> a.pruned <- a.pruned + removed);
+      removed
+
+let prune t ~max_bytes =
+  match t with
+  | Disabled -> 0
+  | Active a ->
+      (* Oldest-mtime-first eviction until the directory fits the
+         budget; [find] refreshes no timestamps, so mtime here is
+         store order - good enough for a results cache whose entries
+         are written once and only ever re-read. *)
+      let es =
+        List.sort (fun (_, _, m1) (_, _, m2) -> compare m1 m2) (entries a.a_dir)
+      in
+      let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 es in
+      let removed, _ =
+        List.fold_left
+          (fun (n, remaining) (file, size, _) ->
+            if remaining <= max_bytes then (n, remaining)
+            else
+              match Sys.remove file with
+              | () -> (n + 1, remaining - size)
+              | exception Sys_error _ -> (n, remaining))
+          (0, total) es
+      in
+      bump a (fun a -> a.pruned <- a.pruned + removed);
+      removed
+
+let corrupt t ~key =
+  match t with
+  | Disabled -> false
+  | Active a -> (
+      let file = path a key in
+      match open_out_gen [ Open_wronly; Open_binary ] 0o644 file with
+      | exception Sys_error _ -> false
+      | oc ->
+          (* Garble the header in place: the marshalled stored-key no
+             longer round-trips, so the next [find] must detect the
+             damage and count an error rather than return junk. *)
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc "\xde\xad\xbe\xef\xde\xad\xbe\xef");
+          true)

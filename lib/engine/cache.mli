@@ -20,9 +20,10 @@
 
 type t
 
-type stats = { hits : int; misses : int; stores : int; errors : int }
+type stats = { hits : int; misses : int; stores : int; errors : int; pruned : int }
 (** [errors] counts unreadable or corrupt entries (treated as
-    misses) and failed writes. *)
+    misses) and failed writes; [pruned] counts entries deleted by
+    {!clear} or {!prune} through this handle. *)
 
 val default_dir : string
 (** ["_wmm_cache"]. *)
@@ -44,3 +45,25 @@ val code_version : unit -> string
 val find : t -> key:string -> 'a option
 val store : t -> key:string -> 'a -> unit
 val stats : t -> stats
+
+(** {1 Maintenance}
+
+    Offline housekeeping for the [wmm_bench cache] subcommand.  Only
+    files ending in [.cache] are touched; journals and in-flight
+    temporaries are left alone. *)
+
+val disk_usage : t -> (int * int) option
+(** [(entry count, total bytes)] currently on disk; [None] for the
+    disabled cache. *)
+
+val clear : t -> int
+(** Delete every cache entry; returns how many were removed. *)
+
+val prune : t -> max_bytes:int -> int
+(** Evict oldest-first (by mtime, i.e. store order) until the cache
+    fits in [max_bytes]; returns how many entries were removed. *)
+
+val corrupt : t -> key:string -> bool
+(** Garble the on-disk entry for [key] in place (fault injection:
+    exercises corrupt-entry detection on the next {!find}).  Returns
+    false when no entry exists. *)

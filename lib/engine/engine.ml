@@ -3,19 +3,63 @@ type t = {
   cache : Cache.t;
   seed : int;
   soft_deadline_s : float option;
+  retries : int;
+  backoff_s : float;
+  faults : Fault.t;
+  journal : Journal.t option;
   telemetry : Telemetry.t;
 }
 
-type 'a outcome = Computed of 'a | Cached of 'a | Failed of string
+type 'a outcome = Computed of 'a | Cached of 'a | Replayed of 'a | Failed of string
 
-let create ?(jobs = 1) ?(cache = Cache.disabled) ?(seed = 0) ?soft_deadline_s () =
+let create ?(jobs = 1) ?(cache = Cache.disabled) ?(seed = 0) ?soft_deadline_s
+    ?(retries = 2) ?(backoff_s = 0.05) ?faults ?journal () =
   let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
-  { jobs; cache; seed; soft_deadline_s; telemetry = Telemetry.create () }
+  let faults = match faults with Some f -> f | None -> Fault.ambient () in
+  {
+    jobs;
+    cache;
+    seed;
+    soft_deadline_s;
+    retries = max 0 retries;
+    backoff_s = max 0. backoff_s;
+    faults;
+    journal;
+    telemetry = Telemetry.create ();
+  }
 
 let sequential () = create ()
 
 let jobs t = t.jobs
 let cache t = t.cache
+let journal t = t.journal
+
+(* One task, full resilience path: journal replay, cache lookup, then
+   up to [1 + retries] attempts with capped exponential backoff
+   between them.  Only transient exceptions (see {!Fault.transient_exn})
+   are retried - retrying a deterministic error from a pure
+   computation cannot change the result. *)
+let attempt_task t task =
+  let key = task.Task.key in
+  let max_attempts = 1 + t.retries in
+  let rec go attempt =
+    match
+      if Fault.should_fail t.faults ~key ~attempt then
+        raise (Fault.Injected (Printf.sprintf "attempt %d of %s" attempt key));
+      (* A fresh RNG per attempt: a retried task sees exactly the
+         stream its first attempt would have, preserving bit-identical
+         output. *)
+      task.Task.run (Task.rng_for ~root_seed:t.seed key)
+    with
+    | v -> Ok (v, attempt + 1)
+    | exception e when Fault.transient_exn e && attempt + 1 < max_attempts ->
+        (* Capped exponential backoff: backoff_s, 2*backoff_s, ... <= 2s. *)
+        let delay = Float.min 2. (t.backoff_s *. (2. ** float_of_int attempt)) in
+        if delay > 0. then Unix.sleepf delay;
+        go (attempt + 1)
+    | exception e -> Error (Printexc.to_string e, attempt + 1)
+  in
+  go 0
 
 let run_all t tasks =
   let n = Array.length tasks in
@@ -24,53 +68,75 @@ let run_all t tasks =
   let batch_start = Unix.gettimeofday () in
   Pool.run ~jobs:t.jobs n (fun i ->
       let task = tasks.(i) in
+      let key = task.Task.key in
       let queue_depth = n - Atomic.fetch_and_add started 1 - 1 in
-      let record wall_s outcome =
+      let record wall_s attempts outcome =
         Telemetry.add t.telemetry
           {
             Telemetry.label = task.Task.label;
-            key = task.Task.key;
+            key;
             wall_s;
             queue_depth;
             outcome;
+            attempts;
           }
       in
-      match Cache.find t.cache ~key:task.Task.key with
+      match Option.bind t.journal (fun j -> Journal.replay j ~key) with
       | Some v ->
-          results.(i) <- Cached v;
-          record 0. Telemetry.Cache_hit
+          results.(i) <- Replayed v;
+          record 0. 0 Telemetry.Replayed
       | None -> (
-          let t0 = Unix.gettimeofday () in
-          match task.Task.run (Task.rng_for ~root_seed:t.seed task.Task.key) with
-          | v -> (
-              let wall = Unix.gettimeofday () -. t0 in
-              match t.soft_deadline_s with
-              | Some limit when wall > limit ->
-                  let msg =
-                    Printf.sprintf "exceeded soft deadline (%.2fs > %.2fs)" wall limit
-                  in
+          match Cache.find t.cache ~key with
+          | Some v ->
+              results.(i) <- Cached v;
+              record 0. 0 Telemetry.Cache_hit
+          | None -> (
+              let t0 = Unix.gettimeofday () in
+              match attempt_task t task with
+              | Ok (v, attempts) -> (
+                  let wall = Unix.gettimeofday () -. t0 in
+                  match t.soft_deadline_s with
+                  | Some limit when wall > limit ->
+                      (* An overrun result must not be published
+                         anywhere a later run could reuse it: neither
+                         cached nor journaled. *)
+                      let msg =
+                        Printf.sprintf "exceeded soft deadline (%.2fs > %.2fs)" wall
+                          limit
+                      in
+                      results.(i) <- Failed msg;
+                      record wall attempts (Telemetry.Failed msg)
+                  | _ ->
+                      Cache.store t.cache ~key v;
+                      if Fault.should_corrupt t.faults ~key then
+                        ignore (Cache.corrupt t.cache ~key);
+                      Option.iter (fun j -> Journal.record_ok j ~key v) t.journal;
+                      results.(i) <- Computed v;
+                      record wall attempts Telemetry.Ran)
+              | Error (msg, attempts) ->
+                  let wall = Unix.gettimeofday () -. t0 in
+                  Option.iter (fun j -> Journal.record_failed j ~key ~msg) t.journal;
                   results.(i) <- Failed msg;
-                  record wall (Telemetry.Failed msg)
-              | _ ->
-                  Cache.store t.cache ~key:task.Task.key v;
-                  results.(i) <- Computed v;
-                  record wall Telemetry.Ran)
-          | exception e ->
-              let wall = Unix.gettimeofday () -. t0 in
-              let msg = Printexc.to_string e in
-              results.(i) <- Failed msg;
-              record wall (Telemetry.Failed msg)));
+                  record wall attempts (Telemetry.Failed msg)
+              | exception e ->
+                  (* Injected faults that exhaust the retry budget land
+                     here (re-raised by attempt_task's last round). *)
+                  let wall = Unix.gettimeofday () -. t0 in
+                  let msg = Printexc.to_string e in
+                  Option.iter (fun j -> Journal.record_failed j ~key ~msg) t.journal;
+                  results.(i) <- Failed msg;
+                  record wall (1 + t.retries) (Telemetry.Failed msg))));
   Telemetry.add_batch_wall t.telemetry (Unix.gettimeofday () -. batch_start);
   results
 
 let run t task = (run_all t [| task |]).(0)
 
 let value = function
-  | Computed v | Cached v -> Ok v
+  | Computed v | Cached v | Replayed v -> Ok v
   | Failed msg -> Error msg
 
 let get = function
-  | Computed v | Cached v -> v
+  | Computed v | Cached v | Replayed v -> v
   | Failed msg -> failwith ("engine task failed: " ^ msg)
 
 let summary t = Telemetry.summary ~jobs:t.jobs ~cache:(Cache.stats t.cache) t.telemetry

@@ -1,34 +1,62 @@
 (** The experiment execution engine.
 
     An engine fans independent tasks (see {!Task}) out across a pool
-    of worker domains, consults the result cache before computing,
-    isolates per-task crashes, and accumulates run telemetry.  One
-    engine is created per run (CLI invocation, bench harness run,
-    test); its telemetry spans every batch submitted to it.
+    of worker domains, consults the run journal and the result cache
+    before computing, isolates per-task crashes, retries transient
+    failures with capped exponential backoff, and accumulates run
+    telemetry.  One engine is created per run (CLI invocation, bench
+    harness run, test); its telemetry spans every batch submitted to
+    it.
 
     Because tasks are pure functions of their key-derived inputs and
     results are written back by submission index, output is
     bit-identical for any [jobs] setting and any scheduling
-    interleaving. *)
+    interleaving - including runs where transient faults were
+    injected and recovered by retry. *)
 
 type t
 
 type 'a outcome =
   | Computed of 'a
   | Cached of 'a  (** Served from the result cache. *)
+  | Replayed of 'a  (** Served from the resume journal. *)
   | Failed of string
-      (** The task raised (crash isolation), or overran the
-          soft deadline when one was configured. *)
+      (** The task raised (crash isolation) and could not be
+          recovered by retrying, or overran the soft deadline when
+          one was configured. *)
 
 val create :
-  ?jobs:int -> ?cache:Cache.t -> ?seed:int -> ?soft_deadline_s:float -> unit -> t
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?seed:int ->
+  ?soft_deadline_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?faults:Fault.t ->
+  ?journal:Journal.t ->
+  unit ->
+  t
 (** [jobs] defaults to 1 (sequential; [0] means all recommended
     domains); [cache] to {!Cache.disabled}; [seed] (the root of the
-    per-task RNG streams) to 0.  [soft_deadline_s], when given,
-    marks any task whose wall-clock exceeds it as [Failed]; running
-    domains cannot be preempted, so the deadline is checked on
-    completion, and enabling it trades run-to-run determinism of
-    failure marking for boundedness. *)
+    per-task RNG streams) to 0.
+
+    [soft_deadline_s], when given, marks any task whose wall-clock
+    exceeds it as [Failed]; running domains cannot be preempted, so
+    the deadline is checked on completion, and enabling it trades
+    run-to-run determinism of failure marking for boundedness.
+    Overrun results are discarded: neither cached nor journaled.
+
+    [retries] (default 2) is how many times a transiently-failing
+    attempt is retried before the task settles as [Failed];
+    [backoff_s] (default 0.05) seeds the capped exponential backoff
+    ([backoff_s * 2^attempt], capped at 2s) slept between attempts.
+    Only exceptions classified transient by {!Fault.transient_exn}
+    are retried.
+
+    [faults] is the injection plan (defaults to {!Fault.ambient}[ ()],
+    which the CLI sets from [--inject-faults]).  [journal], when
+    given, replays completed results from a previous interrupted run
+    and records every settled task for the next one. *)
 
 val sequential : unit -> t
 (** Fresh single-threaded engine with caching disabled: the drop-in
@@ -36,9 +64,12 @@ val sequential : unit -> t
 
 val jobs : t -> int
 val cache : t -> Cache.t
+val journal : t -> Journal.t option
 
 val run_all : t -> 'a Task.t array -> 'a outcome array
-(** Execute one batch.  Result [i] corresponds to task [i]. *)
+(** Execute one batch.  Result [i] corresponds to task [i].  Per
+    task: journal replay is consulted first, then the cache, then up
+    to [1 + retries] attempts run. *)
 
 val run : t -> 'a Task.t -> 'a outcome
 

@@ -1,0 +1,163 @@
+type t = {
+  seed : int;
+  transient_p : float;
+  transient_fails : int;
+  outlier_p : float;
+  outlier_scale : float;
+  corrupt_p : float;
+}
+
+let none =
+  {
+    seed = 0;
+    transient_p = 0.;
+    transient_fails = 1;
+    outlier_p = 0.;
+    outlier_scale = 10.;
+    corrupt_p = 0.;
+  }
+
+let is_none t = t.transient_p = 0. && t.outlier_p = 0. && t.corrupt_p = 0.
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected msg -> Some ("Fault.Injected(" ^ msg ^ ")")
+    | _ -> None)
+
+let transient_exn = function
+  | Injected _ -> true
+  (* Real-world flakiness reaches tasks as I/O errors; deterministic
+     computation errors (Failure, Invalid_argument, ...) are
+     permanent - retrying a pure function cannot change its result. *)
+  | Sys_error _ -> true
+  | Unix.Unix_error _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault streams: every decision is a pure function of  *)
+(* (plan seed, purpose, task key, index), mirroring how task RNG      *)
+(* streams derive from key digests - so a fault plan reproduces the   *)
+(* exact same failures on every run, any --jobs setting.              *)
+(* ------------------------------------------------------------------ *)
+
+let unit_for t ~purpose ~key ~index =
+  let digest =
+    Digest.string (Printf.sprintf "%d\x00%s\x00%s\x00%d" t.seed purpose key index)
+  in
+  let h = ref 0 in
+  for i = 0 to 6 do
+    h := (!h lsl 8) lor Char.code digest.[i]
+  done;
+  float_of_int !h /. 72057594037927936. (* 2^56 *)
+
+let should_fail t ~key ~attempt =
+  t.transient_p > 0.
+  && attempt < t.transient_fails
+  && unit_for t ~purpose:"transient" ~key ~index:0 < t.transient_p
+
+let should_corrupt t ~key =
+  t.corrupt_p > 0. && unit_for t ~purpose:"corrupt" ~key ~index:0 < t.corrupt_p
+
+let perturb_samples t ~key samples =
+  if t.outlier_p <= 0. then samples
+  else
+    Array.mapi
+      (fun i x ->
+        if unit_for t ~purpose:"outlier" ~key ~index:i < t.outlier_p then
+          x *. t.outlier_scale
+        else x)
+      samples
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing: "seed=7,transient=0.3x2,outlier=0.05x10,corrupt=0.1" *)
+(* ------------------------------------------------------------------ *)
+
+let to_string t =
+  if is_none t then ""
+  else
+    String.concat ","
+      (List.filter
+         (fun s -> s <> "")
+         [
+           Printf.sprintf "seed=%d" t.seed;
+           (if t.transient_p > 0. then
+              Printf.sprintf "transient=%gx%d" t.transient_p t.transient_fails
+            else "");
+           (if t.outlier_p > 0. then
+              Printf.sprintf "outlier=%gx%g" t.outlier_p t.outlier_scale
+            else "");
+           (if t.corrupt_p > 0. then Printf.sprintf "corrupt=%g" t.corrupt_p else "");
+         ])
+
+let fingerprint = to_string
+
+let parse_prob name v =
+  match float_of_string_opt v with
+  | Some p when p >= 0. && p <= 1. -> Ok p
+  | _ -> Error (Printf.sprintf "%s: probability %S outside [0, 1]" name v)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse spec =
+  let fields =
+    List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' spec))
+  in
+  List.fold_left
+    (fun acc field ->
+      let* t = acc in
+      match String.index_opt field '=' with
+      | None -> Error (Printf.sprintf "fault spec field %S is not name=value" field)
+      | Some eq -> (
+          let name = String.sub field 0 eq in
+          let value = String.sub field (eq + 1) (String.length field - eq - 1) in
+          let value, qualifier =
+            match String.index_opt value 'x' with
+            | None -> (value, None)
+            | Some i ->
+                ( String.sub value 0 i,
+                  Some (String.sub value (i + 1) (String.length value - i - 1)) )
+          in
+          match name with
+          | "seed" -> (
+              match (int_of_string_opt value, qualifier) with
+              | Some seed, None -> Ok { t with seed }
+              | _ -> Error (Printf.sprintf "seed: %S is not an integer" value))
+          | "transient" -> (
+              let* p = parse_prob "transient" value in
+              match qualifier with
+              | None -> Ok { t with transient_p = p }
+              | Some q -> (
+                  match int_of_string_opt q with
+                  | Some n when n >= 1 -> Ok { t with transient_p = p; transient_fails = n }
+                  | _ -> Error (Printf.sprintf "transient: attempt count %S invalid" q)))
+          | "outlier" -> (
+              let* p = parse_prob "outlier" value in
+              match qualifier with
+              | None -> Ok { t with outlier_p = p }
+              | Some q -> (
+                  match float_of_string_opt q with
+                  | Some s when s > 0. -> Ok { t with outlier_p = p; outlier_scale = s }
+                  | _ -> Error (Printf.sprintf "outlier: scale %S invalid" q)))
+          | "corrupt" ->
+              if qualifier <> None then Error "corrupt takes a bare probability"
+              else
+                let* p = parse_prob "corrupt" value in
+                Ok { t with corrupt_p = p }
+          | other -> Error (Printf.sprintf "unknown fault kind %S" other)))
+    (Ok none) fields
+
+(* ------------------------------------------------------------------ *)
+(* Ambient plan: set once from the CLI, read where tasks are built.   *)
+(* ------------------------------------------------------------------ *)
+
+let ambient_plan = Atomic.make none
+
+let set_ambient t = Atomic.set ambient_plan t
+let ambient () = Atomic.get ambient_plan
+
+let with_ambient t f =
+  let previous = Atomic.get ambient_plan in
+  Atomic.set ambient_plan t;
+  Fun.protect ~finally:(fun () -> Atomic.set ambient_plan previous) f

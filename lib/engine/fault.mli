@@ -1,0 +1,79 @@
+(** Deterministic fault injection for the experiment pipeline.
+
+    A fault plan describes which failures to synthesise during a run
+    so that every recovery path - retry/backoff, cache-corruption
+    detection, partial-figure degradation, robust fitting - can be
+    exercised reproducibly, in CI, without real hardware flakiness.
+
+    Every injection decision is a pure function of the plan's seed,
+    the task key, and an index (attempt number or sample index),
+    mirroring how per-task RNG streams derive from key digests: the
+    same plan injects the same faults on every run, for any [--jobs]
+    setting and any scheduling interleaving.
+
+    Three fault kinds, combinable in one spec string:
+    - [transient=PxK]: with probability [P], a task key is afflicted;
+      afflicted tasks raise {!Injected} on their first [K] attempts
+      (default 1) and then succeed, so a retry budget of at least [K]
+      recovers the run bit-identically.
+    - [outlier=PxS]: each raw performance sample is, with probability
+      [P], multiplied by [S] (default 10) - the adversarial
+      perturbation the robust estimators must survive.
+    - [corrupt=P]: with probability [P], a task's cache entry is
+      garbled right after being stored, exercising the cache's
+      corrupt-entry detection on the next run.
+    - [seed=N]: decorrelates the fault streams between plans. *)
+
+type t
+
+val none : t
+(** The empty plan: injects nothing. *)
+
+val is_none : t -> bool
+
+exception Injected of string
+(** Raised by the engine on behalf of a task when the plan says the
+    attempt fails.  Classified transient. *)
+
+val transient_exn : exn -> bool
+(** The retry classifier: {!Injected}, [Sys_error] and
+    [Unix.Unix_error] are transient (worth retrying); anything else -
+    a deterministic error from a pure computation - is permanent. *)
+
+val parse : string -> (t, string) result
+(** Parse a spec like ["seed=7,transient=0.3x2,outlier=0.05x10,corrupt=0.1"].
+    Unknown kinds, malformed numbers and out-of-range probabilities
+    are reported as [Error]. *)
+
+val to_string : t -> string
+(** Canonical spec string; [""] for {!none}.  [parse (to_string t)]
+    reproduces [t]. *)
+
+val fingerprint : t -> string
+(** Alias of {!to_string}: mixed into task cache keys so runs under a
+    fault plan never pollute (or reuse) the clean cache. *)
+
+val should_fail : t -> key:string -> attempt:int -> bool
+(** Whether the given attempt (0-based) of the task with [key] must
+    raise {!Injected}. *)
+
+val should_corrupt : t -> key:string -> bool
+(** Whether the cache entry for [key] must be garbled after store. *)
+
+val perturb_samples : t -> key:string -> float array -> float array
+(** Apply the outlier perturbation to a raw sample array; returns the
+    input array unchanged (not copied) when no outlier fault is
+    configured. *)
+
+(** {1 Ambient plan}
+
+    The CLI installs the parsed plan once; the experiment layer reads
+    it where sample tasks are built (capturing it into the task
+    closure), and {!Engine.create} defaults its [?faults] argument to
+    it.  Tests use {!with_ambient} to scope a plan. *)
+
+val set_ambient : t -> unit
+val ambient : unit -> t
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install the plan, run the thunk, restore the previous plan. *)

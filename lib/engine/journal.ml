@@ -1,0 +1,194 @@
+type t = {
+  j_path : string;
+  j_run_id : string;
+  lock : Mutex.t;
+  content : Buffer.t;  (* full current file body, appended to on record *)
+  replay_table : (string, string) Hashtbl.t;  (* key -> marshalled value *)
+  loaded_entries : int;
+}
+
+let default_dir = Filename.concat Cache.default_dir "journal"
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sanitize run_id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    run_id
+
+let derived_run_id ~tag parts =
+  let digest = Digest.to_hex (Digest.string (String.concat "\x00" parts)) in
+  Printf.sprintf "%s-%s" (sanitize tag) (String.sub digest 0 12)
+
+(* ------------------------------------------------------------------ *)
+(* Line encoding.  One JSON object per line; marshalled values are    *)
+(* hex-encoded so every line stays printable single-line text.        *)
+(* ------------------------------------------------------------------ *)
+
+let hex_encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then failwith "Journal: odd hex length";
+  String.init (n / 2) (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let ok_line ~key value_bytes =
+  Printf.sprintf {|{"key": "%s", "status": "ok", "value": "%s"}|}
+    (Telemetry.json_escape key) (hex_encode value_bytes)
+
+let failed_line ~key ~msg =
+  Printf.sprintf {|{"key": "%s", "status": "failed", "msg": "%s"}|}
+    (Telemetry.json_escape key) (Telemetry.json_escape msg)
+
+(* Minimal parser for exactly the lines this module writes: a fixed
+   field order and only string values.  Torn or foreign lines fail to
+   parse and are skipped, which makes replay safe after a crash
+   mid-append. *)
+let parse_string_at s i =
+  if i >= String.length s || s.[i] <> '"' then failwith "Journal: expected string";
+  let b = Buffer.create 32 in
+  let rec go i =
+    if i >= String.length s then failwith "Journal: unterminated string"
+    else
+      match s.[i] with
+      | '"' -> (Buffer.contents b, i + 1)
+      | '\\' ->
+          if i + 1 >= String.length s then failwith "Journal: bad escape"
+          else begin
+            (match s.[i + 1] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                if i + 5 >= String.length s then failwith "Journal: bad \\u escape";
+                Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (i + 2) 4)))
+            | _ -> failwith "Journal: unknown escape");
+            go (if s.[i + 1] = 'u' then i + 6 else i + 2)
+          end
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go (i + 1)
+
+let expect s i literal =
+  let n = String.length literal in
+  if i + n <= String.length s && String.sub s i n = literal then i + n
+  else failwith "Journal: malformed line"
+
+type entry = Ok_entry of string * string | Failed_entry of string * string
+
+let parse_line line =
+  let i = expect line 0 {|{"key": |} in
+  let key, i = parse_string_at line i in
+  let i = expect line i {|, "status": |} in
+  let status, i = parse_string_at line i in
+  match status with
+  | "ok" ->
+      let i = expect line i {|, "value": |} in
+      let value_hex, i = parse_string_at line i in
+      ignore (expect line i "}");
+      Ok_entry (key, hex_decode value_hex)
+  | "failed" ->
+      let i = expect line i {|, "msg": |} in
+      let msg, i = parse_string_at line i in
+      ignore (expect line i "}");
+      Failed_entry (key, msg)
+  | _ -> failwith "Journal: unknown status"
+
+(* ------------------------------------------------------------------ *)
+(* Open / replay / append.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let open_ ?(dir = default_dir) ~run_id () =
+  let path = Filename.concat dir (sanitize run_id ^ ".jsonl") in
+  let content = Buffer.create 4096 in
+  let replay_table = Hashtbl.create 64 in
+  let loaded = ref 0 in
+  (if Sys.file_exists path then
+     let ic = open_in_bin path in
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () ->
+         try
+           while true do
+             let line = input_line ic in
+             match parse_line line with
+             | Ok_entry (key, value_bytes) ->
+                 (* Last occurrence wins; results are deterministic, so
+                    duplicates across appended runs agree anyway. *)
+                 if not (Hashtbl.mem replay_table key) then incr loaded;
+                 Hashtbl.replace replay_table key value_bytes;
+                 Buffer.add_string content line;
+                 Buffer.add_char content '\n'
+             | Failed_entry _ ->
+                 (* Failures are journaled for the record but never
+                    replayed: they may have been transient. *)
+                 Buffer.add_string content line;
+                 Buffer.add_char content '\n'
+             | exception _ -> () (* torn or foreign line: drop *)
+           done
+         with End_of_file -> ()));
+  {
+    j_path = path;
+    j_run_id = run_id;
+    lock = Mutex.create ();
+    content;
+    replay_table;
+    loaded_entries = !loaded;
+  }
+
+let path t = t.j_path
+let run_id t = t.j_run_id
+let loaded t = t.loaded_entries
+
+let replay t ~key =
+  Mutex.lock t.lock;
+  let found = Hashtbl.find_opt t.replay_table key in
+  Mutex.unlock t.lock;
+  Option.map (fun bytes -> Marshal.from_string bytes 0) found
+
+(* Append = rewrite the whole file through a tmp + atomic rename, the
+   same publication discipline as the cache: a crash mid-append can
+   never leave a torn journal, only the previous complete one.
+   Journals are small (one line per task), so the quadratic rewrite
+   cost is noise next to the tasks themselves. *)
+let append t line =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      Buffer.add_string t.content line;
+      Buffer.add_char t.content '\n';
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" t.j_path (Unix.getpid ()) (Domain.self () :> int)
+      in
+      try
+        mkdir_p (Filename.dirname t.j_path);
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Buffer.output_buffer oc t.content);
+        Sys.rename tmp t.j_path
+      with _ -> ( try Sys.remove tmp with _ -> ()))
+
+let record_ok t ~key value =
+  let bytes = Marshal.to_string value [] in
+  Mutex.lock t.lock;
+  Hashtbl.replace t.replay_table key bytes;
+  Mutex.unlock t.lock;
+  append t (ok_line ~key bytes)
+
+let record_failed t ~key ~msg = append t (failed_line ~key ~msg)

@@ -1,0 +1,58 @@
+(** Checkpoint/resume journal: a JSONL record of completed task
+    outcomes, one file per run id under [_wmm_cache/journal/].
+
+    The engine appends every settled task to the journal as it runs;
+    when a run is interrupted (crash, kill, deadline) a rerun with the
+    same run id replays the journaled results and computes only the
+    remainder.  Unlike the result cache, journal entries are
+    self-contained (the marshalled value is embedded hex-encoded in
+    the line), so resume works even under [--no-cache].
+
+    Durability discipline: each append rewrites the whole journal to a
+    temporary file and renames it over the old one, so a crash at any
+    point leaves either the previous or the new complete journal -
+    never a torn line.  Unparseable lines (from foreign writers or
+    pre-rename crashes of older formats) are skipped on load.
+
+    Line format (one JSON object per line):
+    {v
+    {"key": "<task key>", "status": "ok", "value": "<hex marshal>"}
+    {"key": "<task key>", "status": "failed", "msg": "<message>"}
+    v}
+    Failed entries are recorded for post-mortems but never replayed:
+    the failure may have been transient. *)
+
+type t
+
+val default_dir : string
+(** [_wmm_cache/journal]. *)
+
+val derived_run_id : tag:string -> string list -> string
+(** [derived_run_id ~tag parts] builds a stable run id from a
+    human-readable tag plus a short digest of [parts] (figure id,
+    code version, fault fingerprint, ...): rerunning the identical
+    request derives the identical id, so resume-on-rerun is
+    automatic without the user naming runs. *)
+
+val open_ : ?dir:string -> run_id:string -> unit -> t
+(** Open (creating lazily on first append) the journal for [run_id],
+    loading any entries a previous run left behind.  The run id is
+    sanitised to filename-safe characters. *)
+
+val path : t -> string
+val run_id : t -> string
+
+val loaded : t -> int
+(** Number of distinct replayable (ok) entries found on open. *)
+
+val replay : t -> key:string -> 'a option
+(** The journaled value for [key], if a completed entry exists.  The
+    caller must expect the same type the value was recorded at (task
+    keys version their payload type, as with the cache). *)
+
+val record_ok : t -> key:string -> 'a -> unit
+(** Journal a completed task.  Thread-safe; called by worker domains
+    as tasks settle. *)
+
+val record_failed : t -> key:string -> msg:string -> unit
+(** Journal a permanently-failed task (recomputed on resume). *)

@@ -1,5 +1,12 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+exception Multiple_failures of string
+
+let () =
+  Printexc.register_printer (function
+    | Multiple_failures msg -> Some ("Pool.Multiple_failures: " ^ msg)
+    | _ -> None)
+
 let run ~jobs n f =
   if n <= 0 then ()
   else if jobs <= 1 || n = 1 then
@@ -8,15 +15,22 @@ let run ~jobs n f =
     done
   else begin
     let next = Atomic.make 0 in
-    let first_error = Atomic.make None in
+    let errors_lock = Mutex.create () in
+    let errors = ref [] in
+    (* Collected in arrival order, never dropped: a run that fails on
+       several domains at once reports every cause, not just whichever
+       worker lost the race. *)
+    let record e bt =
+      Mutex.lock errors_lock;
+      errors := (e, bt) :: !errors;
+      Mutex.unlock errors_lock
+    in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (try f i
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set first_error None (Some (e, bt))));
+           with e -> record e (Printexc.get_raw_backtrace ()));
           loop ()
         end
       in
@@ -25,7 +39,15 @@ let run ~jobs n f =
     let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join spawned;
-    match Atomic.get first_error with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    match List.rev !errors with
+    | [] -> ()
+    | [ (e, bt) ] -> Printexc.raise_with_backtrace e bt
+    | (e, bt) :: rest ->
+        let msg =
+          Printf.sprintf "%d tasks failed; first: %s; also: %s"
+            (List.length rest + 1) (Printexc.to_string e)
+            (String.concat "; "
+               (List.map (fun (e, _) -> Printexc.to_string e) rest))
+        in
+        Printexc.raise_with_backtrace (Multiple_failures msg) bt
   end

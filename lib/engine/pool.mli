@@ -10,8 +10,15 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+exception Multiple_failures of string
+(** Raised by {!run} when more than one task raised: the message
+    carries the count, the first exception, and the others in arrival
+    order, so no failure is silently swallowed. *)
+
 val run : jobs:int -> int -> (int -> unit) -> unit
 (** [run ~jobs n f] applies [f] to every index in [0, n): with at
     most [jobs] domains ([jobs - 1] spawned workers plus the calling
-    domain).  [f] is expected not to raise; if it does, the first
-    exception is re-raised after all workers have drained. *)
+    domain).  [f] is expected not to raise; if exactly one task does,
+    its exception is re-raised (original backtrace) after all workers
+    have drained; if several do, {!Multiple_failures} aggregates
+    them. *)

@@ -1,4 +1,4 @@
-type outcome = Ran | Cache_hit | Failed of string
+type outcome = Ran | Cache_hit | Replayed | Failed of string
 
 type record = {
   label : string;
@@ -6,6 +6,7 @@ type record = {
   wall_s : float;
   queue_depth : int;
   outcome : outcome;
+  attempts : int;
 }
 
 type t = {
@@ -37,6 +38,8 @@ type summary = {
   total : int;
   ran : int;
   cached : int;
+  replayed : int;
+  retried : int;
   failed : int;
   wall_s : float;
   busy_s : float;
@@ -50,6 +53,8 @@ let summary ~jobs ~cache t =
   let count p = List.length (List.filter p rs) in
   let ran = count (fun (r : record) -> r.outcome = Ran) in
   let cached = count (fun (r : record) -> r.outcome = Cache_hit) in
+  let replayed = count (fun (r : record) -> r.outcome = Replayed) in
+  let retried = count (fun (r : record) -> r.attempts > 1) in
   let failed =
     count (fun (r : record) -> match r.outcome with Failed _ -> true | _ -> false)
   in
@@ -63,6 +68,8 @@ let summary ~jobs ~cache t =
     total = List.length rs;
     ran;
     cached;
+    replayed;
+    retried;
     failed;
     wall_s;
     busy_s;
@@ -76,15 +83,17 @@ let render_summary s =
   let b = Buffer.create 512 in
   Buffer.add_string b "--- engine run summary ---\n";
   Buffer.add_string b
-    (Printf.sprintf "jobs %d | tasks %d (ran %d, cached %d, failed %d)\n" s.jobs
-       s.total s.ran s.cached s.failed);
+    (Printf.sprintf
+       "jobs %d | tasks %d (ran %d, cached %d, replayed %d, retried %d, failed %d)\n"
+       s.jobs s.total s.ran s.cached s.replayed s.retried s.failed);
   Buffer.add_string b
     (Printf.sprintf "wall %.2fs | busy %.2fs | speedup vs sequential est. %.2fx\n"
        s.wall_s s.busy_s s.speedup_estimate);
   Buffer.add_string b
-    (Printf.sprintf "cache: %d hits, %d misses, %d stores, %d errors | max queue depth %d"
+    (Printf.sprintf
+       "cache: %d hits, %d misses, %d stores, %d errors, %d pruned | max queue depth %d"
        s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores
-       s.cache.Cache.errors s.max_queue_depth);
+       s.cache.Cache.errors s.cache.Cache.pruned s.max_queue_depth);
   Buffer.contents b
 
 (* Minimal JSON emission: only strings, numbers and the two shapes
@@ -111,6 +120,7 @@ let json_float f =
 let outcome_json = function
   | Ran -> Printf.sprintf {|"ran"|}
   | Cache_hit -> Printf.sprintf {|"cached"|}
+  | Replayed -> Printf.sprintf {|"replayed"|}
   | Failed msg -> Printf.sprintf {|{"failed": "%s"}|} (json_escape msg)
 
 let to_json s rs =
@@ -120,6 +130,8 @@ let to_json s rs =
   Buffer.add_string b (Printf.sprintf "  \"tasks_total\": %d,\n" s.total);
   Buffer.add_string b (Printf.sprintf "  \"tasks_ran\": %d,\n" s.ran);
   Buffer.add_string b (Printf.sprintf "  \"tasks_cached\": %d,\n" s.cached);
+  Buffer.add_string b (Printf.sprintf "  \"tasks_replayed\": %d,\n" s.replayed);
+  Buffer.add_string b (Printf.sprintf "  \"tasks_retried\": %d,\n" s.retried);
   Buffer.add_string b (Printf.sprintf "  \"tasks_failed\": %d,\n" s.failed);
   Buffer.add_string b (Printf.sprintf "  \"wall_s\": %s,\n" (json_float s.wall_s));
   Buffer.add_string b (Printf.sprintf "  \"busy_s\": %s,\n" (json_float s.busy_s));
@@ -128,16 +140,17 @@ let to_json s rs =
   Buffer.add_string b (Printf.sprintf "  \"max_queue_depth\": %d,\n" s.max_queue_depth);
   Buffer.add_string b
     (Printf.sprintf
-       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \"errors\": %d},\n"
-       s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores s.cache.Cache.errors);
+       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \"errors\": %d, \"pruned\": %d},\n"
+       s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores s.cache.Cache.errors
+       s.cache.Cache.pruned);
   Buffer.add_string b "  \"tasks\": [\n";
   let n = List.length rs in
   List.iteri
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"label\": \"%s\", \"wall_s\": %s, \"queue_depth\": %d, \"outcome\": %s}%s\n"
-           (json_escape r.label) (json_float r.wall_s) r.queue_depth
+           "    {\"label\": \"%s\", \"wall_s\": %s, \"queue_depth\": %d, \"attempts\": %d, \"outcome\": %s}%s\n"
+           (json_escape r.label) (json_float r.wall_s) r.queue_depth r.attempts
            (outcome_json r.outcome)
            (if i = n - 1 then "" else ",")))
     rs;

@@ -9,6 +9,7 @@
 type outcome =
   | Ran  (** Computed by a worker. *)
   | Cache_hit  (** Served from the result cache. *)
+  | Replayed  (** Served from a resume journal ([--resume]). *)
   | Failed of string  (** The task raised; the message is recorded. *)
 
 type record = {
@@ -17,6 +18,9 @@ type record = {
   wall_s : float;  (** Task wall-clock (0 for cache hits). *)
   queue_depth : int;  (** Tasks not yet started when this one began. *)
   outcome : outcome;
+  attempts : int;
+      (** Attempts the engine made (1 = first try succeeded; 0 for
+          cache hits and journal replays, which never ran at all). *)
 }
 
 type t
@@ -38,6 +42,8 @@ type summary = {
   total : int;
   ran : int;
   cached : int;
+  replayed : int;  (** Tasks served from the resume journal. *)
+  retried : int;  (** Tasks that needed more than one attempt. *)
   failed : int;
   wall_s : float;  (** Total batch wall-clock. *)
   busy_s : float;  (** Sum of per-task wall-clocks. *)
@@ -52,6 +58,10 @@ val summary : jobs:int -> cache:Cache.stats -> t -> summary
 
 val render_summary : summary -> string
 (** Multi-line human-readable block, e.g. for stderr. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON double-quoted literal
+    (also used by {!Journal} for its JSONL run journals). *)
 
 val to_json : summary -> record list -> string
 (** The full run as a JSON object: the summary fields plus a [tasks]

@@ -43,7 +43,16 @@ let jvm_nop_base arch = jvm_platform ~inject_all:[ nop_uop arch ~light:(light_fo
 let kernel_nop_base arch = kernel_platform ~inject_all:[ nop_uop arch ~light:false ] arch
 
 let fmt_fit (fit : Sensitivity.fit) =
-  Printf.sprintf "k=%.5f +-%.1f%%" fit.Sensitivity.k fit.Sensitivity.k_error_percent
+  if not (Sensitivity.available fit) then "(no fit: insufficient points)"
+  else Printf.sprintf "k=%.5f +-%.1f%%" fit.Sensitivity.k fit.Sensitivity.k_error_percent
+
+let fmt_sweep_fit (sweep : Experiment.sweep) =
+  fmt_fit sweep.Experiment.fit
+  ^
+  if sweep.Experiment.dropped > 0 then
+    Printf.sprintf " [%d point%s dropped]" sweep.Experiment.dropped
+      (if sweep.Experiment.dropped = 1 then "" else "s")
+  else ""
 
 let fmt_summary (s : Wmm_util.Stats.summary) =
   Printf.sprintf "%.4f [%.4f, %.4f]" s.Wmm_util.Stats.gmean s.Wmm_util.Stats.ci.Wmm_util.Stats.lo

@@ -48,7 +48,12 @@ val kernel_nop_base : Arch.t -> Generate.platform
 val nop_uop : Arch.t -> light:bool -> Uop.t
 
 val fmt_fit : Sensitivity.fit -> string
-(** "k=0.00277 +-2.5%". *)
+(** "k=0.00277 +-2.5%", or "(no fit: insufficient points)" for an
+    {!Sensitivity.unavailable} fit from a degraded sweep. *)
+
+val fmt_sweep_fit : Experiment.sweep -> string
+(** {!fmt_fit} of the sweep's fit, annotated with the number of
+    dropped (permanently failed) sweep points, if any. *)
 
 val fmt_summary : Wmm_util.Stats.summary -> string
 (** "0.9873 [0.9717, 1.0032]". *)

@@ -38,11 +38,11 @@ let paper_k = function
   | "xalan", Arch.Power7 -> 0.00152
   | _ -> nan
 
-let sweep_benchmark batch arch (profile : Profile.t) =
+let sweep_benchmark batch ?robust arch (profile : Profile.t) =
   let light = Exp_common.light_for arch in
   Experiment.sweep_deferred batch ~samples:(Exp_common.samples ()) ~light
     ~iteration_counts:(Exp_common.sweep_counts ())
-    ~code_path:"all elemental barriers" ~base:(Exp_common.jvm_nop_base arch)
+    ?robust ~code_path:"all elemental barriers" ~base:(Exp_common.jvm_nop_base arch)
     ~inject:(fun cf ->
       Exp_common.jvm_platform ~inject_all:[ Cost_function.uop cf ] arch)
     profile
@@ -50,21 +50,22 @@ let sweep_benchmark batch arch (profile : Profile.t) =
 (* The full 8-benchmark x 2-architecture matrix is submitted as one
    engine batch, so every (benchmark, arch, cost size) sample runs as
    an independent task across the worker domains. *)
-let all_sweeps engine =
+let all_sweeps ?robust engine =
   let batch = Experiment.batch () in
   let pending =
     List.concat_map
-      (fun arch -> List.map (fun p -> (arch, sweep_benchmark batch arch p)) Dacapo.all)
+      (fun arch ->
+        List.map (fun p -> (arch, sweep_benchmark batch ?robust arch p)) Dacapo.all)
       Arch.all
   in
   Experiment.run_batch engine batch;
   List.map (fun (arch, finish) -> (arch, finish ())) pending
 
-let report ?engine () =
+let report ?engine ?robust () =
   let engine =
     match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
   in
-  let sweeps = all_sweeps engine in
+  let sweeps = all_sweeps ?robust engine in
   let fits = Table.create [ "benchmark"; "arch"; "fitted k"; "paper k"; "stable?" ] in
   let buffer = Buffer.create 4096 in
   Buffer.add_string buffer
@@ -76,9 +77,11 @@ let report ?engine () =
         [
           sweep.Experiment.benchmark;
           Arch.name arch;
-          Exp_common.fmt_fit sweep.Experiment.fit;
+          Exp_common.fmt_sweep_fit sweep;
           Table.float_cell ~decimals:5 (paper_k (sweep.Experiment.benchmark, arch));
-          (if Sensitivity.well_suited sweep.Experiment.fit then "yes" else "unstable");
+          (if not (Sensitivity.available sweep.Experiment.fit) then "degraded"
+           else if Sensitivity.well_suited sweep.Experiment.fit then "yes"
+           else "unstable");
         ])
     sweeps;
   Buffer.add_string buffer (Table.render fits);

@@ -26,10 +26,11 @@ let paper_k = function
   | Barrier.Store_store, Arch.Armv8 -> 0.00885
   | Barrier.Store_store, Arch.Power7 -> 0.01333
 
-let sweep_elemental batch arch elemental =
+let sweep_elemental batch ?robust arch elemental =
   let light = Exp_common.light_for arch in
   Experiment.sweep_deferred batch ~samples:(Exp_common.samples ()) ~light
     ~iteration_counts:(Exp_common.sweep_counts ())
+    ?robust
     ~code_path:(Barrier.elemental_name elemental)
     ~base:
       (Exp_common.jvm_platform
@@ -39,7 +40,7 @@ let sweep_elemental batch arch elemental =
       Exp_common.jvm_platform ~inject:[ (elemental, [ Cost_function.uop cf ]) ] arch)
     Dacapo.spark
 
-let report ?engine () =
+let report ?engine ?robust () =
   let engine =
     match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
   in
@@ -48,7 +49,8 @@ let report ?engine () =
     List.concat_map
       (fun arch ->
         List.map
-          (fun elemental -> (arch, elemental, sweep_elemental batch arch elemental))
+          (fun elemental ->
+            (arch, elemental, sweep_elemental batch ?robust arch elemental))
           Barrier.all_elementals)
       Arch.all
   in
@@ -61,7 +63,7 @@ let report ?engine () =
         [
           Barrier.elemental_name elemental;
           Arch.name arch;
-          Exp_common.fmt_fit sweep.Experiment.fit;
+          Exp_common.fmt_sweep_fit sweep;
           Table.float_cell ~decimals:5 (paper_k (elemental, arch));
         ])
     pending;

@@ -37,7 +37,7 @@ let measures_of (p : Profile.t) =
 (* T5: nop padding.                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let nop_padding_deferred batch =
+let nop_padding_deferred ?robust batch =
   let nops = Exp_common.nop_uop arch ~light:false in
   let pending =
     List.concat_map
@@ -46,7 +46,7 @@ let nop_padding_deferred batch =
           (fun (label, measure) ->
             ( label,
               Experiment.relative_deferred batch ~samples:(Exp_common.samples ())
-                ~measure ~label:("t5 nop " ^ label) profile
+                ~measure ?robust ~label:("t5 nop " ^ label) profile
                 ~base:(Exp_common.kernel_platform arch)
                 ~test:(Exp_common.kernel_platform ~inject_all:[ nops ] arch) ))
           (measures_of profile))
@@ -86,7 +86,7 @@ type matrix_cell = {
   relative : Stats.summary;
 }
 
-let matrix_deferred batch =
+let matrix_deferred ?robust batch =
   let spin = if Exp_common.fast () then 256 else 1024 in
   let cf = Wmm_costfn.Cost_function.make arch spin in
   let samples = if Exp_common.fast () then 2 else 3 in
@@ -102,7 +102,7 @@ let matrix_deferred batch =
           (fun (label, measure) ->
             let base_get =
               Experiment.summary_deferred batch
-                (Experiment.sample_request ~samples ~measure
+                (Experiment.sample_request ~samples ~measure ?robust
                    ~label:("rank base " ^ label) profile base_platform)
             in
             let test_gets =
@@ -115,7 +115,7 @@ let matrix_deferred batch =
                   in
                   ( macro,
                     Experiment.summary_deferred batch
-                      (Experiment.sample_request ~samples ~measure
+                      (Experiment.sample_request ~samples ~measure ?robust
                          ~label:
                            (Printf.sprintf "rank %s x %s" label
                               (Kernel.macro_name macro))
@@ -187,13 +187,13 @@ let fig8 cells =
     sums;
   (table, sums)
 
-let report ?engine () =
+let report ?engine ?robust () =
   let engine =
     match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
   in
   let batch = Experiment.batch () in
-  let nop_finish = nop_padding_deferred batch in
-  let matrix_finish = matrix_deferred batch in
+  let nop_finish = nop_padding_deferred ?robust batch in
+  let matrix_finish = matrix_deferred ?robust batch in
   Experiment.run_batch engine batch;
   let nop_table, nop_summary = nop_finish () in
   let cells = matrix_finish () in

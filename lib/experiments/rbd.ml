@@ -43,10 +43,10 @@ let subjects () =
     Kernelbench.netperf_tcp;
   ]
 
-let rbd_sweep batch (profile : Profile.t) =
+let rbd_sweep batch ?robust (profile : Profile.t) =
   Experiment.sweep_deferred batch ~samples:(Exp_common.samples ())
     ~iteration_counts:(Exp_common.sweep_counts ())
-    ~code_path:"read_barrier_depends"
+    ?robust ~code_path:"read_barrier_depends"
     ~base:
       (Exp_common.kernel_platform
          ~inject:[ (Kernel.Read_barrier_depends, [ Exp_common.nop_uop arch ~light:false ]) ]
@@ -57,8 +57,8 @@ let rbd_sweep batch (profile : Profile.t) =
         arch)
     profile
 
-let fig9_deferred batch =
-  let pending = List.map (fun p -> (p, rbd_sweep batch p)) (subjects ()) in
+let fig9_deferred ?robust batch =
+  let pending = List.map (fun p -> (p, rbd_sweep batch ?robust p)) (subjects ()) in
   fun () ->
     let table = Table.create [ "benchmark"; "fitted k"; "paper k" ] in
     let sweeps =
@@ -69,7 +69,7 @@ let fig9_deferred batch =
         Table.add_row table
           [
             p.Profile.name;
-            Exp_common.fmt_fit sweep.Experiment.fit;
+            Exp_common.fmt_sweep_fit sweep;
             Table.float_cell ~decimals:5 (paper_k p.Profile.name);
           ])
       sweeps;
@@ -83,7 +83,7 @@ let strategies = Kernel.all_rbd_strategies
 
 (* The base-case sample of each benchmark is shared by all five
    strategies: equal task keys are deduplicated inside the batch. *)
-let fig10_deferred batch =
+let fig10_deferred ?robust batch =
   let pending =
     List.map
       (fun (profile : Profile.t) ->
@@ -96,6 +96,7 @@ let fig10_deferred batch =
                   ( strategy,
                     Experiment.relative_deferred batch
                       ~samples:(Exp_common.samples ())
+                      ?robust
                       ~label:
                         (Printf.sprintf "fig10 %s / %s" profile.Profile.name
                            (Kernel.rbd_name strategy))
@@ -206,13 +207,13 @@ let t6 sweeps cells =
 (* The paper aggregates lmbench as the arithmetic mean of its twelve
    sub-benchmarks after comparison to the base case; this table shows
    the parts individually for one strategy. *)
-let lmbench_parts_deferred batch =
+let lmbench_parts_deferred ?robust batch =
   let samples = if Exp_common.fast () then 2 else 4 in
   let pending =
     List.map
       (fun (part : Profile.t) ->
         ( part,
-          Experiment.relative_deferred batch ~samples
+          Experiment.relative_deferred batch ~samples ?robust
             ~label:("lmbench part " ^ part.Profile.name)
             part
             ~base:(Exp_common.kernel_platform ~rbd:Kernel.Rbd_none arch)
@@ -243,14 +244,14 @@ let lmbench_parts_deferred batch =
         Printf.sprintf "%+.1f%%" ((mean -. 1.) *. 100.) ];
     table
 
-let report ?engine () =
+let report ?engine ?robust () =
   let engine =
     match engine with Some e -> e | None -> Wmm_engine.Engine.sequential ()
   in
   let batch = Experiment.batch () in
-  let fig9_finish = fig9_deferred batch in
-  let fig10_finish = fig10_deferred batch in
-  let lmbench_finish = lmbench_parts_deferred batch in
+  let fig9_finish = fig9_deferred ?robust batch in
+  let fig10_finish = fig10_deferred ?robust batch in
+  let lmbench_finish = lmbench_parts_deferred ?robust batch in
   Experiment.run_batch engine batch;
   let fig9_table, sweeps = fig9_finish () in
   let fig10_table, cells = fig10_finish () in

@@ -22,6 +22,7 @@ type result = {
 val curve_fit :
   ?max_iterations:int ->
   ?tolerance:float ->
+  ?weights:float array ->
   f:(float array -> float -> float) ->
   xs:float array ->
   ys:float array ->
@@ -30,8 +31,29 @@ val curve_fit :
   result
 (** [curve_fit ~f ~xs ~ys ~init ()] minimises
     [sum_i (ys.(i) - f params xs.(i))^2] starting from [init].
-    Raises [Invalid_argument] if [xs] and [ys] differ in length or
-    there are fewer points than parameters. *)
+    With [weights] the objective becomes
+    [sum_i w_i * (ys.(i) - f params xs.(i))^2] (a zero weight removes
+    the point entirely).  Raises [Invalid_argument] if [xs], [ys] or
+    [weights] differ in length or there are fewer points than
+    parameters. *)
+
+val huber_fit :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?delta:float ->
+  f:(float array -> float -> float) ->
+  xs:float array ->
+  ys:float array ->
+  init:float array ->
+  unit ->
+  result
+(** Robust fit by iteratively reweighted least squares with Huber
+    weights: residuals within [delta] (default 1.345, 95% efficiency
+    under normality) robust standard deviations of zero keep full
+    weight, larger residuals are down-weighted by [delta * s / |r|].
+    Outlier points therefore pull on the fit with bounded force
+    instead of quadratically.  Degenerates to {!curve_fit} when all
+    residuals are small. *)
 
 val relative_error_percent : result -> int -> float
 (** [relative_error_percent r i] is parameter [i]'s standard error as

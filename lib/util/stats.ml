@@ -48,6 +48,56 @@ let percentile samples p =
 
 let median samples = percentile samples 50.
 
+let median_of_means ?buckets samples =
+  check_nonempty "Stats.median_of_means" samples;
+  let n = Array.length samples in
+  let b =
+    match buckets with
+    | Some b when b < 1 -> invalid_arg "Stats.median_of_means: buckets must be positive"
+    | Some b -> min b n
+    | None -> max 1 (int_of_float (sqrt (float_of_int n)))
+  in
+  let means =
+    Array.init b (fun i ->
+        let lo = i * n / b and hi = (i + 1) * n / b in
+        let acc = ref 0. in
+        for j = lo to hi - 1 do
+          acc := !acc +. samples.(j)
+        done;
+        !acc /. float_of_int (hi - lo))
+  in
+  median means
+
+let mad samples =
+  check_nonempty "Stats.mad" samples;
+  let m = median samples in
+  median (Array.map (fun x -> abs_float (x -. m)) samples)
+
+(* 1.4826 makes the MAD a consistent estimator of the standard
+   deviation under normality, so [threshold] reads as a z-score. *)
+let mad_scale = 1.4826
+
+let reject_outliers ?(threshold = 3.5) samples =
+  check_nonempty "Stats.reject_outliers" samples;
+  let n = Array.length samples in
+  if n < 4 then Array.copy samples
+  else begin
+    let m = median samples in
+    let s = mad_scale *. mad samples in
+    if s <= 0. then Array.copy samples
+    else begin
+      let kept =
+        Array.of_list
+          (List.filter
+             (fun x -> abs_float (x -. m) <= threshold *. s)
+             (Array.to_list samples))
+      in
+      (* Never reject down to a degenerate sample: the summary layer
+         needs at least two points for a confidence interval. *)
+      if Array.length kept < 2 then Array.copy samples else kept
+    end
+  end
+
 let minimum samples =
   check_nonempty "Stats.minimum" samples;
   Array.fold_left min samples.(0) samples

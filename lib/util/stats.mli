@@ -28,6 +28,26 @@ val percentile : float array -> float -> float
 (** [percentile samples p] with [p] in [\[0, 100\]], linear
     interpolation between order statistics. *)
 
+val median_of_means : ?buckets:int -> float array -> float
+(** Robust location estimate: partition the samples into [buckets]
+    contiguous groups (default [sqrt n]), take each group's mean, and
+    return the median of those means.  A bounded number of corrupted
+    samples can poison at most their own buckets, which the median
+    then discards. *)
+
+val mad : float array -> float
+(** Median absolute deviation from the median (unscaled).  Multiply
+    by 1.4826 for a robust standard-deviation estimate under
+    normality. *)
+
+val reject_outliers : ?threshold:float -> float array -> float array
+(** Drop samples whose modified z-score
+    [|x - median| / (1.4826 * mad)] exceeds [threshold] (default
+    3.5).  Arrays of fewer than four samples, zero-MAD arrays, and
+    rejections that would leave fewer than two samples are returned
+    unchanged (as a copy): the caller always gets a usable sample
+    set. *)
+
 val minimum : float array -> float
 
 val maximum : float array -> float

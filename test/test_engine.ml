@@ -137,6 +137,294 @@ let test_telemetry_json () =
           if not found then Alcotest.failf "telemetry JSON missing %S" needle)
         [ "\"tasks_total\": 1"; "\"tasks_ran\": 1"; "\"cache\""; "\"outcome\": \"ran\"" ])
 
+(* ------------------------------------------------------------------ *)
+(* Resilience: fault injection, retry recovery, checkpoint/resume,
+   cache corruption, robust fitting.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then Alcotest.failf "%s missing %S" what needle
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Unlike [with_temp_cache] this handles nested directories (the
+   journal lives in a subdirectory of the cache). *)
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wmm_resilience_%d_%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir) (fun () -> f dir)
+
+let plan spec =
+  match Fault.parse spec with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "fault plan %S rejected: %s" spec m
+
+let test_fault_plan_parse () =
+  let p = plan "seed=7,transient=0.3x2,outlier=0.05x10,corrupt=0.1" in
+  (match Fault.parse (Fault.to_string p) with
+  | Ok p' -> Alcotest.(check string) "round trip" (Fault.to_string p) (Fault.to_string p')
+  | Error m -> Alcotest.failf "canonical spec rejected: %s" m);
+  Alcotest.(check bool) "none is none" true (Fault.is_none Fault.none);
+  Alcotest.(check string) "none fingerprint empty" "" (Fault.fingerprint Fault.none);
+  (match Fault.parse "transient=1.5" with
+  | Ok _ -> Alcotest.fail "probability > 1 accepted"
+  | Error _ -> ());
+  (match Fault.parse "bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown fault kind accepted"
+  | Error _ -> ());
+  (* Decisions are pure functions of (plan, key, index). *)
+  let always = plan "transient=1x1" in
+  Alcotest.(check bool) "p=1 fails the first attempt" true
+    (Fault.should_fail always ~key:"k" ~attempt:0);
+  Alcotest.(check bool) "p=1 recovers after K attempts" false
+    (Fault.should_fail always ~key:"k" ~attempt:1);
+  Alcotest.(check bool) "none never fails" false
+    (Fault.should_fail Fault.none ~key:"k" ~attempt:0);
+  Alcotest.(check bool) "decision deterministic"
+    (Fault.should_fail p ~key:"some/task" ~attempt:0)
+    (Fault.should_fail p ~key:"some/task" ~attempt:0);
+  let samples = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check bool) "no outlier plan leaves samples alone" true
+    (Fault.perturb_samples always ~key:"k" samples == samples);
+  Alcotest.(check bool) "perturbation deterministic" true
+    (Fault.perturb_samples p ~key:"k" samples = Fault.perturb_samples p ~key:"k" samples)
+
+let test_retry_recovers_bit_identical () =
+  let clean = small_sweep (Engine.create ~jobs:1 ()) in
+  let p = plan "seed=3,transient=1x2" in
+  (* Every task fails its first two attempts; a retry budget of 2
+     (three attempts) recovers the whole sweep, and because sample
+     tasks are pure functions of their request the recovered sweep is
+     bit-identical to the fault-free one. *)
+  let recovered =
+    Fault.with_ambient p (fun () ->
+        let engine = Engine.create ~jobs:2 ~retries:2 ~backoff_s:0. () in
+        let sweep = small_sweep engine in
+        let s = Engine.summary engine in
+        Alcotest.(check int) "no permanent failures" 0 s.Telemetry.failed;
+        Alcotest.(check int) "every task needed retries" s.Telemetry.total
+          s.Telemetry.retried;
+        sweep)
+  in
+  Alcotest.(check bool) "recovered sweep bit-identical to clean run" true
+    (clean = recovered)
+
+let test_retry_budget_exhaustion_degrades () =
+  (* Three injected failures against a budget of two retries: every
+     task settles as Failed, and the sweep degrades (dropped points,
+     unavailable fit) instead of aborting. *)
+  let p = plan "seed=3,transient=1x3" in
+  Fault.with_ambient p (fun () ->
+      let engine = Engine.create ~jobs:2 ~retries:1 ~backoff_s:0. () in
+      let sweep = small_sweep engine in
+      let s = Engine.summary engine in
+      Alcotest.(check int) "all tasks failed" s.Telemetry.total s.Telemetry.failed;
+      Alcotest.(check int) "no surviving points" 0 (List.length sweep.Experiment.points);
+      Alcotest.(check int) "dropped points reported" 2 sweep.Experiment.dropped;
+      Alcotest.(check bool) "fit reported unavailable" false
+        (Sensitivity.available sweep.Experiment.fit))
+
+let test_deadline_overrun_not_stored () =
+  with_temp_dir (fun dir ->
+      let journal_dir = Filename.concat dir "journal" in
+      let cache = Cache.create ~dir () in
+      let journal = Journal.open_ ~dir:journal_dir ~run_id:"deadline" () in
+      let engine = Engine.create ~jobs:1 ~cache ~soft_deadline_s:0. ~journal () in
+      let task =
+        Task.pure ~key:"sleepy" (fun () ->
+            Unix.sleepf 0.01;
+            42)
+      in
+      (match Engine.run engine task with
+      | Engine.Failed msg ->
+          Alcotest.(check bool) "overrun message recorded" true (String.length msg > 0)
+      | _ -> Alcotest.fail "overrun task should be Failed");
+      (* The overrun result must be discarded, not persisted: neither
+         cache-stored nor journaled for replay. *)
+      Alcotest.(check int) "nothing stored in cache" 0 (Cache.stats cache).Cache.stores;
+      Alcotest.(check (option int)) "cache lookup misses" None
+        (Cache.find cache ~key:"sleepy");
+      let reopened = Journal.open_ ~dir:journal_dir ~run_id:"deadline" () in
+      Alcotest.(check int) "nothing replayable in journal" 0 (Journal.loaded reopened))
+
+let test_journal_resume_recomputes_only_missing () =
+  with_temp_dir (fun dir ->
+      let t n = Task.pure ~key:("jr-" ^ n) (fun () -> String.length n) in
+      (* First (interrupted) run completes two of four tasks. *)
+      let j1 = Journal.open_ ~dir ~run_id:"resume test/01" () in
+      let e1 = Engine.create ~jobs:1 ~journal:j1 () in
+      ignore (Engine.run_all e1 [| t "a"; t "bb" |]);
+      (* The rerun replays those and computes only the remainder. *)
+      let j2 = Journal.open_ ~dir ~run_id:"resume test/01" () in
+      Alcotest.(check int) "two completed tasks on file" 2 (Journal.loaded j2);
+      Alcotest.(check string) "run id survives sanitisation" (Journal.run_id j1)
+        (Journal.run_id j2);
+      let e2 = Engine.create ~jobs:2 ~journal:j2 () in
+      let results = Engine.run_all e2 [| t "a"; t "bb"; t "ccc"; t "dddd" |] in
+      (match (results.(0), results.(1)) with
+      | Engine.Replayed 1, Engine.Replayed 2 -> ()
+      | _ -> Alcotest.fail "journaled tasks should be replayed");
+      (match (results.(2), results.(3)) with
+      | Engine.Computed 3, Engine.Computed 4 -> ()
+      | _ -> Alcotest.fail "unjournaled tasks should be computed");
+      let s = Engine.summary e2 in
+      Alcotest.(check int) "two tasks replayed" 2 s.Telemetry.replayed;
+      Alcotest.(check int) "only the missing two ran" 2 s.Telemetry.ran)
+
+let test_journal_skips_failed_and_torn_entries () =
+  with_temp_dir (fun dir ->
+      let j = Journal.open_ ~dir ~run_id:"torn" () in
+      Journal.record_ok j ~key:"good" 7;
+      Journal.record_failed j ~key:"bad" ~msg:"flaky crash";
+      (* A foreign writer (or a pre-rename crash of an older format)
+         leaves a torn line behind; load must skip it. *)
+      let oc = open_out_gen [ Open_append ] 0o644 (Journal.path j) in
+      output_string oc "{\"key\": \"torn";
+      close_out oc;
+      let reopened = Journal.open_ ~dir ~run_id:"torn" () in
+      Alcotest.(check int) "only the ok entry is replayable" 1 (Journal.loaded reopened);
+      Alcotest.(check (option int)) "ok entry replays" (Some 7)
+        (Journal.replay reopened ~key:"good");
+      Alcotest.(check (option int)) "failed entry never replays" None
+        (Journal.replay reopened ~key:"bad"))
+
+let test_corrupted_cache_entry_recomputed () =
+  with_temp_dir (fun dir ->
+      let p = plan "seed=1,corrupt=1" in
+      let c1 = Cache.create ~dir () in
+      let e1 = Engine.create ~jobs:1 ~cache:c1 ~faults:p () in
+      (match Engine.run e1 (Task.pure ~key:"poisoned" (fun () -> 13)) with
+      | Engine.Computed 13 -> ()
+      | _ -> Alcotest.fail "first run computes the value");
+      Alcotest.(check int) "entry was stored (then garbled)" 1
+        (Cache.stats c1).Cache.stores;
+      (* A fresh engine over the same cache directory must detect the
+         corruption and recompute rather than replay garbage. *)
+      let c2 = Cache.create ~dir () in
+      let e2 = Engine.create ~jobs:1 ~cache:c2 () in
+      (match Engine.run e2 (Task.pure ~key:"poisoned" (fun () -> 13)) with
+      | Engine.Computed 13 -> ()
+      | _ -> Alcotest.fail "corrupt entry must recompute, not hit");
+      Alcotest.(check bool) "corruption counted as cache error" true
+        ((Cache.stats c2).Cache.errors >= 1);
+      Alcotest.(check int) "recompute actually ran" 1 (Engine.summary e2).Telemetry.ran)
+
+let test_cache_prune_and_clear () =
+  with_temp_dir (fun dir ->
+      let cache = Cache.create ~dir () in
+      let engine = Engine.create ~jobs:1 ~cache () in
+      ignore
+        (Engine.run_all engine
+           (Array.init 4 (fun i ->
+                Task.pure ~key:(Printf.sprintf "prune-%d" i) (fun () ->
+                    String.make 64 'x'))));
+      (match Cache.disk_usage cache with
+      | Some (count, bytes) ->
+          Alcotest.(check int) "four entries on disk" 4 count;
+          Alcotest.(check bool) "entries have size" true (bytes > 0)
+      | None -> Alcotest.fail "disk usage unavailable for a real cache");
+      (* Prune to zero budget deletes everything, oldest first. *)
+      let removed = Cache.prune cache ~max_bytes:0 in
+      Alcotest.(check int) "prune removes all entries" 4 removed;
+      Alcotest.(check int) "prunes counted in stats" 4 (Cache.stats cache).Cache.pruned;
+      (match Cache.disk_usage cache with
+      | Some (count, _) -> Alcotest.(check int) "directory emptied" 0 count
+      | None -> Alcotest.fail "disk usage unavailable after prune");
+      ignore (Engine.run engine (Task.pure ~key:"again" (fun () -> 1)));
+      Alcotest.(check int) "clear removes remaining entries" 1 (Cache.clear cache))
+
+let test_pool_aggregates_failures () =
+  (* A single failing task re-raises the original exception... *)
+  (match Pool.run ~jobs:2 4 (fun i -> if i = 2 then failwith "only me") with
+  | () -> Alcotest.fail "single failure should raise"
+  | exception Failure m -> Alcotest.(check string) "original exception" "only me" m);
+  (* ...while several are aggregated so none is silently swallowed. *)
+  match Pool.run ~jobs:2 4 (fun i -> failwith (Printf.sprintf "task %d" i)) with
+  | () -> Alcotest.fail "multiple failures should raise"
+  | exception Pool.Multiple_failures msg ->
+      check_contains "aggregate message" msg "4 tasks failed";
+      check_contains "aggregate message" msg "task "
+
+let fig5_style_sweep ?robust engine =
+  let batch = Experiment.batch () in
+  let finish =
+    Experiment.sweep_deferred batch ~samples:8 ~light:true
+      ~iteration_counts:[ 4; 16; 64; 256 ] ?robust ~code_path:"robust acceptance"
+      ~base:(Exp_common.jvm_nop_base arch)
+      ~inject:(fun cf ->
+        Exp_common.jvm_platform ~inject_all:[ Wmm_costfn.Cost_function.uop cf ] arch)
+      profile
+  in
+  Experiment.run_batch engine batch;
+  finish ()
+
+let test_robust_fit_survives_outliers () =
+  let clean = fig5_style_sweep (Engine.create ~jobs:1 ()) in
+  let k_clean = clean.Experiment.fit.Sensitivity.k in
+  let p = plan "seed=2,outlier=0.05x10" in
+  let plain_faulty =
+    Fault.with_ambient p (fun () -> fig5_style_sweep (Engine.create ~jobs:1 ()))
+  in
+  let robust_faulty =
+    Fault.with_ambient p (fun () ->
+        fig5_style_sweep ~robust:true (Engine.create ~jobs:1 ()))
+  in
+  let rel x = abs_float (x -. k_clean) /. abs_float k_clean in
+  let k_plain = plain_faulty.Experiment.fit.Sensitivity.k in
+  let k_robust = robust_faulty.Experiment.fit.Sensitivity.k in
+  if Sys.getenv_opt "WMM_PROBE" <> None then
+    Printf.eprintf "[probe] k_clean=%g k_plain=%g (%.4f) k_robust=%g (%.4f)\n%!"
+      k_clean k_plain (rel k_plain) k_robust (rel k_robust);
+  Alcotest.(check bool) "plain fit degrades measurably (> 2% off)" true
+    (rel k_plain > 0.02);
+  Alcotest.(check bool) "robust fit stays within 2% of the clean estimate" true
+    (rel k_robust < 0.02)
+
+let test_telemetry_json_resilience () =
+  with_temp_dir (fun dir ->
+      let p = plan "seed=3,transient=1x1" in
+      let j1 = Journal.open_ ~dir ~run_id:"telemetry" () in
+      let e1 = Engine.create ~jobs:1 ~retries:2 ~backoff_s:0. ~faults:p ~journal:j1 () in
+      ignore (Engine.run e1 (Task.pure ~key:"flaky" (fun () -> 9)));
+      let path = Filename.concat dir "telemetry.json" in
+      Engine.write_telemetry e1 path;
+      let body = read_file path in
+      List.iter
+        (check_contains "retried-run telemetry" body)
+        [
+          "\"tasks_retried\": 1"; "\"attempts\": 2"; "\"outcome\": \"ran\"";
+          "\"wall_s\""; "\"max_queue_depth\"";
+        ];
+      (* A resumed run reports the replay in the same schema. *)
+      let j2 = Journal.open_ ~dir ~run_id:"telemetry" () in
+      let e2 = Engine.create ~jobs:1 ~journal:j2 () in
+      ignore (Engine.run e2 (Task.pure ~key:"flaky" (fun () -> 9)));
+      Engine.write_telemetry e2 path;
+      let body = read_file path in
+      List.iter
+        (check_contains "replayed-run telemetry" body)
+        [ "\"tasks_replayed\": 1"; "\"outcome\": \"replayed\""; "\"attempts\": 0" ])
+
 (* The load-bearing determinism property: however the scheduler
    interleaves tasks (any worker count, any submission order), the
    fitted k of a sweep is bit-identical to the sequential result. *)
@@ -183,5 +471,24 @@ let suite =
     Alcotest.test_case "batch dedupes equal keys" `Quick test_batch_dedupes_equal_keys;
     Alcotest.test_case "task rng determinism" `Quick test_task_rng_deterministic;
     Alcotest.test_case "telemetry json" `Quick test_telemetry_json;
+    Alcotest.test_case "fault plan parsing" `Quick test_fault_plan_parse;
+    Alcotest.test_case "retry recovers bit-identical" `Quick
+      test_retry_recovers_bit_identical;
+    Alcotest.test_case "retry budget exhaustion degrades" `Quick
+      test_retry_budget_exhaustion_degrades;
+    Alcotest.test_case "deadline overrun not persisted" `Quick
+      test_deadline_overrun_not_stored;
+    Alcotest.test_case "journal resume recomputes only missing" `Quick
+      test_journal_resume_recomputes_only_missing;
+    Alcotest.test_case "journal skips failed and torn entries" `Quick
+      test_journal_skips_failed_and_torn_entries;
+    Alcotest.test_case "corrupted cache entry recomputed" `Quick
+      test_corrupted_cache_entry_recomputed;
+    Alcotest.test_case "cache prune and clear" `Quick test_cache_prune_and_clear;
+    Alcotest.test_case "pool aggregates failures" `Quick test_pool_aggregates_failures;
+    Alcotest.test_case "robust fit survives outliers" `Quick
+      test_robust_fit_survives_outliers;
+    Alcotest.test_case "telemetry json resilience" `Quick
+      test_telemetry_json_resilience;
     QCheck_alcotest.to_alcotest prop_scheduling_never_changes_k;
   ]

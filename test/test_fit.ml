@@ -90,6 +90,41 @@ let test_fit_rejects_mismatched () =
         (Fit.curve_fit ~f:(fun p x -> p.(0) *. x) ~xs:[| 1.; 2. |] ~ys:[| 1. |]
            ~init:[| 1. |] ()))
 
+let test_weighted_fit_ignores_zero_weight () =
+  (* y = 2x everywhere except one wildly wrong point; zero-weighting
+     that point must recover the exact slope. *)
+  let f params x = params.(0) *. x in
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  let ys = [| 2.; 4.; 6.; 8.; 500. |] in
+  let weights = [| 1.; 1.; 1.; 1.; 0. |] in
+  let r = Fit.curve_fit ~weights ~f ~xs ~ys ~init:[| 1. |] () in
+  Alcotest.(check bool) "slope from weighted points only" true
+    (abs_float (r.Fit.params.(0) -. 2.) < 1e-9);
+  (* Unweighted, the bad point drags the slope far away. *)
+  let plain = Fit.curve_fit ~f ~xs ~ys ~init:[| 1. |] () in
+  Alcotest.(check bool) "unweighted fit is polluted" true
+    (abs_float (plain.Fit.params.(0) -. 2.) > 1.)
+
+let test_huber_fit_resists_outlier () =
+  let f params x = (params.(0) *. x) +. params.(1) in
+  let xs = Array.init 12 float_of_int in
+  let ys = Array.map (fun x -> (3. *. x) +. 2.) xs in
+  ys.(7) <- ys.(7) *. 8.;
+  let robust = Fit.huber_fit ~f ~xs ~ys ~init:[| 1.; 0. |] () in
+  let plain = Fit.curve_fit ~f ~xs ~ys ~init:[| 1.; 0. |] () in
+  Alcotest.(check bool) "huber slope within 2%" true
+    (abs_float (robust.Fit.params.(0) -. 3.) /. 3. < 0.02);
+  Alcotest.(check bool) "plain slope degraded" true
+    (abs_float (plain.Fit.params.(0) -. 3.) /. 3. > 0.1)
+
+let test_huber_fit_matches_on_clean_data () =
+  let f params x = params.(0) *. exp (-.params.(1) *. x) in
+  let xs = Array.init 20 (fun i -> float_of_int i /. 2.) in
+  let ys = Array.map (fun x -> 5. *. exp (-0.7 *. x)) xs in
+  let robust = Fit.huber_fit ~f ~xs ~ys ~init:[| 1.; 0.1 |] () in
+  Alcotest.(check bool) "amplitude" true (abs_float (robust.Fit.params.(0) -. 5.) < 1e-4);
+  Alcotest.(check bool) "decay" true (abs_float (robust.Fit.params.(1) -. 0.7) < 1e-4)
+
 (* Sensitivity model ------------------------------------------------ *)
 
 let test_eq1_baseline () =
@@ -135,6 +170,11 @@ let suite =
     Alcotest.test_case "fit exponential" `Quick test_fit_exponential;
     Alcotest.test_case "fit with noise" `Quick test_fit_with_noise_recovers;
     Alcotest.test_case "fit rejects mismatch" `Quick test_fit_rejects_mismatched;
+    Alcotest.test_case "weighted fit ignores zero weight" `Quick
+      test_weighted_fit_ignores_zero_weight;
+    Alcotest.test_case "huber fit resists outlier" `Quick test_huber_fit_resists_outlier;
+    Alcotest.test_case "huber fit matches on clean data" `Quick
+      test_huber_fit_matches_on_clean_data;
     Alcotest.test_case "eq1 baseline" `Quick test_eq1_baseline;
     Alcotest.test_case "eq2 known value" `Quick test_eq2_known;
     QCheck_alcotest.to_alcotest prop_eq2_inverts_eq1;
