@@ -129,6 +129,35 @@ let bechamel_section () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Fence inference: the analysis layer closes the loop - placements
+   are derived from program structure, verified against the axiomatic
+   models, and priced with the paper's sensitivity methodology.       *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_summary ~engine () =
+  let open Wmm_litmus in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (Exp_common.header "Fence inference (critical cycles -> verified-minimal placements)");
+  Buffer.add_char buffer '\n';
+  let names =
+    if Exp_common.fast () then [ "SB"; "MP"; "IRIW" ]
+    else
+      [
+        "SB"; "MP"; "LB"; "S"; "R"; "2+2W"; "WRC"; "IRIW"; "MP+dmb"; "SB+dmbs"; "CAS+one";
+      ]
+  in
+  let tests = List.filter_map Library.by_name names in
+  List.iter
+    (fun arch ->
+      let rows = Wmm_analysis.Infer.analyze_all ~engine ~arch tests in
+      Buffer.add_string buffer
+        (Wmm_analysis.Infer.render ~detail:(not (Exp_common.fast ())) arch rows);
+      Buffer.add_char buffer '\n')
+    [ Wmm_isa.Arch.Armv8; Wmm_isa.Arch.Power7 ];
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
 (* Command line: optional section filter plus engine flags.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -148,8 +177,8 @@ let usage () =
     "usage: main.exe [SECTION ...] [--jobs N] [--no-cache] [--telemetry FILE]";
   prerr_endline
     "                [--inject-faults SPEC] [--retries N] [--resume RUN-ID] [--robust-fit]";
-  prerr_endline "sections: litmus fig1 fig2_3 fig4 fig5 fig6 jvm_tables rankings";
-  prerr_endline "          rbd counters optimizer bechamel";
+  prerr_endline "sections: litmus analysis fig1 fig2_3 fig4 fig5 fig6 jvm_tables";
+  prerr_endline "          rankings rbd counters optimizer bechamel";
   exit 2
 
 let parse_options () =
@@ -227,6 +256,7 @@ let () =
   let all_sections =
     [
       ("litmus", fun () -> section "litmus" litmus_summary);
+      ("analysis", fun () -> section "analysis" (analysis_summary ~engine));
       ("fig1", fun () -> section "fig1" Fig1.report);
       ("fig2_3", fun () -> section "fig2_3" Fig2_3.report);
       ("fig4", fun () -> section "fig4" Fig4.report);
@@ -247,7 +277,8 @@ let () =
         List.iter
           (fun name ->
             if not (List.mem_assoc name all_sections) then begin
-              Printf.eprintf "unknown section %S\n" name;
+              Printf.eprintf "unknown section %S; valid sections: %s\n" name
+                (String.concat " " (List.map fst all_sections));
               usage ()
             end)
           names;

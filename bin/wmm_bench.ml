@@ -7,9 +7,25 @@
      micro       - microbenchmark fence instruction sequences
      sensitivity - fit a benchmark's sensitivity to a code path
      figure      - regenerate one of the paper's figures/tables
+     analyze     - infer, verify and cost-rank fence placements
      cache       - inspect or trim the result cache *)
 
 open Cmdliner
+
+(* CLI usage errors: report what was wrong and what would have been
+   valid, then exit non-zero - never a bare exception trace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("wmm_bench: " ^ msg);
+      exit 2)
+    fmt
+
+let experiment_ids =
+  [
+    "fig1"; "fig2_3"; "fig4"; "fig5"; "fig6"; "jvm_tables"; "rankings"; "rbd";
+    "counters"; "optimizer";
+  ]
 
 let arch_conv =
   let parse s =
@@ -42,11 +58,7 @@ let list_cmd =
         Printf.printf "  %-24s %s\n" t.Wmm_litmus.Test.name t.Wmm_litmus.Test.description)
       Wmm_litmus.Library.all;
     print_endline "Experiments (see `figure`):";
-    List.iter (Printf.printf "  %s\n")
-      [
-        "fig1"; "fig2_3"; "fig4"; "fig5"; "fig6"; "jvm_tables"; "rankings"; "rbd";
-        "counters"; "optimizer";
-      ]
+    List.iter (Printf.printf "  %s\n") experiment_ids
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks, litmus tests and experiments")
     Term.(const run $ const ())
@@ -403,7 +415,8 @@ let figure_cmd =
       | "rbd" | "fig9" | "fig10" | "t6" -> fun engine -> Rbd.report ~engine ~robust ()
       | "counters" -> fun _engine -> Counters.report ()
       | "optimizer" -> fun _engine -> Optimizer_exp.report ()
-      | other -> failwith (Printf.sprintf "unknown experiment %S (try `list`)" other)
+      | other ->
+          die "unknown experiment %S; valid ids: %s" other (String.concat " " experiment_ids)
     in
     let cache =
       if no_cache then Wmm_engine.Cache.disabled
@@ -457,6 +470,147 @@ let figure_cmd =
       $ faults_arg $ retries_arg $ resume_arg $ robust_arg)
 
 (* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let tests_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "test" ] ~docv:"NAME"
+          ~doc:"Analyze the named litmus test (repeatable); default is the whole library")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Analyze every test in the litmus library")
+  in
+  let arch_arg =
+    Arg.(
+      value & opt string "both"
+      & info [ "arch" ] ~docv:"ARCH" ~doc:"arm, power, or both (the default)")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the execution engine (0 = all cores; 1 = sequential)")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Wmm_engine.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory")
+  in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE" ~doc:"Dump run telemetry as JSON to $(docv)")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries (with capped exponential backoff) for transient task failures")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"RUN-ID"
+          ~doc:
+            "Journal run id to resume; without this flag a run id is derived from the \
+             request, so rerunning an interrupted identical invocation resumes \
+             automatically.")
+  in
+  let no_cost_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cost" ] ~doc:"Skip the simulator cost-ranking phase (faster)")
+  in
+  let detail_arg =
+    Arg.(
+      value & flag
+      & info [ "detail" ]
+          ~doc:"Per-test breakdown: cost-ranked alternatives and minimality witnesses")
+  in
+  let run names all arch_s jobs no_cache cache_dir telemetry_out retries resume no_cost
+      detail =
+    let archs =
+      match arch_s with
+      | "both" -> [ Wmm_isa.Arch.Armv8; Wmm_isa.Arch.Power7 ]
+      | s -> (
+          match Wmm_isa.Arch.of_string s with
+          | Some a -> [ a ]
+          | None -> die "unknown architecture %S (arm | power | both)" s)
+    in
+    let tests =
+      if all || names = [] then Wmm_litmus.Library.all
+      else
+        List.map
+          (fun n ->
+            match Wmm_litmus.Library.by_name n with
+            | Some t -> t
+            | None -> die "unknown litmus test %S (see `wmm_bench list`)" n)
+          names
+    in
+    let cache =
+      if no_cache then Wmm_engine.Cache.disabled
+      else Wmm_engine.Cache.create ~dir:cache_dir ()
+    in
+    let journal =
+      let run_id =
+        match resume with
+        | Some id -> Some id
+        | None when no_cache -> None
+        | None ->
+            Some
+              (Wmm_engine.Journal.derived_run_id ~tag:"analyze"
+                 ([
+                    Wmm_engine.Cache.code_version ();
+                    (if Sys.getenv_opt "WMM_FAST" <> None then "fast" else "full");
+                    arch_s;
+                    string_of_bool no_cost;
+                  ]
+                 @ List.sort compare (List.map (fun (t : Wmm_litmus.Test.t) -> t.Wmm_litmus.Test.name) tests)))
+      in
+      Option.map
+        (fun run_id ->
+          let dir = Filename.concat cache_dir "journal" in
+          let j = Wmm_engine.Journal.open_ ~dir ~run_id () in
+          Printf.eprintf "journal: run id %s (%d completed tasks on file)\n%!" run_id
+            (Wmm_engine.Journal.loaded j);
+          j)
+        run_id
+    in
+    let engine = Wmm_engine.Engine.create ~jobs ~cache ~retries ?journal () in
+    List.iter
+      (fun arch ->
+        let rows =
+          Wmm_analysis.Infer.analyze_all ~with_cost:(not no_cost) ~engine ~arch tests
+        in
+        print_string (Wmm_analysis.Infer.render ~detail arch rows);
+        print_newline ())
+      archs;
+    prerr_endline (Wmm_engine.Engine.render_summary engine);
+    Option.iter
+      (fun path ->
+        try Wmm_engine.Engine.write_telemetry engine path
+        with Sys_error msg -> Printf.eprintf "warning: cannot write telemetry: %s\n" msg)
+      telemetry_out
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Infer fence placements for litmus tests: critical cycles, verified-minimal \
+          insertion, cost-ranked alternatives")
+    Term.(
+      const run $ tests_arg $ all_arg $ arch_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
+      $ telemetry_arg $ retries_arg $ resume_arg $ no_cost_arg $ detail_arg)
+
+(* ------------------------------------------------------------------ *)
 (* cache                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -495,13 +649,13 @@ let cache_cmd =
         usage ()
     | "prune" -> (
         match max_mb with
-        | None -> failwith "prune requires --max-mb N"
-        | Some mb when mb < 0 -> failwith "--max-mb must be non-negative"
+        | None -> die "cache prune requires --max-mb N"
+        | Some mb when mb < 0 -> die "--max-mb must be non-negative"
         | Some mb ->
             Printf.printf "pruned %d entries (oldest first)\n"
               (Wmm_engine.Cache.prune cache ~max_bytes:(mb * 1024 * 1024));
             usage ())
-    | other -> failwith (Printf.sprintf "unknown cache action %S (stats | clear | prune)" other)
+    | other -> die "unknown cache action %S; valid actions: stats clear prune" other
   in
   Cmd.v
     (Cmd.info "cache" ~doc:"Inspect or trim the result cache (stats | clear | prune)")
@@ -524,5 +678,6 @@ let () =
             micro_cmd;
             sensitivity_cmd;
             figure_cmd;
+            analyze_cmd;
             cache_cmd;
           ]))

@@ -1,0 +1,21 @@
+(* Infer fence placements for a few classic litmus tests.
+
+   The analysis pipeline lifts each test into a static conflict
+   graph, finds the critical cycles the architecture's memory model
+   can break, proposes barrier placements, verifies them by
+   exhaustive axiomatic exploration, minimises, and prices the
+   survivors with the paper's sensitivity methodology.
+
+   Run with:  dune exec examples/fence_inference.exe *)
+
+let () =
+  let tests =
+    List.filter_map Wmm_litmus.Library.by_name [ "SB"; "MP"; "LB"; "IRIW" ]
+  in
+  let engine = Wmm_engine.Engine.create ~jobs:0 () in
+  List.iter
+    (fun arch ->
+      let rows = Wmm_analysis.Infer.analyze_all ~engine ~arch tests in
+      print_string (Wmm_analysis.Infer.render arch rows);
+      print_newline ())
+    [ Wmm_isa.Arch.Armv8; Wmm_isa.Arch.Power7 ]

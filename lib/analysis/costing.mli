@@ -1,0 +1,32 @@
+open Wmm_isa
+
+(** Cost-rank verified placements with the paper's methodology.
+
+    Per strategy, three measurements run on the simulator
+    ({!Wmm_machine.Perf}), each an engine task: the nop-padded
+    baseline (sites hold equal-layout padding, the paper's base
+    case), the fenced program, and a sweep of cost-function
+    injections ({!Wmm_costfn.Cost_function}) at the same sites.  The
+    sweep calibrates the program's sensitivity [k] (eq. 1 fit via
+    {!Wmm_core.Sensitivity.fit_k}); the fenced run's relative
+    performance [p] then converts through eq. 2 into the inferred
+    per-invocation cost [a] of the placement, in nanoseconds. *)
+
+type costed = {
+  strategy : Placement.strategy;
+  micro_ns : float;  (** Sum of standalone barrier microbenchmark costs. *)
+  relative : float;  (** p: baseline wall time over fenced wall time. *)
+  fit : Wmm_core.Sensitivity.fit;  (** Sensitivity k of the fence sites. *)
+  inferred_ns : float;  (** a, paper eq. 2; [nan] when the fit degraded. *)
+}
+
+val rank_deferred :
+  batch:float Wmm_engine.Engine.Batch.t ->
+  Arch.t ->
+  Event_graph.t ->
+  Placement.strategy list ->
+  unit ->
+  costed list
+(** Submit all measurement tasks for the strategies to [batch];
+    after the batch has run, the returned thunk assembles the costed
+    records, sorted by [inferred_ns] (degraded fits last). *)

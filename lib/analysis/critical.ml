@@ -1,0 +1,116 @@
+open Wmm_isa
+open Wmm_model
+open Event_graph
+
+type cycle = {
+  nodes : Event_graph.access list;
+  po_edges : Event_graph.po_edge list;
+  delays : Event_graph.po_edge list;
+}
+
+let has b e = List.mem b e.fences
+
+let preserved model (e : po_edge) =
+  let kind = edge_kind e in
+  let dep_to_write = (e.data_dep || e.ctrl_dep) && e.dst.is_write in
+  (* SC per location holds in every model: same-location po pairs
+     never need a fence. *)
+  same_loc e.src e.dst
+  ||
+  match model with
+  | Axiomatic.Sc -> true
+  | Axiomatic.Tso ->
+      kind <> Wmm_platform.Barrier.Store_load || has Instr.Dmb_ish e || has Instr.Sync e
+  | Axiomatic.Arm ->
+      has Instr.Dmb_ish e
+      || (has Instr.Dmb_ishld e && not e.src.is_write)
+      || (has Instr.Dmb_ishst e && e.src.is_write && e.dst.is_write)
+      || e.addr_dep || dep_to_write
+      || (e.ctrl_dep && List.mem Instr.Isb e.ctrl_pipeline)
+      || (e.src.order = Instr.Acquire && not e.src.is_write)
+      || (e.dst.order = Instr.Release && e.dst.is_write)
+      || (e.src.order = Instr.Release && e.dst.order = Instr.Acquire)
+  | Axiomatic.Power ->
+      has Instr.Sync e
+      || (has Instr.Lwsync e && kind <> Wmm_platform.Barrier.Store_load)
+      || (has Instr.Eieio e && kind = Wmm_platform.Barrier.Store_store)
+      || e.addr_dep || dep_to_write
+      || (e.ctrl_dep && List.mem Instr.Isync e.ctrl_pipeline)
+
+let max_cycle_len = 8
+
+let cycles (g : Event_graph.t) =
+  let accs = Array.of_list g.accesses in
+  let n = Array.length accs in
+  let po = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.add po (e.src.node, e.dst.node) e) g.edges;
+  let find_po u v = Hashtbl.find_opt po (u, v) in
+  let results = ref [] in
+  for s = 0 to n - 1 do
+    (* Enumerate simple cycles whose minimum node is [s]; directed po
+       edges fix the orientation, so each cycle appears once.
+       [path] is in reverse visit order, [po_acc] collects the po
+       edges traversed so far. *)
+    let rec dfs path po_acc thread_count =
+      let u = List.hd path in
+      for v = 0 to n - 1 do
+        let au = accs.(u) and av = accs.(v) in
+        let edge =
+          if au.tid = av.tid then Option.map (fun e -> `Po e) (find_po u v)
+          else if conflict au av then Some `Conflict
+          else None
+        in
+        match edge with
+        | None -> ()
+        | Some step ->
+            let po_here = match step with `Po e -> e :: po_acc | `Conflict -> po_acc in
+            if v = s && List.length path >= 2 then begin
+              let nodes = List.rev_map (fun i -> accs.(i)) path in
+              let tids = List.sort_uniq compare (List.map (fun a -> a.tid) nodes) in
+              if po_here <> [] && List.length tids >= 2 then
+                results := (nodes, List.rev po_here) :: !results
+            end
+            else if
+              v > s
+              && (not (List.mem v path))
+              && List.length path < max_cycle_len
+              && (try Hashtbl.find thread_count av.tid < 2 with Not_found -> true)
+            then begin
+              let c = try Hashtbl.find thread_count av.tid with Not_found -> 0 in
+              Hashtbl.replace thread_count av.tid (c + 1);
+              dfs (v :: path) po_here thread_count;
+              Hashtbl.replace thread_count av.tid c
+            end
+      done
+    in
+    let thread_count = Hashtbl.create 4 in
+    Hashtbl.replace thread_count accs.(s).tid 1;
+    dfs [ s ] [] thread_count
+  done;
+  (* Canonical dedup on the node set plus the po-edge set. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (nodes, po_edges) ->
+      let key =
+        ( List.sort compare (List.map (fun a -> a.node) nodes),
+          List.sort compare (List.map (fun e -> (e.src.node, e.dst.node)) po_edges) )
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev !results)
+
+let critical_cycles model g =
+  List.filter_map
+    (fun (nodes, po_edges) ->
+      match List.filter (fun e -> not (preserved model e)) po_edges with
+      | [] -> None
+      | delays -> Some { nodes; po_edges; delays })
+    (cycles g)
+
+let delay_edges model g =
+  let all = List.concat_map (fun c -> c.delays) (critical_cycles model g) in
+  let cmp a b = compare (a.src.node, a.dst.node) (b.src.node, b.dst.node) in
+  List.sort_uniq cmp all

@@ -1,0 +1,303 @@
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+open Wmm_util
+module Engine = Wmm_engine.Engine
+
+type inference = {
+  graph : Event_graph.t;
+  cycle_count : int;
+  delay_count : int;
+  minimal : Placement.strategy;
+  witness_count : int;
+  witnesses_ok : bool;
+  insufficient : int;
+  ranked : Costing.costed list;
+}
+
+type status =
+  | Already_forbidden
+  | Beyond_fences
+  | Inferred of inference
+  | Unfixed of string
+
+type row = { test : Test.t; arch : Arch.t; model : Axiomatic.model; status : status }
+
+type pending = {
+  p_test : Test.t;
+  p_graph : Event_graph.t;
+  p_cycles : int;
+  p_delays : int;
+  p_verdicts : (Placement.strategy * (unit -> bool Engine.outcome)) list;
+}
+
+(* One minimisation state: the current strategy shrinks round by
+   round until no single-site removal stays sufficient; that final
+   round's checks are exactly the minimality witnesses. *)
+type shrink = {
+  s_test : Test.t;
+  mutable s_current : Placement.strategy;
+  mutable s_witnesses : bool option;  (** Set when minimisation settles. *)
+}
+
+let got get = Engine.value (get ())
+
+let analyze_all ?(with_cost = true) ~engine ~arch tests =
+  let model = Axiomatic.model_for_arch arch in
+  (* Phase 0: is the condition reachable under the arch model, and
+     under SC (fences cannot forbid what SC allows)? *)
+  let batch0 = Engine.Batch.create () in
+  let phase0 =
+    List.map
+      (fun t ->
+        ( t,
+          Engine.Batch.add batch0 (Verify.allowed_task model t),
+          Engine.Batch.add batch0 (Verify.allowed_task Axiomatic.Sc t) ))
+      tests
+  in
+  Engine.Batch.run engine batch0;
+  (* Phase 1/2: build graphs and candidates for the fixable tests and
+     verify every candidate in one fan-out. *)
+  let batch1 = Engine.Batch.create () in
+  let classified =
+    List.map
+      (fun (t, get_model, get_sc) ->
+        match (got get_model, got get_sc) with
+        | Error e, _ | _, Error e -> (t, `Failed e)
+        | Ok false, _ -> (t, `Forbidden)
+        | Ok true, Ok true -> (t, `Beyond)
+        | Ok true, Ok false ->
+            let graph = Event_graph.extract t.Test.program in
+            let cycles = Critical.critical_cycles model graph in
+            let candidates = Placement.candidates model arch graph cycles in
+            let verdicts =
+              List.map
+                (fun s -> (s, Engine.Batch.add batch1 (Verify.sufficient_task model t s)))
+                candidates
+            in
+            ( t,
+              `Analyze
+                {
+                  p_test = t;
+                  p_graph = graph;
+                  p_cycles = List.length cycles;
+                  p_delays = List.length (Critical.delay_edges model graph);
+                  p_verdicts = verdicts;
+                } ))
+      phase0
+  in
+  Engine.Batch.run engine batch1;
+  (* Phase 3: greedy minimisation, batched round-wise across tests. *)
+  let shrinks = Hashtbl.create 16 in
+  List.iter
+    (fun (t, c) ->
+      match c with
+      | `Analyze p -> (
+          match
+            List.find_opt (fun (_, get) -> got get = Ok true) p.p_verdicts
+          with
+          | Some (chosen, _) ->
+              Hashtbl.replace shrinks t.Test.name
+                { s_test = t; s_current = chosen; s_witnesses = None }
+          | None -> ())
+      | _ -> ())
+    classified;
+  let rec minimise active =
+    if active <> [] then begin
+      let batch = Engine.Batch.create () in
+      let proposals =
+        List.map
+          (fun s ->
+            let sites = s.s_current in
+            let removals =
+              List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) sites) sites
+            in
+            ( s,
+              List.map
+                (fun smaller ->
+                  (smaller, Engine.Batch.add batch (Verify.sufficient_task model s.s_test smaller)))
+                removals ))
+          active
+      in
+      Engine.Batch.run engine batch;
+      let continuing =
+        List.filter_map
+          (fun (s, removals) ->
+            match List.find_opt (fun (_, get) -> got get = Ok true) removals with
+            | Some (smaller, _) when smaller <> [] ->
+                s.s_current <- smaller;
+                Some s
+            | Some (smaller, _) ->
+                s.s_current <- smaller;
+                s.s_witnesses <- Some false;
+                None
+            | None ->
+                (* Settled: every single-site removal was checked and
+                   must have come back insufficient. *)
+                s.s_witnesses <-
+                  Some (List.for_all (fun (_, get) -> got get = Ok false) removals);
+                None)
+          proposals
+      in
+      minimise continuing
+    end
+  in
+  minimise (Hashtbl.fold (fun _ s acc -> s :: acc) shrinks []);
+  (* Phase 4: cost-rank the minimal placement plus the best verified
+     alternatives on the simulator. *)
+  let batch_cost = Engine.Batch.create () in
+  let rankers = Hashtbl.create 16 in
+  if with_cost then
+    List.iter
+      (fun (t, c) ->
+        match (c, Hashtbl.find_opt shrinks t.Test.name) with
+        | `Analyze p, Some s ->
+            let verified =
+              List.filter_map
+                (fun (cand, get) -> if got get = Ok true then Some cand else None)
+                p.p_verdicts
+            in
+            let alternatives =
+              List.filteri (fun i _ -> i < 3)
+                (List.filter (fun cand -> cand <> s.s_current) verified)
+            in
+            Hashtbl.replace rankers t.Test.name
+              (Costing.rank_deferred ~batch:batch_cost arch p.p_graph
+                 (s.s_current :: alternatives))
+        | _ -> ())
+      classified;
+  if with_cost then Engine.Batch.run engine batch_cost;
+  (* Assemble. *)
+  List.map
+    (fun (t, c) ->
+      let status =
+        match c with
+        | `Failed e -> Unfixed ("analysis task failed: " ^ e)
+        | `Forbidden -> Already_forbidden
+        | `Beyond -> Beyond_fences
+        | `Analyze p -> (
+            match Hashtbl.find_opt shrinks t.Test.name with
+            | None -> Unfixed "no candidate placement verified sufficient"
+            | Some s ->
+                let insufficient =
+                  List.length
+                    (List.filter (fun (_, get) -> got get = Ok false) p.p_verdicts)
+                in
+                let ranked =
+                  match Hashtbl.find_opt rankers t.Test.name with
+                  | Some finish -> finish ()
+                  | None -> []
+                in
+                Inferred
+                  {
+                    graph = p.p_graph;
+                    cycle_count = p.p_cycles;
+                    delay_count = p.p_delays;
+                    minimal = s.s_current;
+                    witness_count = List.length s.s_current;
+                    witnesses_ok = s.s_witnesses = Some true;
+                    insufficient;
+                    ranked;
+                  })
+      in
+      { test = t; arch; model; status })
+    classified
+
+let status_string = function
+  | Already_forbidden -> "already-forbidden"
+  | Beyond_fences -> "beyond-fences"
+  | Inferred _ -> "verified-minimal"
+  | Unfixed _ -> "unverified"
+
+let float_or_dash f = if Float.is_nan f then "-" else Table.float_cell ~decimals:3 f
+
+let render ?(detail = true) arch rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Fence inference, %s (%s model)\n\n" (Arch.long_name arch)
+       (Axiomatic.model_name (Axiomatic.model_for_arch arch)));
+  let table =
+    Table.create
+      [ "test"; "status"; "cycles"; "delays"; "minimal placement"; "fences"; "a (ns)" ]
+  in
+  List.iter
+    (fun r ->
+      let cells =
+        match r.status with
+        | Inferred inf ->
+            let a =
+              match inf.ranked with
+              | c :: _ when c.Costing.strategy = inf.minimal ->
+                  float_or_dash c.Costing.inferred_ns
+              | _ -> (
+                  match
+                    List.find_opt (fun c -> c.Costing.strategy = inf.minimal) inf.ranked
+                  with
+                  | Some c -> float_or_dash c.Costing.inferred_ns
+                  | None -> "-")
+            in
+            [
+              r.test.Test.name;
+              status_string r.status;
+              string_of_int inf.cycle_count;
+              string_of_int inf.delay_count;
+              Placement.describe inf.minimal;
+              string_of_int inf.witness_count;
+              a;
+            ]
+        | Unfixed msg ->
+            [ r.test.Test.name; status_string r.status ^ " (" ^ msg ^ ")"; "-"; "-"; "-"; "-"; "-" ]
+        | _ -> [ r.test.Test.name; status_string r.status; "-"; "-"; "-"; "-"; "-" ]
+      in
+      Table.add_row table cells)
+    rows;
+  Buffer.add_string buf (Table.render table);
+  Buffer.add_char buf '\n';
+  if detail then
+    List.iter
+      (fun r ->
+        match r.status with
+        | Inferred inf when inf.ranked <> [] ->
+            Buffer.add_string buf
+              (Printf.sprintf "\n%s: cost-ranked strategies\n" r.test.Test.name);
+            let t =
+              Table.create [ "rank"; "placement"; "micro (ns)"; "p"; "k"; "a (ns)" ]
+            in
+            List.iteri
+              (fun i (c : Costing.costed) ->
+                Table.add_row t
+                  [
+                    string_of_int (i + 1);
+                    Placement.describe c.Costing.strategy;
+                    Table.float_cell ~decimals:2 c.Costing.micro_ns;
+                    float_or_dash c.Costing.relative;
+                    (if Wmm_core.Sensitivity.available c.Costing.fit then
+                       Table.scientific_cell c.Costing.fit.Wmm_core.Sensitivity.k
+                     else "-");
+                    float_or_dash c.Costing.inferred_ns;
+                  ])
+              inf.ranked;
+            Buffer.add_string buf (Table.render t);
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf
+              (Printf.sprintf "minimality: removing any 1 of %d fence(s) re-allows the outcome: %s\n"
+                 inf.witness_count
+                 (if inf.witnesses_ok then "confirmed" else "NOT CONFIRMED"))
+        | Inferred inf ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "\n%s: minimality: removing any 1 of %d fence(s) re-allows the outcome: %s\n"
+                 r.test.Test.name inf.witness_count
+                 (if inf.witnesses_ok then "confirmed" else "NOT CONFIRMED"))
+        | _ -> ())
+      rows;
+  let count pred = List.length (List.filter pred rows) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n%d test(s): %d verified-minimal, %d already forbidden, %d beyond fences, %d unverified\n"
+       (List.length rows)
+       (count (fun r -> match r.status with Inferred _ -> true | _ -> false))
+       (count (fun r -> r.status = Already_forbidden))
+       (count (fun r -> r.status = Beyond_fences))
+       (count (fun r -> match r.status with Unfixed _ -> true | _ -> false)));
+  Buffer.contents buf

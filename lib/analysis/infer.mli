@@ -1,0 +1,49 @@
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+
+(** The analysis pipeline: event graph → critical cycles → candidate
+    placements → exhaustive verification → greedy minimisation (whose
+    final round doubles as the minimality witnesses) → cost ranking.
+
+    All model checks and simulator measurements run as engine tasks,
+    batched per phase across every test under analysis, so the whole
+    pipeline parallelises over domains and replays from cache/journal
+    on reruns. *)
+
+type inference = {
+  graph : Event_graph.t;
+  cycle_count : int;  (** Critical cycles found. *)
+  delay_count : int;  (** Distinct delay edges across them. *)
+  minimal : Placement.strategy;
+      (** Verified sufficient; greedily minimised to a fixpoint. *)
+  witness_count : int;
+  witnesses_ok : bool;
+      (** Every placement obtained by dropping a single fence from
+          [minimal] was re-checked and found insufficient. *)
+  insufficient : int;  (** Enumerated candidates that failed verification. *)
+  ranked : Costing.costed list;
+      (** Verified strategies (minimal and alternatives) by inferred
+          cost; empty when costing was disabled. *)
+}
+
+type status =
+  | Already_forbidden  (** The model already forbids the condition. *)
+  | Beyond_fences
+      (** Even SC allows the condition: no fence placement can
+          forbid it (e.g. the CAS success-interleaving tests). *)
+  | Inferred of inference
+  | Unfixed of string  (** No candidate verified, or a task failed. *)
+
+type row = { test : Test.t; arch : Arch.t; model : Axiomatic.model; status : status }
+
+val analyze_all :
+  ?with_cost:bool -> engine:Wmm_engine.Engine.t -> arch:Arch.t -> Test.t list -> row list
+(** [with_cost] defaults to true; pass false to skip the simulator
+    cost-ranking phase (used by fast test sweeps). *)
+
+val status_string : status -> string
+
+val render : ?detail:bool -> Arch.t -> row list -> string
+(** The report: summary table, and with [detail] (default true) a
+    ranked strategy table plus minimality line per inferred test. *)

@@ -1,0 +1,192 @@
+open Wmm_isa
+open Wmm_model
+open Wmm_machine
+
+type site = { tid : int; at : int; barrier : Instr.barrier }
+
+type strategy = site list
+
+let full_fence_for b =
+  match Instr.barrier_arch b with Arch.Armv8 -> Instr.Dmb_ish | Arch.Power7 -> Instr.Sync
+
+(* a subsumes b: inserting a everywhere b was needed still works. *)
+let subsumes a b =
+  a = b
+  ||
+  match (a, b) with
+  | Instr.Dmb_ish, (Instr.Dmb_ishld | Instr.Dmb_ishst) -> true
+  | Instr.Sync, (Instr.Lwsync | Instr.Eieio) -> true
+  | Instr.Lwsync, Instr.Eieio -> true
+  | _ -> false
+
+let join a b =
+  if subsumes a b then a else if subsumes b a then b else full_fence_for a
+
+let canonical sites =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let key = (s.tid, s.at) in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.replace tbl key s.barrier
+      | Some b -> Hashtbl.replace tbl key (join b s.barrier))
+    sites;
+  Hashtbl.fold (fun (tid, at) barrier acc -> { tid; at; barrier } :: acc) tbl []
+  |> List.sort (fun a b -> compare (a.tid, a.at, a.barrier) (b.tid, b.at, b.barrier))
+
+let ladder model kind =
+  match (model, kind) with
+  | Axiomatic.Arm, (Wmm_platform.Barrier.Load_load | Wmm_platform.Barrier.Load_store) ->
+      [ Instr.Dmb_ishld; Instr.Dmb_ish ]
+  | Axiomatic.Arm, Wmm_platform.Barrier.Store_store -> [ Instr.Dmb_ishst; Instr.Dmb_ish ]
+  | Axiomatic.Arm, Wmm_platform.Barrier.Store_load -> [ Instr.Dmb_ish ]
+  | Axiomatic.Power, (Wmm_platform.Barrier.Load_load | Wmm_platform.Barrier.Load_store) ->
+      [ Instr.Lwsync; Instr.Sync ]
+  | Axiomatic.Power, Wmm_platform.Barrier.Store_store ->
+      [ Instr.Eieio; Instr.Lwsync; Instr.Sync ]
+  | Axiomatic.Power, Wmm_platform.Barrier.Store_load -> [ Instr.Sync ]
+  | Axiomatic.Tso, Wmm_platform.Barrier.Store_load -> [ Instr.Dmb_ish ]
+  | (Axiomatic.Sc | Axiomatic.Tso), _ -> []
+
+let barrier_uop = function
+  | Instr.Dmb_ish | Instr.Sync -> Uop.Fence_full
+  | Instr.Dmb_ishld -> Uop.Fence_load
+  | Instr.Dmb_ishst | Instr.Eieio -> Uop.Fence_store
+  | Instr.Lwsync -> Uop.Fence_lw
+  | Instr.Isb | Instr.Isync -> Uop.Fence_pipeline
+
+let cost_table : (Arch.t * Instr.barrier, float) Hashtbl.t = Hashtbl.create 16
+
+let barrier_cost_ns arch b =
+  match Hashtbl.find_opt cost_table (arch, b) with
+  | Some c -> c
+  | None ->
+      let c = Perf.sequence_cost_ns ~repetitions:200 (Timing.for_arch arch) [ barrier_uop b ] in
+      Hashtbl.replace cost_table (arch, b) c;
+      c
+
+let micro_cost_ns arch strategy =
+  List.fold_left (fun acc s -> acc +. barrier_cost_ns arch s.barrier) 0. strategy
+
+let barrier_strength = function
+  | Instr.Dmb_ish | Instr.Sync -> 3
+  | Instr.Lwsync -> 2
+  | Instr.Dmb_ishld | Instr.Dmb_ishst | Instr.Eieio -> 1
+  | Instr.Isb | Instr.Isync -> 1
+
+let strength strategy =
+  List.fold_left (fun acc s -> acc + barrier_strength s.barrier) 0 strategy
+
+let apply (p : Program.t) strategy =
+  let threads =
+    Array.mapi
+      (fun tid thread ->
+        let here = List.filter (fun s -> s.tid = tid) strategy in
+        if here = [] then thread
+        else begin
+          let out = ref [] in
+          Array.iteri
+            (fun i instr ->
+              List.iter
+                (fun s -> if s.at = i then out := Instr.Barrier s.barrier :: !out)
+                here;
+              out := instr :: !out)
+            thread;
+          Array.of_list (List.rev !out)
+        end)
+      p.Program.threads
+  in
+  { p with Program.threads }
+
+let describe = function
+  | [] -> "(none)"
+  | sites ->
+      String.concat " "
+        (List.map
+           (fun s -> Printf.sprintf "P%d+%s@%d" s.tid (Instr.barrier_mnemonic s.barrier) s.at)
+           sites)
+
+let full_fence_of_arch = function Arch.Armv8 -> Instr.Dmb_ish | Arch.Power7 -> Instr.Sync
+
+let site_of_edge barrier (e : Event_graph.po_edge) =
+  let d = e.Event_graph.dst in
+  { tid = d.Event_graph.tid; at = d.Event_graph.index; barrier }
+
+let max_product = 256
+
+let candidates model arch (g : Event_graph.t) cycles =
+  let delays =
+    let all = List.concat_map (fun (c : Critical.cycle) -> c.Critical.delays) cycles in
+    let cmp (a : Event_graph.po_edge) b =
+      compare
+        (a.Event_graph.src.Event_graph.node, a.Event_graph.dst.Event_graph.node)
+        (b.Event_graph.src.Event_graph.node, b.Event_graph.dst.Event_graph.node)
+    in
+    List.sort_uniq cmp all
+  in
+  let ladders =
+    List.map
+      (fun e ->
+        let l = ladder model (Event_graph.edge_kind e) in
+        let l = if l = [] then [ full_fence_of_arch arch ] else l in
+        (e, l))
+      delays
+  in
+  let n_combos = List.fold_left (fun acc (_, l) -> acc * List.length l) 1 ladders in
+  let ladders =
+    if n_combos <= max_product then ladders
+    else
+      (* Too many combinations: keep only the cheapest and strongest
+         rung per edge. *)
+      List.map
+        (fun (e, l) ->
+          match l with
+          | [] | [ _ ] -> (e, l)
+          | first :: rest -> (e, [ first; List.nth rest (List.length rest - 1) ]))
+        ladders
+  in
+  let product =
+    List.fold_left
+      (fun combos (e, l) ->
+        List.concat_map (fun c -> List.map (fun b -> site_of_edge b e :: c) l) combos)
+      [ [] ] ladders
+  in
+  let full = full_fence_of_arch arch in
+  let fallback_cycles =
+    List.concat_map
+      (fun (c : Critical.cycle) -> List.map (site_of_edge full) c.Critical.po_edges)
+      cycles
+  in
+  let fallback_everywhere =
+    List.filter_map
+      (fun (a : Event_graph.access) ->
+        let first =
+          List.for_all
+            (fun (b : Event_graph.access) -> b.tid <> a.tid || b.index >= a.index)
+            g.accesses
+        in
+        if first then None else Some { tid = a.tid; at = a.index; barrier = full })
+      g.accesses
+  in
+  let all =
+    List.map canonical product @ [ canonical fallback_cycles; canonical fallback_everywhere ]
+  in
+  let all = List.filter (fun s -> s <> []) all in
+  let seen = Hashtbl.create 16 in
+  let all =
+    List.filter
+      (fun s ->
+        let key = describe s in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      all
+  in
+  List.sort
+    (fun a b ->
+      compare
+        (micro_cost_ns arch a, strength a, describe a)
+        (micro_cost_ns arch b, strength b, describe b))
+    all

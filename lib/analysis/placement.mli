@@ -1,0 +1,57 @@
+open Wmm_isa
+open Wmm_model
+
+(** Fence placement strategies: where to insert which barrier.
+
+    A site inserts one barrier immediately before instruction [at] of
+    thread [tid].  A strategy is a canonical (sorted, one barrier per
+    position) list of sites.  Candidates are built from the delay
+    edges of the critical cycles: each edge gets the cost-ascending
+    ladder of barriers that can cover its kind, the Cartesian product
+    is merged position-wise (two edges sharing a position join to the
+    weakest barrier subsuming both), and two fallbacks are appended
+    for the cumulativity cases static rules cannot see (e.g. IRIW on
+    POWER, where per-edge lwsyncs verify as insufficient and the
+    solver must escalate to sync). *)
+
+type site = { tid : int; at : int; barrier : Instr.barrier }
+
+type strategy = site list
+(** Canonical: sorted by (tid, at), at most one site per position. *)
+
+val canonical : site list -> strategy
+(** Merge same-position sites with {!join}, sort. *)
+
+val join : Instr.barrier -> Instr.barrier -> Instr.barrier
+(** Weakest single barrier subsuming both, falling back to the
+    architecture's full fence for incomparable pairs. *)
+
+val ladder : Axiomatic.model -> Wmm_platform.Barrier.elemental -> Instr.barrier list
+(** Cost-ascending barrier options covering an edge kind under the
+    model (e.g. StoreStore on POWER: eieio, lwsync, sync). *)
+
+val barrier_uop : Instr.barrier -> Wmm_machine.Uop.t
+
+val barrier_cost_ns : Arch.t -> Instr.barrier -> float
+(** Standalone microbenchmark cost via
+    {!Wmm_machine.Perf.sequence_cost_ns}; memoised. *)
+
+val micro_cost_ns : Arch.t -> strategy -> float
+(** Sum of the sites' standalone barrier costs. *)
+
+val strength : strategy -> int
+(** Tie-break weight: full fences count more than one-directional
+    ones, so equal-cost candidates prefer the weaker barriers. *)
+
+val apply : Program.t -> strategy -> Program.t
+(** Insert the strategy's barriers into the program. *)
+
+val describe : strategy -> string
+(** ["P0+dmb ishst@1 P1+dmb ishld@1"]; ["(none)"] when empty. *)
+
+val candidates :
+  Axiomatic.model -> Arch.t -> Event_graph.t -> Critical.cycle list -> strategy list
+(** Deduplicated, sorted by (micro cost, strength, description); the
+    two fallbacks (full fence on every po edge of every cycle; full
+    fence before every non-leading access) are always included last
+    so verification-driven escalation terminates. *)

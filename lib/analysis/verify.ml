@@ -1,0 +1,31 @@
+open Wmm_model
+open Wmm_litmus
+module Task = Wmm_engine.Task
+
+let test_digest (t : Test.t) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (t.Test.program, t.Test.condition, t.Test.mem_condition)
+          [ Marshal.No_sharing ]))
+
+let fenced (t : Test.t) strategy =
+  { t with Test.program = Placement.apply t.Test.program strategy }
+
+let allowed_task model (t : Test.t) =
+  let key =
+    Printf.sprintf "analysis/allowed/v1|%s|%s" (Axiomatic.model_name model) (test_digest t)
+  in
+  let label = Printf.sprintf "allowed %s %s" (Axiomatic.model_name model) t.Test.name in
+  Task.pure ~key ~label (fun () -> Check.axiomatic_allowed model t)
+
+let sufficient_task model (t : Test.t) strategy =
+  let key =
+    Printf.sprintf "analysis/verify/v1|%s|%s|%s" (Axiomatic.model_name model) (test_digest t)
+      (Placement.describe strategy)
+  in
+  let label =
+    Printf.sprintf "verify %s %s [%s]" (Axiomatic.model_name model) t.Test.name
+      (Placement.describe strategy)
+  in
+  Task.pure ~key ~label (fun () -> not (Check.axiomatic_allowed model (fenced t strategy)))

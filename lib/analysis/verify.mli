@@ -1,0 +1,24 @@
+open Wmm_model
+open Wmm_litmus
+
+(** Placement verification against the axiomatic models.
+
+    A strategy is sufficient for a test under a model when the test's
+    condition, explored exhaustively over all candidate executions of
+    the *fenced* program, is no longer reachable.  Each check is
+    packaged as an engine task so verification of many candidates
+    fans out across domains and is served from cache/journal on
+    reruns. *)
+
+val fenced : Test.t -> Placement.strategy -> Test.t
+(** The test with the strategy's barriers inserted into its program. *)
+
+val allowed_task : Axiomatic.model -> Test.t -> bool Wmm_engine.Task.t
+(** Is the (unfenced) condition reachable under the model? *)
+
+val sufficient_task : Axiomatic.model -> Test.t -> Placement.strategy -> bool Wmm_engine.Task.t
+(** True when the condition is *unreachable* after fencing: the
+    placement is sufficient. *)
+
+val test_digest : Test.t -> string
+(** Content digest of program + condition, used in task keys. *)

@@ -123,9 +123,14 @@ let outcome_json = function
   | Replayed -> Printf.sprintf {|"replayed"|}
   | Failed msg -> Printf.sprintf {|{"failed": "%s"}|} (json_escape msg)
 
+(* Bumped whenever the shape of this JSON changes, so downstream
+   parsers of telemetry dumps can dispatch on it. *)
+let schema_version = 2
+
 let to_json s rs =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema_version\": %d,\n" schema_version);
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" s.jobs);
   Buffer.add_string b (Printf.sprintf "  \"tasks_total\": %d,\n" s.total);
   Buffer.add_string b (Printf.sprintf "  \"tasks_ran\": %d,\n" s.ran);

@@ -63,8 +63,14 @@ val json_escape : string -> string
 (** Escape a string for inclusion in a JSON double-quoted literal
     (also used by {!Journal} for its JSONL run journals). *)
 
+val schema_version : int
+(** Version of the JSON layout emitted by {!to_json}, included as the
+    dump's [schema_version] field; bumped on layout changes so
+    downstream parsers can evolve safely. *)
+
 val to_json : summary -> record list -> string
-(** The full run as a JSON object: the summary fields plus a [tasks]
-    array with per-task label, wall-clock, queue depth and outcome. *)
+(** The full run as a JSON object: the [schema_version], the summary
+    fields, plus a [tasks] array with per-task label, wall-clock,
+    queue depth and outcome. *)
 
 val write_json : path:string -> summary -> record list -> unit

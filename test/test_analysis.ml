@@ -1,0 +1,279 @@
+(* The fence-inference subsystem: event-graph extraction, critical
+   cycles, placement candidates, verification/minimisation, and the
+   library-wide acceptance sweep (every analyzable test gets a
+   verified-minimal placement with minimality witnesses). *)
+
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+open Wmm_analysis
+
+let lib name = Option.get (Library.by_name name)
+
+let graph_of name = Event_graph.extract (lib name).Test.program
+
+(* ------------------------------------------------------------------ *)
+(* Event graph                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_extract_mp_addr () =
+  (* MP+dmb+addr: the xor-self / add idiom must resolve the second
+     load's address statically and carry the addr dependency. *)
+  let g = graph_of "MP+dmb+addr" in
+  Alcotest.(check int) "accesses" 4 (List.length g.Event_graph.accesses);
+  let reads =
+    List.filter (fun (a : Event_graph.access) -> not a.Event_graph.is_write)
+      g.Event_graph.accesses
+  in
+  Alcotest.(check int) "two reads" 2 (List.length reads);
+  let dependent_read =
+    List.find
+      (fun (a : Event_graph.access) -> a.Event_graph.tid = 1 && a.Event_graph.index > 0)
+      reads
+  in
+  Alcotest.(check (option int)) "xor-self address resolved" (Some 0)
+    dependent_read.Event_graph.loc;
+  let reader_edge =
+    List.find
+      (fun (e : Event_graph.po_edge) ->
+        e.Event_graph.src.Event_graph.tid = 1 && e.Event_graph.dst.Event_graph.tid = 1)
+      g.Event_graph.edges
+  in
+  Alcotest.(check bool) "addr dependency tracked" true reader_edge.Event_graph.addr_dep;
+  let writer_edge =
+    List.find
+      (fun (e : Event_graph.po_edge) -> e.Event_graph.src.Event_graph.tid = 0)
+      g.Event_graph.edges
+  in
+  Alcotest.(check bool) "dmb recorded between writes" true
+    (List.mem Instr.Dmb_ish writer_edge.Event_graph.fences)
+
+let test_extract_exclusives () =
+  let g = graph_of "CAS+both" in
+  let exclusives =
+    List.filter (fun (a : Event_graph.access) -> a.Event_graph.exclusive)
+      g.Event_graph.accesses
+  in
+  Alcotest.(check bool) "exclusive accesses extracted" true (List.length exclusives >= 4)
+
+let test_conflict_and_kind () =
+  let g = graph_of "SB" in
+  let edges = g.Event_graph.edges in
+  Alcotest.(check int) "one po edge per SB thread" 2 (List.length edges);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "SB po edges are store->load" true
+        (Event_graph.edge_kind e = Wmm_platform.Barrier.Store_load))
+    edges
+
+(* ------------------------------------------------------------------ *)
+(* Critical cycles and the preserved predicate                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_preserved_tso () =
+  let sb = graph_of "SB" and mp = graph_of "MP" in
+  List.iter
+    (fun (e : Event_graph.po_edge) ->
+      Alcotest.(check bool) "TSO relaxes store->load" false (Critical.preserved Axiomatic.Tso e))
+    sb.Event_graph.edges;
+  List.iter
+    (fun (e : Event_graph.po_edge) ->
+      Alcotest.(check bool) "TSO preserves MP's edges" true
+        (Critical.preserved Axiomatic.Tso e))
+    mp.Event_graph.edges
+
+let test_preserved_acq_rel () =
+  let g = graph_of "MP+rel+acq" in
+  List.iter
+    (fun (e : Event_graph.po_edge) ->
+      Alcotest.(check bool) "release/acquire preserve MP edges on ARM" true
+        (Critical.preserved Axiomatic.Arm e))
+    g.Event_graph.edges
+
+let test_critical_cycles () =
+  let sb = graph_of "SB" in
+  let cycles = Critical.critical_cycles Axiomatic.Arm sb in
+  Alcotest.(check int) "SB: one critical cycle on ARM" 1 (List.length cycles);
+  Alcotest.(check int) "SB: two delays" 2
+    (List.length (Critical.delay_edges Axiomatic.Arm sb));
+  Alcotest.(check int) "SB: no critical cycle under SC" 0
+    (List.length (Critical.critical_cycles Axiomatic.Sc sb));
+  (* Same-location accesses are ordered by coherence in every model:
+     a coherence test yields no critical cycle. *)
+  let coww =
+    Event_graph.extract
+      (Program.make ~name:"coww" ~location_names:[| "x" |]
+         [
+           [| Test.str ~value:1 ~loc:0; Test.str ~value:2 ~loc:0 |];
+           [| Test.ldr ~dst:1 ~loc:0; Test.ldr ~dst:2 ~loc:0 |];
+         ])
+  in
+  Alcotest.(check int) "coherence: no critical cycles" 0
+    (List.length (Critical.critical_cycles Axiomatic.Power coww))
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_join_and_ladder () =
+  Alcotest.(check bool) "ishld+ishst joins to ish" true
+    (Placement.join Instr.Dmb_ishld Instr.Dmb_ishst = Instr.Dmb_ish);
+  Alcotest.(check bool) "eieio+lwsync joins to lwsync" true
+    (Placement.join Instr.Eieio Instr.Lwsync = Instr.Lwsync);
+  Alcotest.(check bool) "sync joins anything power to sync" true
+    (Placement.join Instr.Sync Instr.Eieio = Instr.Sync);
+  Alcotest.(check (list bool)) "ARM store->load ladder is the full fence"
+    [ true ]
+    (List.map (fun b -> b = Instr.Dmb_ish)
+       (Placement.ladder Axiomatic.Arm Wmm_platform.Barrier.Store_load));
+  Alcotest.(check int) "POWER store->store ladder has three rungs" 3
+    (List.length (Placement.ladder Axiomatic.Power Wmm_platform.Barrier.Store_store))
+
+let test_apply () =
+  let t = lib "SB" in
+  let strategy =
+    [
+      { Placement.tid = 0; at = 1; barrier = Instr.Dmb_ish };
+      { Placement.tid = 1; at = 1; barrier = Instr.Dmb_ish };
+    ]
+  in
+  let fenced = Placement.apply t.Test.program strategy in
+  Alcotest.(check int) "two instructions added" 6 (Program.instruction_count fenced);
+  Array.iter
+    (fun thread ->
+      Alcotest.(check bool) "fence sits between the accesses" true
+        (thread.(1) = Instr.Barrier Instr.Dmb_ish))
+    fenced.Program.threads;
+  Alcotest.(check string) "describe" "P0+dmb ish@1 P1+dmb ish@1"
+    (Placement.describe strategy)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end inference                                                *)
+(* ------------------------------------------------------------------ *)
+
+let engine () = Wmm_engine.Engine.create ~jobs:0 ()
+
+let analyze ?(with_cost = false) arch name =
+  let rows = Infer.analyze_all ~with_cost ~engine:(engine ()) ~arch [ lib name ] in
+  (List.hd rows).Infer.status
+
+let inferred = function
+  | Infer.Inferred inf -> inf
+  | s -> Alcotest.failf "expected an inferred placement, got %s" (Infer.status_string s)
+
+let check_minimal name arch expected =
+  let inf = inferred (analyze arch name) in
+  Alcotest.(check string)
+    (Printf.sprintf "%s minimal placement on %s" name (Arch.name arch))
+    expected
+    (Placement.describe inf.Infer.minimal);
+  Alcotest.(check bool) (name ^ " minimality witnessed") true inf.Infer.witnesses_ok
+
+let test_sb_placements () =
+  check_minimal "SB" Arch.Armv8 "P0+dmb ish@1 P1+dmb ish@1";
+  check_minimal "SB" Arch.Power7 "P0+sync@1 P1+sync@1"
+
+let test_mp_placements () =
+  check_minimal "MP" Arch.Armv8 "P0+dmb ishst@1 P1+dmb ishld@1";
+  check_minimal "LB" Arch.Armv8 "P0+dmb ishld@1 P1+dmb ishld@1";
+  (* One-sided fencing: the writer's dmb is already in the program,
+     so only the reader side needs a fence. *)
+  check_minimal "MP+dmb" Arch.Armv8 "P1+dmb ishld@1"
+
+let test_iriw_power_escalation () =
+  (* The static rules would accept lwsync on both readers, but POWER
+     is not multi-copy atomic: verification rejects the lwsync
+     candidates and the solver escalates to sync. *)
+  let inf = inferred (analyze Arch.Power7 "IRIW") in
+  Alcotest.(check bool) "readers end up with sync" true
+    (List.for_all (fun s -> s.Placement.barrier = Instr.Sync) inf.Infer.minimal);
+  Alcotest.(check bool) "lwsync candidates reported insufficient" true
+    (inf.Infer.insufficient >= 1);
+  Alcotest.(check bool) "minimality witnessed" true inf.Infer.witnesses_ok;
+  (* ARMv8 is multi-copy atomic: the cheap read fences do suffice. *)
+  let arm = inferred (analyze Arch.Armv8 "IRIW") in
+  Alcotest.(check bool) "ARM needs only read fences" true
+    (List.for_all (fun s -> s.Placement.barrier = Instr.Dmb_ishld) arm.Infer.minimal)
+
+let test_statuses () =
+  (match analyze Arch.Armv8 "SB+dmbs" with
+  | Infer.Already_forbidden -> ()
+  | s -> Alcotest.failf "SB+dmbs should already be forbidden, got %s" (Infer.status_string s));
+  match analyze Arch.Armv8 "CAS+one" with
+  | Infer.Beyond_fences -> ()
+  | s -> Alcotest.failf "CAS+one is SC-allowed, got %s" (Infer.status_string s)
+
+let test_costing () =
+  let inf = inferred (analyze ~with_cost:true Arch.Armv8 "SB") in
+  match inf.Infer.ranked with
+  | [] -> Alcotest.fail "cost ranking empty"
+  | c :: _ ->
+      Alcotest.(check bool) "micro cost positive" true (c.Costing.micro_ns > 0.);
+      Alcotest.(check bool) "relative performance sensible" true
+        (c.Costing.relative > 0. && c.Costing.relative <= 2.);
+      Alcotest.(check bool) "sensitivity fit available" true
+        (Wmm_core.Sensitivity.available c.Costing.fit);
+      Alcotest.(check bool) "inferred cost finite" true
+        (Float.is_finite c.Costing.inferred_ns)
+
+let test_render () =
+  let e = engine () in
+  let rows =
+    Infer.analyze_all ~with_cost:false ~engine:e ~arch:Arch.Armv8
+      [ lib "SB"; lib "SB+dmbs"; lib "CAS+one" ]
+  in
+  let report = Infer.render Arch.Armv8 rows in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and h = String.length report in
+      let rec go i = i + n <= h && (String.sub report i n = needle || go (i + 1)) in
+      if not (go 0) then Alcotest.failf "report missing %S:\n%s" needle report)
+    [ "verified-minimal"; "already-forbidden"; "beyond-fences"; "minimality" ]
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance sweep: every library test with a model-forbidden outcome
+   on ARMv8 and POWER gets a verified-minimal placement, witnessed.    *)
+(* ------------------------------------------------------------------ *)
+
+let test_acceptance_sweep () =
+  let e = engine () in
+  List.iter
+    (fun arch ->
+      let rows = Infer.analyze_all ~with_cost:false ~engine:e ~arch Library.all in
+      List.iter
+        (fun (r : Infer.row) ->
+          match r.Infer.status with
+          | Infer.Unfixed msg ->
+              Alcotest.failf "%s on %s: no verified placement (%s)" r.Infer.test.Test.name
+                (Arch.name arch) msg
+          | Infer.Inferred inf ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s on %s: minimality witnessed" r.Infer.test.Test.name
+                   (Arch.name arch))
+                true inf.Infer.witnesses_ok;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s on %s: non-empty placement" r.Infer.test.Test.name
+                   (Arch.name arch))
+                true (inf.Infer.minimal <> [])
+          | Infer.Already_forbidden | Infer.Beyond_fences -> ())
+        rows)
+    [ Arch.Armv8; Arch.Power7 ]
+
+let suite =
+  [
+    Alcotest.test_case "event graph: MP+dmb+addr" `Quick test_extract_mp_addr;
+    Alcotest.test_case "event graph: exclusives" `Quick test_extract_exclusives;
+    Alcotest.test_case "event graph: SB kinds" `Quick test_conflict_and_kind;
+    Alcotest.test_case "preserved: TSO" `Quick test_preserved_tso;
+    Alcotest.test_case "preserved: acquire/release" `Quick test_preserved_acq_rel;
+    Alcotest.test_case "critical cycles" `Quick test_critical_cycles;
+    Alcotest.test_case "placement: join and ladders" `Quick test_join_and_ladder;
+    Alcotest.test_case "placement: apply" `Quick test_apply;
+    Alcotest.test_case "infer: SB" `Quick test_sb_placements;
+    Alcotest.test_case "infer: MP family" `Quick test_mp_placements;
+    Alcotest.test_case "infer: IRIW escalation" `Quick test_iriw_power_escalation;
+    Alcotest.test_case "infer: statuses" `Quick test_statuses;
+    Alcotest.test_case "infer: cost ranking" `Quick test_costing;
+    Alcotest.test_case "infer: report rendering" `Quick test_render;
+    Alcotest.test_case "acceptance sweep (full library)" `Slow test_acceptance_sweep;
+  ]

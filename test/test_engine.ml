@@ -116,6 +116,7 @@ let test_task_rng_deterministic () =
     <> List.init 8 (fun _ -> Wmm_util.Rng.int64 c))
 
 let test_telemetry_json () =
+  Alcotest.(check int) "telemetry schema version" 2 Telemetry.schema_version;
   let engine = Engine.create ~jobs:1 () in
   ignore (Engine.run_all engine [| Task.pure ~key:"t" (fun () -> ()) |]);
   let path = Filename.temp_file "wmm_telemetry" ".json" in
@@ -135,7 +136,13 @@ let test_telemetry_json () =
             go 0
           in
           if not found then Alcotest.failf "telemetry JSON missing %S" needle)
-        [ "\"tasks_total\": 1"; "\"tasks_ran\": 1"; "\"cache\""; "\"outcome\": \"ran\"" ])
+        [
+          Printf.sprintf "\"schema_version\": %d" Telemetry.schema_version;
+          "\"tasks_total\": 1";
+          "\"tasks_ran\": 1";
+          "\"cache\"";
+          "\"outcome\": \"ran\"";
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* Resilience: fault injection, retry recovery, checkpoint/resume,

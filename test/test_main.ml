@@ -23,6 +23,7 @@ let () =
       ("litmus", Test_litmus.suite);
       ("fuzz", Test_fuzz.suite);
       ("litmus-parse", Test_parse.suite);
+      ("analysis", Test_analysis.suite);
       ("optimizer+counters", Test_optimizer.suite);
       ("rmw", Test_rmw.suite);
       ("experiments", Test_experiments.suite);

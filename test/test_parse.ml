@@ -117,6 +117,147 @@ let test_roundtrip_library () =
             (outcomes original) (outcomes p.Parse.test))
     [ "SB"; "MP"; "MP+dmb+addr"; "SB+dmbs"; "MP+lwsync+addr"; "LB"; "2+2W"; "R" ]
 
+(* ------------------------------------------------------------------ *)
+(* Full-library round-trip: parse -> print -> parse over all 44 tests,
+   plus the edge cases the analysis event-graph extractor relies on
+   (exclusives and acquire/release annotations).                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The POWER rendering of exclusives and acquire/release loads is a
+   multi-instruction idiom (e.g. "stcx. ... ; mfcr ...") that the
+   parser deliberately does not accept, so pick the printing syntax
+   by the barriers the program actually uses: only genuinely
+   POWER-fenced tests print as PPC. *)
+let print_arch (t : Test.t) =
+  let uses_power_barrier =
+    Array.exists
+      (fun thread ->
+        Array.exists
+          (function
+            | Instr.Barrier b -> Instr.barrier_arch b = Arch.Power7 | _ -> false)
+          thread)
+      t.Test.program.Program.threads
+  in
+  if uses_power_barrier then Arch.Power7 else Arch.Armv8
+
+let instr_category = function
+  | Instr.Load _ -> "load"
+  | Instr.Store _ -> "store"
+  | Instr.Load_exclusive _ -> "load-exclusive"
+  | Instr.Store_exclusive _ -> "store-exclusive"
+  | Instr.Barrier b -> "barrier:" ^ Instr.barrier_mnemonic b
+  | Instr.Mov _ -> "mov"
+  | Instr.Op _ -> "op"
+  | Instr.Cbnz _ | Instr.Cbz _ -> "branch"
+  | Instr.Nop -> "nop"
+
+let category_counts (p : Program.t) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun thread ->
+      Array.iter
+        (fun i ->
+          let c = instr_category i in
+          Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+        thread)
+    p.Program.threads;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let test_roundtrip_full_library () =
+  List.iter
+    (fun (original : Test.t) ->
+      let name = original.Test.name in
+      let arch = print_arch original in
+      let text1 = Parse.to_text ~arch original in
+      match Parse.parse text1 with
+      | Error e -> Alcotest.failf "%s roundtrip parse error: %s (text:\n%s)" name e text1
+      | Ok p ->
+          let reparsed = p.Parse.test in
+          Alcotest.(check string) (name ^ " name survives") name reparsed.Test.name;
+          Alcotest.(check int)
+            (name ^ " thread count")
+            (Program.thread_count original.Test.program)
+            (Program.thread_count reparsed.Test.program);
+          Alcotest.(check (list (pair string int)))
+            (name ^ " instruction mix")
+            (category_counts original.Test.program)
+            (category_counts reparsed.Test.program);
+          Alcotest.(check int)
+            (name ^ " condition clauses")
+            (List.length original.Test.condition)
+            (List.length reparsed.Test.condition);
+          Alcotest.(check int)
+            (name ^ " memory clauses")
+            (List.length original.Test.mem_condition)
+            (List.length reparsed.Test.mem_condition);
+          (* Print -> parse -> print must be a fixpoint: the second
+             rendering is byte-identical to the first. *)
+          let text2 = Parse.to_text ~arch reparsed in
+          Alcotest.(check string) (name ^ " text fixpoint") text1 text2)
+    Library.all
+
+let find_instr p pred =
+  Array.exists (fun thread -> Array.exists pred thread) p.Program.threads
+
+let test_roundtrip_exclusives () =
+  (* RMW exclusives survive the round trip with their annotations:
+     the event-graph extractor keys on both. *)
+  let text =
+    "AArch64 cas-acqrel\n\
+     { x=0 }\n\
+     P0               | P1               ;\n\
+     ldaxr x1, &x     | ldxr x1, &x      ;\n\
+     stlxr x3, x2, &x | stxr x3, x2, &x  ;\n\
+     exists (0:x3=0 /\\ 1:x3=0)\n"
+  in
+  let p = parse_ok text in
+  let prog = p.Parse.test.Test.program in
+  let is_acq_lx = function
+    | Instr.Load_exclusive { order = Instr.Acquire; _ } -> true
+    | _ -> false
+  and is_rel_sx = function
+    | Instr.Store_exclusive { order = Instr.Release; _ } -> true
+    | _ -> false
+  and is_plain_lx = function
+    | Instr.Load_exclusive { order = Instr.Plain; _ } -> true
+    | _ -> false
+  and is_plain_sx = function
+    | Instr.Store_exclusive { order = Instr.Plain; _ } -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "ldaxr parsed" true (find_instr prog is_acq_lx);
+  Alcotest.(check bool) "stlxr parsed" true (find_instr prog is_rel_sx);
+  Alcotest.(check bool) "ldxr parsed" true (find_instr prog is_plain_lx);
+  Alcotest.(check bool) "stxr parsed" true (find_instr prog is_plain_sx);
+  let text2 = Parse.to_text ~arch:Arch.Armv8 p.Parse.test in
+  let p2 = parse_ok text2 in
+  Alcotest.(check string) "exclusives text fixpoint" text2
+    (Parse.to_text ~arch:Arch.Armv8 p2.Parse.test)
+
+let test_roundtrip_acquire_release () =
+  (* MP+rel+acq: annotations must survive printing, and the reparsed
+     test must keep the same verdict under every model. *)
+  let original = Option.get (Library.by_name "MP+rel+acq") in
+  let text = Parse.to_text ~arch:Arch.Armv8 original in
+  let p = parse_ok text in
+  let prog = p.Parse.test.Test.program in
+  let is_stlr = function
+    | Instr.Store { order = Instr.Release; _ } -> true
+    | _ -> false
+  and is_ldar = function
+    | Instr.Load { order = Instr.Acquire; _ } -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "stlr survives" true (find_instr prog is_stlr);
+  Alcotest.(check bool) "ldar survives" true (find_instr prog is_ldar);
+  List.iter
+    (fun model ->
+      Alcotest.(check bool)
+        ("MP+rel+acq verdict under " ^ Axiomatic.model_name model)
+        (Check.axiomatic_allowed model original)
+        (Check.axiomatic_allowed model p.Parse.test))
+    [ Axiomatic.Sc; Axiomatic.Tso; Axiomatic.Arm ]
+
 let suite =
   [
     Alcotest.test_case "parse MP" `Quick test_parse_mp;
@@ -126,4 +267,7 @@ let suite =
     Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "library roundtrip" `Quick test_roundtrip_library;
+    Alcotest.test_case "full-library roundtrip" `Quick test_roundtrip_full_library;
+    Alcotest.test_case "exclusives roundtrip" `Quick test_roundtrip_exclusives;
+    Alcotest.test_case "acquire/release roundtrip" `Quick test_roundtrip_acquire_release;
   ]
