@@ -1,0 +1,306 @@
+(* Perf baseline for the exploration core.
+
+   Times [Enumerate.allowed_outcomes] (the pruned backtracking
+   search) against [Enumerate.Reference.allowed_outcomes] (the
+   pre-rewrite generate-and-filter path) over the full litmus library
+   and a set of synthetic IRIW-class worst cases, and writes the
+   result as BENCH_explore.json - the repository's first checked-in
+   performance baseline.
+
+   Usage: bench_explore [--out FILE] [--expected FILE] [--reps N]
+                        [--no-reference] [--write-expected FILE]
+
+   --expected FILE asserts the deterministic exploration counts
+   (candidates explored / consistent / distinct outcomes) against a
+   checked-in table and exits non-zero on drift; CI runs this under
+   WMM_FAST=1.  The counts do not depend on WMM_FAST - only the
+   repetition count and whether the slow reference path is timed do. *)
+
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+
+let fast () = Sys.getenv_opt "WMM_FAST" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic worst cases.  The library's tests are small enough that
+   the whole 44-test sweep takes milliseconds; these scale the rf/co
+   space up to where exploration cost dominates.                       *)
+(* ------------------------------------------------------------------ *)
+
+let st loc v = Instr.Store { src = Instr.Imm v; addr = Instr.Imm loc; order = Instr.Plain }
+let ld r loc = Instr.Load { dst = r; addr = Instr.Imm loc; order = Instr.Plain }
+
+(* IRIW scaled: three writers per location and two reader threads -
+   every read has 4 candidate writes and both locations carry 3!
+   coherence orders per extra write interleaving. *)
+let iriw3 =
+  Program.make ~name:"IRIW+3w" ~location_names:[| "x"; "y" |]
+    [
+      [| st 0 1 |]; [| st 0 2 |]; [| st 0 3 |];
+      [| st 1 1 |]; [| st 1 2 |]; [| st 1 3 |];
+      [| ld 0 0; ld 1 1 |];
+      [| ld 2 1; ld 3 0 |];
+    ]
+
+(* Six same-location writes across three threads: 6! / (2!)^3 = 90
+   coherence interleavings x 7 rf candidates per read. *)
+let co_storm =
+  Program.make ~name:"co-storm" ~location_names:[| "x" |]
+    [
+      [| st 0 1; st 0 2 |];
+      [| st 0 3; st 0 4 |];
+      [| st 0 5; st 0 6 |];
+      [| ld 0 0; ld 1 0 |];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cases.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type case = {
+  name : string;
+  model : Axiomatic.model;
+  programs : Program.t list;  (* aggregated when more than one *)
+}
+
+let cases =
+  let lib = List.map (fun t -> t.Test.program) Library.all in
+  let lib_cases =
+    List.map
+      (fun m ->
+        { name = Printf.sprintf "library-%d" (List.length lib); model = m; programs = lib })
+      Axiomatic.all_models
+  in
+  let prog name = (Option.get (Library.by_name name)).Test.program in
+  let single name m p = { name; model = m; programs = [ p ] } in
+  lib_cases
+  @ [
+      single "IRIW" Axiomatic.Sc (prog "IRIW");
+      single "IRIW" Axiomatic.Arm (prog "IRIW");
+      single "IRIW" Axiomatic.Power (prog "IRIW");
+      single "IRIW+addrs" Axiomatic.Power (prog "IRIW+addrs");
+      single "IRIW+3w" Axiomatic.Sc iriw3;
+      single "IRIW+3w" Axiomatic.Arm iriw3;
+      single "IRIW+3w" Axiomatic.Power iriw3;
+      single "co-storm" Axiomatic.Tso co_storm;
+      single "co-storm" Axiomatic.Power co_storm;
+    ]
+
+type result = {
+  case : case;
+  outcomes : int;
+  stats : Enumerate.stats;
+  new_s : float;
+  ref_s : float option;
+}
+
+let time_reps reps f =
+  let best = ref infinity in
+  let out = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    out := Some v
+  done;
+  (Option.get !out, !best)
+
+let zero_stats =
+  { Enumerate.generated = 0; pruned = 0; well_formed = 0; consistent = 0; wall_s = 0. }
+
+let add_stats (a : Enumerate.stats) (b : Enumerate.stats) =
+  {
+    Enumerate.generated = a.Enumerate.generated + b.Enumerate.generated;
+    pruned = a.Enumerate.pruned + b.Enumerate.pruned;
+    well_formed = a.Enumerate.well_formed + b.Enumerate.well_formed;
+    consistent = a.Enumerate.consistent + b.Enumerate.consistent;
+    wall_s = a.Enumerate.wall_s +. b.Enumerate.wall_s;
+  }
+
+let run_case ~reps ~reference case =
+  let new_path () =
+    List.fold_left
+      (fun (n, acc) p ->
+        let outs, s = Enumerate.allowed_outcomes_stats case.model p in
+        (n + List.length outs, add_stats acc s))
+      (0, zero_stats) case.programs
+  in
+  let (outcomes, stats), new_s = time_reps reps new_path in
+  let ref_s =
+    if not reference then None
+    else
+      let ref_path () =
+        List.fold_left
+          (fun n p -> n + List.length (Enumerate.Reference.allowed_outcomes case.model p))
+          0 case.programs
+      in
+      let ref_outcomes, dt = time_reps reps ref_path in
+      if ref_outcomes <> outcomes then (
+        Printf.eprintf "FATAL: %s/%s: reference path found %d outcomes, search found %d\n"
+          case.name (Axiomatic.model_name case.model) ref_outcomes outcomes;
+        exit 1);
+      Some dt
+  in
+  { case; outcomes; stats; new_s; ref_s }
+
+(* ------------------------------------------------------------------ *)
+(* Expected-count assertions.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let count_key r = Printf.sprintf "%s|%s" r.case.name (Axiomatic.model_name r.case.model)
+
+let count_line r =
+  Printf.sprintf "%s %d %d %d" (count_key r) r.stats.Enumerate.generated
+    r.stats.Enumerate.consistent r.outcomes
+
+let write_expected path results =
+  let oc = open_out path in
+  output_string oc
+    "# case|model explored consistent outcomes - regenerate with bench_explore --write-expected\n";
+  List.iter (fun r -> output_string oc (count_line r ^ "\n")) results;
+  close_out oc
+
+let assert_expected path results =
+  let ic = open_in path in
+  let table = Hashtbl.create 16 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.index_opt line ' ' with
+         | Some i ->
+             Hashtbl.replace table (String.sub line 0 i)
+               (String.sub line (i + 1) (String.length line - i - 1))
+         | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  let failures = ref 0 in
+  List.iter
+    (fun r ->
+      let key = count_key r in
+      let got =
+        Printf.sprintf "%d %d %d" r.stats.Enumerate.generated r.stats.Enumerate.consistent
+          r.outcomes
+      in
+      match Hashtbl.find_opt table key with
+      | None ->
+          incr failures;
+          Printf.eprintf "EXPECTED-COUNTS: no entry for %s (got %s)\n" key got
+      | Some want when want <> got ->
+          incr failures;
+          Printf.eprintf "EXPECTED-COUNTS: %s: expected %s, got %s\n" key want got
+      | Some _ -> ())
+    results;
+  if !failures > 0 then (
+    Printf.eprintf "EXPECTED-COUNTS: %d mismatches\n" !failures;
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_of results ~reps ~mode =
+  let b = Buffer.create 4096 in
+  let fl f = Printf.sprintf "%.6f" f in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b (Printf.sprintf "  \"reps\": %d,\n" reps);
+  Buffer.add_string b "  \"cases\": [\n";
+  let n = List.length results in
+  List.iteri
+    (fun i r ->
+      let speedup =
+        match r.ref_s with
+        | Some ref_s when r.new_s > 0. -> Printf.sprintf "%.2f" (ref_s /. r.new_s)
+        | _ -> "null"
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"model\": \"%s\", \"new_s\": %s, \"ref_s\": %s, \
+            \"speedup\": %s, \"outcomes\": %d, \"explored\": %d, \"pruned\": %d, \
+            \"consistent\": %d}%s\n"
+           r.case.name
+           (Axiomatic.model_name r.case.model)
+           (fl r.new_s)
+           (match r.ref_s with Some s -> fl s | None -> "null")
+           speedup r.outcomes r.stats.Enumerate.generated r.stats.Enumerate.pruned
+           r.stats.Enumerate.consistent
+           (if i = n - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "  ],\n";
+  let total_new = List.fold_left (fun acc r -> acc +. r.new_s) 0. results in
+  let total_ref =
+    List.fold_left (fun acc r -> match r.ref_s with Some s -> acc +. s | None -> acc) 0.
+      results
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  \"totals\": {\"new_s\": %s, \"ref_s\": %s, \"speedup\": %s}\n"
+       (fl total_new) (fl total_ref)
+       (if total_new > 0. && total_ref > 0. then Printf.sprintf "%.2f" (total_ref /. total_new)
+        else "null"));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let out = ref "BENCH_explore.json" in
+  let expected = ref None in
+  let write_exp = ref None in
+  let reps = ref (if fast () then 1 else 3) in
+  let reference = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--expected" :: v :: rest ->
+        expected := Some v;
+        parse rest
+    | "--write-expected" :: v :: rest ->
+        write_exp := Some v;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | "--no-reference" :: rest ->
+        reference := false;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "bench_explore: unknown argument %s\n\
+           usage: bench_explore [--out FILE] [--expected FILE] [--write-expected FILE] \
+           [--reps N] [--no-reference]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let mode = if fast () then "fast" else "full" in
+  Printf.printf "exploration benchmark: %d cases, %d rep(s), mode %s, reference %s\n%!"
+    (List.length cases) !reps mode
+    (if !reference then "on" else "off");
+  let results =
+    List.map
+      (fun c ->
+        let r = run_case ~reps:!reps ~reference:!reference c in
+        Printf.printf "  %-14s %-6s new %8.4fs%s  outcomes %5d  explored %7d  pruned %7d\n%!"
+          r.case.name
+          (Axiomatic.model_name r.case.model)
+          r.new_s
+          (match r.ref_s with
+          | Some s -> Printf.sprintf "  ref %8.4fs  speedup %6.2fx" s (s /. r.new_s)
+          | None -> "")
+          r.outcomes r.stats.Enumerate.generated r.stats.Enumerate.pruned;
+        r)
+      cases
+  in
+  Option.iter (fun p -> write_expected p results) !write_exp;
+  Option.iter (fun p -> assert_expected p results) !expected;
+  let json = json_of results ~reps:!reps ~mode in
+  let oc = open_out !out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out

@@ -19,6 +19,19 @@
 
 open Wmm_experiments
 
+(* Snapshot the candidate-search counters into the run's telemetry so
+   the JSON dump records how much exploration the run performed. *)
+let record_exploration engine =
+  let s = Wmm_model.Enumerate.global_stats () in
+  Wmm_engine.Engine.set_exploration engine
+    {
+      Wmm_engine.Telemetry.explored = s.Wmm_model.Enumerate.generated;
+      pruned = s.Wmm_model.Enumerate.pruned;
+      well_formed = s.Wmm_model.Enumerate.well_formed;
+      consistent = s.Wmm_model.Enumerate.consistent;
+      explore_wall_s = s.Wmm_model.Enumerate.wall_s;
+    }
+
 let section name f =
   let t0 = Unix.gettimeofday () in
   print_endline (f ());
@@ -291,6 +304,7 @@ let () =
     (Wmm_engine.Engine.jobs engine)
     (if opts.use_cache then Wmm_engine.Cache.default_dir else "off");
   List.iter (fun (_, run) -> run ()) selected;
+  record_exploration engine;
   print_endline (Wmm_engine.Engine.render_summary engine);
   Option.iter
     (fun path ->

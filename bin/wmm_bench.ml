@@ -21,6 +21,19 @@ let die fmt =
       exit 2)
     fmt
 
+(* Snapshot the candidate-search counters into the run's telemetry so
+   the JSON dump records how much exploration the run performed. *)
+let record_exploration engine =
+  let s = Wmm_model.Enumerate.global_stats () in
+  Wmm_engine.Engine.set_exploration engine
+    {
+      Wmm_engine.Telemetry.explored = s.Wmm_model.Enumerate.generated;
+      pruned = s.Wmm_model.Enumerate.pruned;
+      well_formed = s.Wmm_model.Enumerate.well_formed;
+      consistent = s.Wmm_model.Enumerate.consistent;
+      explore_wall_s = s.Wmm_model.Enumerate.wall_s;
+    }
+
 let experiment_ids =
   [
     "fig1"; "fig2_3"; "fig4"; "fig5"; "fig6"; "jvm_tables"; "rankings"; "rbd";
@@ -453,6 +466,7 @@ let figure_cmd =
     in
     let engine = Wmm_engine.Engine.create ~jobs ~cache ~retries ~faults ?journal () in
     print_endline (report engine);
+    record_exploration engine;
     (* The run summary goes to stderr so figure output on stdout
        stays byte-identical across --jobs settings. *)
     prerr_endline (Wmm_engine.Engine.render_summary engine);
@@ -594,6 +608,7 @@ let analyze_cmd =
         print_string (Wmm_analysis.Infer.render ~detail arch rows);
         print_newline ())
       archs;
+    record_exploration engine;
     prerr_endline (Wmm_engine.Engine.render_summary engine);
     Option.iter
       (fun path ->

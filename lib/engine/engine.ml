@@ -139,6 +139,8 @@ let get = function
   | Computed v | Cached v | Replayed v -> v
   | Failed msg -> failwith ("engine task failed: " ^ msg)
 
+let set_exploration t e = Telemetry.set_exploration t.telemetry e
+
 let summary t = Telemetry.summary ~jobs:t.jobs ~cache:(Cache.stats t.cache) t.telemetry
 let render_summary t = Telemetry.render_summary (summary t)
 

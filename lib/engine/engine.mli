@@ -77,6 +77,10 @@ val value : 'a outcome -> ('a, string) result
 val get : 'a outcome -> 'a
 (** Raises [Failure] with the recorded message on [Failed]. *)
 
+val set_exploration : t -> Telemetry.exploration -> unit
+(** Attach candidate-search counters (an [Enumerate.global_stats]
+    snapshot taken by the harness) to this run's telemetry. *)
+
 val summary : t -> Telemetry.summary
 val render_summary : t -> string
 val write_telemetry : t -> string -> unit

@@ -9,13 +9,23 @@ type record = {
   attempts : int;
 }
 
+type exploration = {
+  explored : int;
+  pruned : int;
+  well_formed : int;
+  consistent : int;
+  explore_wall_s : float;
+}
+
 type t = {
   lock : Mutex.t;
   mutable entries : record list;  (* reversed *)
   mutable batch_wall_s : float;
+  mutable exploration : exploration option;
 }
 
-let create () = { lock = Mutex.create (); entries = []; batch_wall_s = 0. }
+let create () =
+  { lock = Mutex.create (); entries = []; batch_wall_s = 0.; exploration = None }
 
 let add t r =
   Mutex.lock t.lock;
@@ -25,6 +35,11 @@ let add t r =
 let add_batch_wall t s =
   Mutex.lock t.lock;
   t.batch_wall_s <- t.batch_wall_s +. s;
+  Mutex.unlock t.lock
+
+let set_exploration t e =
+  Mutex.lock t.lock;
+  t.exploration <- Some e;
   Mutex.unlock t.lock
 
 let records t =
@@ -46,6 +61,7 @@ type summary = {
   speedup_estimate : float;
   max_queue_depth : int;
   cache : Cache.stats;
+  exploration : exploration option;
 }
 
 let summary ~jobs ~cache t =
@@ -77,6 +93,7 @@ let summary ~jobs ~cache t =
     speedup_estimate = (if wall_s > 0. && busy_s > 0. then busy_s /. wall_s else 1.);
     max_queue_depth;
     cache;
+    exploration = t.exploration;
   }
 
 let render_summary s =
@@ -94,6 +111,13 @@ let render_summary s =
        "cache: %d hits, %d misses, %d stores, %d errors, %d pruned | max queue depth %d"
        s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores
        s.cache.Cache.errors s.cache.Cache.pruned s.max_queue_depth);
+  (match s.exploration with
+  | None -> ()
+  | Some e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "\nexploration: %d candidates (%d pruned subtrees, %d well-formed, %d consistent) in %.2fs"
+           e.explored e.pruned e.well_formed e.consistent e.explore_wall_s));
   Buffer.contents b
 
 (* Minimal JSON emission: only strings, numbers and the two shapes
@@ -124,8 +148,9 @@ let outcome_json = function
   | Failed msg -> Printf.sprintf {|{"failed": "%s"}|} (json_escape msg)
 
 (* Bumped whenever the shape of this JSON changes, so downstream
-   parsers of telemetry dumps can dispatch on it. *)
-let schema_version = 2
+   parsers of telemetry dumps can dispatch on it.  v3 added the
+   "exploration" object (candidate-execution search counters). *)
+let schema_version = 3
 
 let to_json s rs =
   let b = Buffer.create 4096 in
@@ -148,6 +173,13 @@ let to_json s rs =
        "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \"errors\": %d, \"pruned\": %d},\n"
        s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores s.cache.Cache.errors
        s.cache.Cache.pruned);
+  (match s.exploration with
+  | None -> Buffer.add_string b "  \"exploration\": null,\n"
+  | Some e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"exploration\": {\"explored\": %d, \"pruned\": %d, \"well_formed\": %d, \"consistent\": %d, \"wall_s\": %s},\n"
+           e.explored e.pruned e.well_formed e.consistent (json_float e.explore_wall_s)));
   Buffer.add_string b "  \"tasks\": [\n";
   let n = List.length rs in
   List.iteri

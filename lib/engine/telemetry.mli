@@ -23,12 +23,26 @@ type record = {
           cache hits and journal replays, which never ran at all). *)
 }
 
+type exploration = {
+  explored : int;  (** Complete candidate executions generated. *)
+  pruned : int;  (** Search subtrees cut by the viability screen. *)
+  well_formed : int;
+  consistent : int;  (** Candidates the model allowed. *)
+  explore_wall_s : float;  (** Wall-clock spent inside exploration. *)
+}
+(** Counters from the candidate-execution search
+    ([Enumerate.global_stats] snapshot), attached to a run's
+    telemetry by the harness that drove the engine. *)
+
 type t
 
 val create : unit -> t
 
 val add : t -> record -> unit
 (** Thread-safe; call from worker domains. *)
+
+val set_exploration : t -> exploration -> unit
+(** Attach exploration counters to the run (last call wins). *)
 
 val add_batch_wall : t -> float -> unit
 (** Accumulate the wall-clock of one engine batch (the denominator
@@ -52,6 +66,8 @@ type summary = {
           sequential execution of the same (uncached) tasks. *)
   max_queue_depth : int;
   cache : Cache.stats;
+  exploration : exploration option;
+      (** Present when the harness recorded exploration counters. *)
 }
 
 val summary : jobs:int -> cache:Cache.stats -> t -> summary

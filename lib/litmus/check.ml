@@ -19,11 +19,10 @@ let outcome_satisfies (test : Test.t) ~registers ~memory =
        test.Test.mem_condition
 
 let axiomatic_allowed model (test : Test.t) =
-  let outcomes = Enumerate.allowed_outcomes model test.Test.program in
-  List.exists
-    (fun (o : Enumerate.outcome) ->
+  (* Early-exit search: stops at the first consistent witness instead
+     of enumerating every allowed outcome. *)
+  Enumerate.exists_outcome model test.Test.program (fun (o : Enumerate.outcome) ->
       outcome_satisfies test ~registers:o.Enumerate.registers ~memory:o.Enumerate.memory)
-    outcomes
 
 let relaxed_satisfies test (o : Relaxed.outcome) =
   outcome_satisfies test ~registers:o.Relaxed.registers ~memory:o.Relaxed.memory

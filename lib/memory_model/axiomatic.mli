@@ -39,6 +39,49 @@ val violations : model -> Execution.t -> string list
 (** Names of the axioms the execution violates; empty iff
     [consistent]. *)
 
+(** {2 Hoisted checking for the exploration core}
+
+    Checking one candidate decomposes into a per-run [static] part
+    (event masks, program order, fence orders, dependency-based
+    preserved program order) and a per-candidate (rf, co) part.  The
+    enumerator prepares the static context once per run combination
+    and then checks thousands of rf/co assignments against it without
+    rebuilding anything. *)
+
+type static
+
+val prepare : model -> Execution.t -> static
+(** Precompute the rf/co-independent context.  The [rf] and [co]
+    fields of the execution are ignored. *)
+
+val violations_static : static -> rf:Bitrel.t -> co:Bitrel.t -> string list
+(** [violations] with the static work hoisted; [rf]/[co] are dense
+    relations over the same event ids as the prepared execution. *)
+
+val consistent_static : static -> rf:Bitrel.t -> co:Bitrel.t -> bool
+
+val residual_consistent : static -> rf:Bitrel.t -> co:Bitrel.t -> bool
+(** Consistency of a {e complete} candidate on which {!prune_viable}
+    has just passed: only the axioms not already implied by the
+    pruning core are evaluated (none for SC/TSO/ARM; observation and
+    propagation for POWER).  Calling this without a passing
+    [prune_viable] on the same complete rf/co is unsound. *)
+
+val prune_possible : static -> bool
+(** Whether {!prune_viable} can ever fail for this context.  [false]
+    means the pruning core is provably acyclic for every rf/co (the
+    search may skip the per-node screen); the leaf checks are still
+    required. *)
+
+val prune_viable : static -> rf:Bitrel.t -> co:Bitrel.t -> bool
+(** Sound necessary condition for a {e partial} rf/co assignment to
+    have any consistent completion: the model's monotone core (whose
+    edges only grow as rf/co edges are added) must be acyclic and
+    atomicity unviolated.  [false] means every completion of the
+    partial candidate is inconsistent, so the search can cut the
+    subtree; [true] promises nothing - complete candidates still need
+    {!consistent_static}. *)
+
 (** Exposed building blocks (useful for tests and for explaining
     verdicts). *)
 

@@ -240,14 +240,37 @@ let rec cartesian = function
 let rec permutations = function
   | [] -> [ [] ]
   | l ->
-      List.concat_map
-        (fun x ->
-          let rest = List.filter (fun y -> y <> x) l in
-          List.map (fun p -> x :: p) (permutations rest))
-        l
+      (* Remove the chosen element by position: filtering on structural
+         equality would drop every duplicate occurrence at once and
+         lose permutations (and their lengths) for lists with repeated
+         elements. *)
+      List.concat
+        (List.mapi
+           (fun i x ->
+             let rest = List.filteri (fun j _ -> j <> i) l in
+             List.map (fun p -> x :: p) (permutations rest))
+           l)
 
-(* Build the executions arising from one choice of per-thread runs. *)
-let executions_of_runs (p : Program.t) (runs : run array) =
+(* ------------------------------------------------------------------ *)
+(* Candidate skeleton: everything about one choice of per-thread runs
+   that is independent of the rf/co assignment.  Built once per run
+   combination and shared by every candidate explored from it.         *)
+(* ------------------------------------------------------------------ *)
+
+type skeleton = {
+  all_events : Event.t array;
+  sk_po : Relation.t;
+  sk_addr : Relation.t;
+  sk_data : Relation.t;
+  sk_ctrl : Relation.t;
+  sk_rmw : Relation.t;
+  init_ids : (Instr.loc * int) list;
+  sk_locations : Instr.loc list;
+  sk_reads : int list;
+  sk_writes : int list;
+}
+
+let skeleton_of_runs (p : Program.t) (runs : run array) =
   (* Locations touched by any event or named in the program. *)
   let module LS = Set.Make (Int) in
   let locs = ref (LS.of_list (Program.locations p)) in
@@ -317,105 +340,315 @@ let executions_of_runs (p : Program.t) (runs : run array) =
     List.iter (fun (e : Event.t) -> arr.(e.Event.id) <- e) !events;
     arr
   in
-  (* Enumerate rf: each read picks a same-location same-value write. *)
   let reads =
     Array.to_list all_events |> List.filter Event.is_read |> List.map (fun e -> e.Event.id)
   in
   let writes =
     Array.to_list all_events |> List.filter Event.is_write |> List.map (fun e -> e.Event.id)
   in
-  let rf_choices =
-    List.map
-      (fun r ->
-        let er = all_events.(r) in
-        let candidates =
-          List.filter
-            (fun w ->
-              let ew = all_events.(w) in
-              Event.same_loc ew er && Event.value ew = Event.value er)
-            writes
-        in
-        List.map (fun w -> (w, r)) candidates)
-      reads
+  {
+    all_events;
+    sk_po = !po;
+    sk_addr = !addr;
+    sk_data = !data;
+    sk_ctrl = !ctrl;
+    sk_rmw = !rmw;
+    init_ids;
+    sk_locations = locations;
+    sk_reads = reads;
+    sk_writes = writes;
+  }
+
+(* Same-location same-value writes each read may take its value from. *)
+let rf_candidates skel r =
+  let er = skel.all_events.(r) in
+  List.filter
+    (fun w ->
+      let ew = skel.all_events.(w) in
+      Event.same_loc ew er && Event.value ew = Event.value er)
+    skel.sk_writes
+
+(* Per-location write sets for coherence-order construction: the init
+   write is always co-first. *)
+let co_locations skel =
+  List.map
+    (fun l ->
+      let init_id = List.assoc l skel.init_ids in
+      let others =
+        List.filter
+          (fun w -> w <> init_id && Event.loc skel.all_events.(w) = Some l)
+          skel.sk_writes
+      in
+      (l, init_id, others))
+    skel.sk_locations
+
+let registers_of_runs (runs : run array) =
+  Array.to_list runs
+  |> List.mapi (fun tid run -> List.map (fun (r, v) -> ((tid, r), v)) run.final_regs)
+  |> List.concat |> List.sort compare
+
+(* The final memory of a complete candidate, read straight off the co
+   chains: the co-maximal write for each location is the last element
+   of its chain (the init write when nothing else wrote there). *)
+let memory_of_chains skel chains =
+  List.sort compare
+    (List.map
+       (fun (l, chain) ->
+         let last = List.nth chain (List.length chain - 1) in
+         (l, Option.get (Event.value skel.all_events.(last))))
+       chains)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration statistics.                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  generated : int;
+  pruned : int;
+  well_formed : int;
+  consistent : int;
+  wall_s : float;
+}
+
+type counters = {
+  mutable c_generated : int;
+  mutable c_pruned : int;
+  mutable c_well_formed : int;
+  mutable c_consistent : int;
+}
+
+let fresh_counters () =
+  { c_generated = 0; c_pruned = 0; c_well_formed = 0; c_consistent = 0 }
+
+(* Process-global accumulator, so long-running harnesses (engine
+   worker domains included - this is a plain lock, safe across
+   domains) can surface cumulative exploration work in telemetry. *)
+let global_lock = Mutex.create ()
+
+let global_acc = ref { generated = 0; pruned = 0; well_formed = 0; consistent = 0; wall_s = 0. }
+
+let record_global s =
+  Mutex.lock global_lock;
+  let g = !global_acc in
+  global_acc :=
+    {
+      generated = g.generated + s.generated;
+      pruned = g.pruned + s.pruned;
+      well_formed = g.well_formed + s.well_formed;
+      consistent = g.consistent + s.consistent;
+      wall_s = g.wall_s +. s.wall_s;
+    };
+  Mutex.unlock global_lock
+
+let global_stats () =
+  Mutex.lock global_lock;
+  let s = !global_acc in
+  Mutex.unlock global_lock;
+  s
+
+let reset_global_stats () =
+  Mutex.lock global_lock;
+  global_acc := { generated = 0; pruned = 0; well_formed = 0; consistent = 0; wall_s = 0. };
+  Mutex.unlock global_lock
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking rf/co search.
+
+   Candidates are built incrementally: first every read is assigned
+   its rf source (fewest-candidates-first, so contradictions surface
+   early), then each location's coherence order is grown one write at
+   a time (the chain prefix is co-before the appended write).  Both
+   kinds of step only ever add edges, so [Axiomatic.prune_viable] -
+   checked after every step when a model context is supplied - can
+   soundly cut the whole subtree on the first cycle or atomicity
+   violation.  Leaves are complete candidates, well-formed by
+   construction (rf is value/location-matched and unique per read, co
+   is a per-location total order with init first).                     *)
+(* ------------------------------------------------------------------ *)
+
+let search ?static skel ~counters ~(emit : rf_pairs:(int * int) list ->
+                                           chains:(Instr.loc * int list) list ->
+                                           consistent:bool -> unit) =
+  let ev = skel.all_events in
+  let n = Array.length ev in
+  let rf = Bitrel.create n and co = Bitrel.create n in
+  let reads = Array.of_list skel.sk_reads in
+  let nreads = Array.length reads in
+  let rf_cands = Array.map (fun r -> rf_candidates skel r) reads in
+  let order = Array.init nreads Fun.id in
+  Array.sort
+    (fun i j -> compare (List.length rf_cands.(i)) (List.length rf_cands.(j)))
+    order;
+  let viable =
+    match static with
+    | Some st when Axiomatic.prune_possible st ->
+        fun () -> Axiomatic.prune_viable st ~rf ~co
+    | Some _ | None -> fun () -> true
   in
-  if List.exists (fun c -> c = []) rf_choices then []
+  let locs = co_locations skel in
+  let rf_edges = ref [] in
+  if Array.exists (fun c -> c = []) rf_cands then ()
   else begin
-    let rf_assignments = cartesian rf_choices in
-    (* Enumerate co: per-location permutation of non-init writes,
-       init first. *)
-    let co_per_loc =
-      List.map
-        (fun l ->
-          let init_id = List.assoc l init_ids in
-          let others =
-            List.filter
-              (fun w -> w <> init_id && Event.loc all_events.(w) = Some l)
-              writes
-          in
-          List.map (fun perm -> init_id :: perm) (permutations others))
-        locations
+    let rec assign_read i =
+      if i = nreads then assign_locs locs []
+      else begin
+        let r = reads.(order.(i)) in
+        List.iter
+          (fun w ->
+            Bitrel.add rf w r;
+            rf_edges := (w, r) :: !rf_edges;
+            if viable () then assign_read (i + 1)
+            else counters.c_pruned <- counters.c_pruned + 1;
+            rf_edges := List.tl !rf_edges;
+            Bitrel.remove rf w r)
+          rf_cands.(order.(i))
+      end
+    and assign_locs remaining_locs done_chains =
+      match remaining_locs with
+      | [] -> leaf done_chains
+      | (l, init_id, others) :: rest -> extend l [ init_id ] others rest done_chains
+    and extend l placed remaining rest done_chains =
+      match remaining with
+      | [] -> assign_locs rest ((l, List.rev placed) :: done_chains)
+      | _ ->
+          List.iter
+            (fun w ->
+              let others = List.filter (fun o -> o <> w) remaining in
+              List.iter (fun prior -> Bitrel.add co prior w) placed;
+              if viable () then extend l (w :: placed) others rest done_chains
+              else counters.c_pruned <- counters.c_pruned + 1;
+              List.iter (fun prior -> Bitrel.remove co prior w) placed)
+            remaining
+    and leaf done_chains =
+      counters.c_generated <- counters.c_generated + 1;
+      counters.c_well_formed <- counters.c_well_formed + 1;
+      (* Every edge on the path here passed [prune_viable], which on a
+         complete candidate subsumes all axioms except POWER's
+         observation/propagation - only the residual remains. *)
+      let consistent =
+        match static with
+        | None -> true
+        | Some st -> Axiomatic.residual_consistent st ~rf ~co
+      in
+      if consistent then counters.c_consistent <- counters.c_consistent + 1;
+      emit ~rf_pairs:!rf_edges ~chains:done_chains ~consistent
     in
-    let co_assignments = cartesian co_per_loc in
-    let co_relation chains =
-      List.fold_left
-        (fun acc chain ->
-          let rec pairs = function
-            | [] | [ _ ] -> []
-            | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
-          in
-          List.fold_left (fun acc (a, b) -> Relation.add a b acc) acc (pairs chain))
-        Relation.empty chains
-    in
-    List.concat_map
-      (fun rf_pairs ->
-        let rf = Relation.of_list rf_pairs in
-        List.filter_map
-          (fun chains ->
-            let co = co_relation chains in
-            let x =
-              {
-                Execution.events = all_events;
-                po = !po;
-                rf;
-                co;
-                addr = !addr;
-                data = !data;
-                ctrl = !ctrl;
-                rmw = !rmw;
-              }
-            in
-            match Execution.well_formed x with Ok () -> Some x | Error _ -> None)
-          co_assignments)
-      rf_assignments
+    assign_read 0
   end
 
-let outcome_of (p : Program.t) (runs : run array) (x : Execution.t) =
-  ignore p;
-  let registers =
-    Array.to_list runs
-    |> List.mapi (fun tid run -> List.map (fun (r, v) -> ((tid, r), v)) run.final_regs)
-    |> List.concat |> List.sort compare
-  in
-  { registers; memory = Execution.final_memory x }
+(* The rf/co-free execution a skeleton denotes, for static preparation
+   and for materializing complete candidates. *)
+let execution_of_skeleton skel ~rf ~co =
+  {
+    Execution.events = skel.all_events;
+    po = skel.sk_po;
+    rf;
+    co;
+    addr = skel.sk_addr;
+    data = skel.sk_data;
+    ctrl = skel.sk_ctrl;
+    rmw = skel.sk_rmw;
+  }
 
-let candidate_executions ?(fuel = 1024) (p : Program.t) =
+let co_relation chains =
+  List.fold_left
+    (fun acc (_, chain) ->
+      let rec pairs = function
+        | [] | [ _ ] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.fold_left (fun acc (a, b) -> Relation.add a b acc) acc (pairs chain))
+    Relation.empty chains
+
+let run_combos ~fuel (p : Program.t) =
   (match Program.validate p with Ok () -> () | Error msg -> invalid_arg msg);
   let pool = value_pool ~fuel p in
   let per_thread_runs =
     Array.to_list (Array.map (fun thread -> run_thread ~fuel ~pool thread) p.Program.threads)
   in
-  let combos = cartesian per_thread_runs in
-  List.concat_map
-    (fun runs ->
-      let runs = Array.of_list runs in
-      List.map (fun x -> (x, outcome_of p runs x)) (executions_of_runs p runs))
-    combos
+  List.map Array.of_list (cartesian per_thread_runs)
 
-let allowed_outcomes model p =
-  candidate_executions p
-  |> List.filter (fun (x, _) -> Axiomatic.consistent model x)
-  |> List.map snd
-  |> List.sort_uniq compare_outcome
+let outcome_of (p : Program.t) (runs : run array) (x : Execution.t) =
+  ignore p;
+  { registers = registers_of_runs runs; memory = Execution.final_memory x }
+
+let candidate_executions ?(fuel = 1024) (p : Program.t) =
+  let acc = ref [] in
+  let counters = fresh_counters () in
+  List.iter
+    (fun runs ->
+      let skel = skeleton_of_runs p runs in
+      let registers = registers_of_runs runs in
+      search skel ~counters ~emit:(fun ~rf_pairs ~chains ~consistent:_ ->
+          let x =
+            execution_of_skeleton skel ~rf:(Relation.of_list rf_pairs)
+              ~co:(co_relation chains)
+          in
+          acc := (x, { registers; memory = memory_of_chains skel chains }) :: !acc))
+    (run_combos ~fuel p);
+  List.rev !acc
+
+let allowed_outcomes_stats ?(fuel = 1024) model (p : Program.t) =
+  let t0 = Unix.gettimeofday () in
+  let counters = fresh_counters () in
+  let acc = ref [] in
+  List.iter
+    (fun runs ->
+      let skel = skeleton_of_runs p runs in
+      let static =
+        Axiomatic.prepare model
+          (execution_of_skeleton skel ~rf:Relation.empty ~co:Relation.empty)
+      in
+      let registers = registers_of_runs runs in
+      search ~static skel ~counters ~emit:(fun ~rf_pairs:_ ~chains ~consistent ->
+          if consistent then
+            acc := { registers; memory = memory_of_chains skel chains } :: !acc))
+    (run_combos ~fuel p);
+  let stats =
+    {
+      generated = counters.c_generated;
+      pruned = counters.c_pruned;
+      well_formed = counters.c_well_formed;
+      consistent = counters.c_consistent;
+      wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  record_global stats;
+  (List.sort_uniq compare_outcome !acc, stats)
+
+let allowed_outcomes model p = fst (allowed_outcomes_stats model p)
+
+exception Found
+
+let exists_outcome ?(fuel = 1024) model (p : Program.t) pred =
+  let t0 = Unix.gettimeofday () in
+  let counters = fresh_counters () in
+  let found =
+    try
+      List.iter
+        (fun runs ->
+          let skel = skeleton_of_runs p runs in
+          let static =
+            Axiomatic.prepare model
+              (execution_of_skeleton skel ~rf:Relation.empty ~co:Relation.empty)
+          in
+          let registers = registers_of_runs runs in
+          search ~static skel ~counters ~emit:(fun ~rf_pairs:_ ~chains ~consistent ->
+              if consistent && pred { registers; memory = memory_of_chains skel chains }
+              then raise Found))
+        (run_combos ~fuel p);
+      false
+    with Found -> true
+  in
+  record_global
+    {
+      generated = counters.c_generated;
+      pruned = counters.c_pruned;
+      well_formed = counters.c_well_formed;
+      consistent = counters.c_consistent;
+      wall_s = Unix.gettimeofday () -. t0;
+    };
+  found
 
 let outcome_allowed model p query =
   let matches (full : outcome) =
@@ -428,4 +661,55 @@ let outcome_allowed model p query =
            match List.assoc_opt l full.memory with Some v' -> v = v' | None -> false)
          query.memory
   in
-  List.exists matches (allowed_outcomes model p)
+  exists_outcome model p matches
+
+(* ------------------------------------------------------------------ *)
+(* Pre-rewrite reference path: materialize the full cartesian product
+   of rf choices and per-location co permutations, filter by
+   well-formedness, then by the model.  Kept as the oracle for golden
+   tests and as the baseline the perf benchmark measures against.      *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let cartesian = cartesian
+
+  let permutations = permutations
+
+  let executions_of_runs (p : Program.t) (runs : run array) =
+    let skel = skeleton_of_runs p runs in
+    let rf_choices =
+      List.map (fun r -> List.map (fun w -> (w, r)) (rf_candidates skel r)) skel.sk_reads
+    in
+    if List.exists (fun c -> c = []) rf_choices then []
+    else begin
+      let rf_assignments = cartesian rf_choices in
+      let co_per_loc =
+        List.map
+          (fun (l, init_id, others) ->
+            List.map (fun perm -> (l, init_id :: perm)) (permutations others))
+          (co_locations skel)
+      in
+      let co_assignments = cartesian co_per_loc in
+      List.concat_map
+        (fun rf_pairs ->
+          let rf = Relation.of_list rf_pairs in
+          List.filter_map
+            (fun chains ->
+              let x = execution_of_skeleton skel ~rf ~co:(co_relation chains) in
+              match Execution.well_formed x with Ok () -> Some x | Error _ -> None)
+            co_assignments)
+        rf_assignments
+    end
+
+  let candidate_executions ?(fuel = 1024) (p : Program.t) =
+    List.concat_map
+      (fun runs ->
+        List.map (fun x -> (x, outcome_of p runs x)) (executions_of_runs p runs))
+      (run_combos ~fuel p)
+
+  let allowed_outcomes model p =
+    candidate_executions p
+    |> List.filter (fun (x, _) -> Axiomatic.consistent model x)
+    |> List.map snd
+    |> List.sort_uniq compare_outcome
+end

@@ -9,9 +9,14 @@ open Wmm_isa
     dependency litmus tests).  Phase two generates, for every
     combination of per-load value choices, the thread event
     sequences with their address / data / control dependencies, then
-    enumerates all reads-from assignments and coherence orders.  The
-    resulting candidate executions are filtered by an axiomatic model
-    to obtain the allowed final states. *)
+    searches the space of reads-from assignments and coherence
+    orders.  The search is a backtracking construction - rf edges are
+    assigned read by read (fewest candidates first), then each
+    location's coherence order is grown one write at a time - and
+    every step is screened by {!Axiomatic.prune_viable}, which cuts a
+    subtree as soon as the model's monotone core acquires a cycle.
+    Complete candidates get the full consistency check, so results
+    are identical to the generate-and-filter {!Reference} path. *)
 
 type outcome = {
   registers : ((int * Instr.reg) * Instr.value) list;
@@ -26,6 +31,17 @@ val pp_outcome : Program.t -> Format.formatter -> outcome -> unit
 
 val outcome_to_string : Program.t -> outcome -> string
 
+type stats = {
+  generated : int;  (** Complete candidates the search reached. *)
+  pruned : int;  (** Subtrees cut by {!Axiomatic.prune_viable}. *)
+  well_formed : int;
+      (** Complete candidates that are well-formed (equal to
+          [generated] on the search path, which is well-formed by
+          construction; distinct on the reference path). *)
+  consistent : int;  (** Candidates the model allows. *)
+  wall_s : float;  (** Wall-clock seconds spent exploring. *)
+}
+
 val candidate_executions :
   ?fuel:int -> Program.t -> (Execution.t * outcome) list
 (** All well-formed candidate executions with their final states.
@@ -37,7 +53,43 @@ val allowed_outcomes : Axiomatic.model -> Program.t -> outcome list
 (** Deduplicated, sorted final states of the model-consistent
     candidates. *)
 
+val allowed_outcomes_stats :
+  ?fuel:int -> Axiomatic.model -> Program.t -> outcome list * stats
+(** [allowed_outcomes] plus the exploration counters for this call. *)
+
+val exists_outcome :
+  ?fuel:int -> Axiomatic.model -> Program.t -> (outcome -> bool) -> bool
+(** Whether any model-consistent candidate's final state satisfies
+    the predicate.  Stops at the first witness, so forbidden-outcome
+    checks on permissive models return as soon as the outcome is
+    found rather than enumerating the full space. *)
+
 val outcome_allowed : Axiomatic.model -> Program.t -> outcome -> bool
 (** Membership test used by the litmus checker.  Register values not
     mentioned in [outcome.registers] are ignored (partial match);
-    same for memory. *)
+    same for memory.  Early-exits via {!exists_outcome}. *)
+
+val global_stats : unit -> stats
+(** Cumulative exploration counters since start (or the last
+    {!reset_global_stats}).  Thread/domain-safe; harnesses snapshot
+    this into run telemetry. *)
+
+val reset_global_stats : unit -> unit
+
+(** The pre-rewrite generate-and-filter path: materialize the full
+    cartesian product of rf choices and per-location co permutations,
+    filter by well-formedness, then filter by the model.  Kept as the
+    oracle for golden tests and as the baseline the perf benchmark
+    measures the search against. *)
+module Reference : sig
+  val permutations : 'a list -> 'a list list
+  (** All permutations; duplicate elements are kept positionally
+      distinct (a list of length [n] always yields [n!] entries). *)
+
+  val cartesian : 'a list list -> 'a list list
+
+  val candidate_executions :
+    ?fuel:int -> Program.t -> (Execution.t * outcome) list
+
+  val allowed_outcomes : Axiomatic.model -> Program.t -> outcome list
+end

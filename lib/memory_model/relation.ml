@@ -50,7 +50,8 @@ let restrict r ~domain ~range = PS.filter (fun (a, b) -> domain a && range b) r
 let filter f r = PS.filter (fun (a, b) -> f a b) r
 
 let transitive_closure r =
-  (* Floyd-Warshall style fixpoint; relations here are tiny. *)
+  (* Repeated squaring to a fixpoint (r, r U r;r, ...): reaches the
+     closure in O(log diameter) rounds; relations here are tiny. *)
   let rec go r =
     let next = union r (compose r r) in
     if PS.equal next r then r else go next
@@ -74,18 +75,22 @@ let is_acyclic r =
     r;
   let state = Hashtbl.create 16 in
   (* 1 = on stack, 2 = done *)
+  let exception Cycle in
   let rec visit n =
     match Hashtbl.find_opt state n with
-    | Some 1 -> false
-    | Some _ -> true
+    | Some 1 -> raise Cycle
+    | Some _ -> ()
     | None ->
         Hashtbl.replace state n 1;
         let successors = try Hashtbl.find adjacency n with Not_found -> [] in
-        let ok = List.for_all visit successors in
-        Hashtbl.replace state n 2;
-        ok
+        List.iter visit successors;
+        Hashtbl.replace state n 2
   in
-  Hashtbl.fold (fun n () acc -> acc && visit n) nodes true
+  (* Stop at the first back edge instead of folding over every root. *)
+  try
+    Hashtbl.iter (fun n () -> visit n) nodes;
+    true
+  with Cycle -> false
 
 let equal = PS.equal
 let subset = PS.subset

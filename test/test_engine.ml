@@ -116,9 +116,17 @@ let test_task_rng_deterministic () =
     <> List.init 8 (fun _ -> Wmm_util.Rng.int64 c))
 
 let test_telemetry_json () =
-  Alcotest.(check int) "telemetry schema version" 2 Telemetry.schema_version;
+  Alcotest.(check int) "telemetry schema version" 3 Telemetry.schema_version;
   let engine = Engine.create ~jobs:1 () in
   ignore (Engine.run_all engine [| Task.pure ~key:"t" (fun () -> ()) |]);
+  Engine.set_exploration engine
+    {
+      Telemetry.explored = 42;
+      pruned = 7;
+      well_formed = 42;
+      consistent = 17;
+      explore_wall_s = 0.5;
+    };
   let path = Filename.temp_file "wmm_telemetry" ".json" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
@@ -142,6 +150,8 @@ let test_telemetry_json () =
           "\"tasks_ran\": 1";
           "\"cache\"";
           "\"outcome\": \"ran\"";
+          "\"exploration\": {\"explored\": 42, \"pruned\": 7, \"well_formed\": 42, \
+           \"consistent\": 17,";
         ])
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,164 @@
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+
+(* The exploration core: the pruned backtracking rf/co search must be
+   outcome-identical to the pre-rewrite generate-and-filter path
+   (kept as [Enumerate.Reference]), and its pruning/consistency
+   counters must behave sanely. *)
+
+(* --- permutations: duplicate elements are kept ------------------- *)
+
+let test_permutations_duplicates () =
+  let perms = Enumerate.Reference.permutations [ 1; 1; 2 ] in
+  Alcotest.(check int) "3! permutations even with duplicates" 6 (List.length perms);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "each keeps all elements" 3 (List.length p);
+      Alcotest.(check (list int)) "each is a rearrangement" [ 1; 1; 2 ] (List.sort compare p))
+    perms;
+  Alcotest.(check int) "three distinct orders" 3
+    (List.length (List.sort_uniq compare perms));
+  Alcotest.(check int) "4 distinct elements, 24 perms" 24
+    (List.length (Enumerate.Reference.permutations [ 1; 2; 3; 4 ]))
+
+(* --- golden: search equals reference on the whole library -------- *)
+
+let outcomes_equal = List.equal (fun a b -> Enumerate.compare_outcome a b = 0)
+
+let test_golden_library model () =
+  List.iter
+    (fun (t : Test.t) ->
+      let p = t.Test.program in
+      let fast = Enumerate.allowed_outcomes model p in
+      let slow = Enumerate.Reference.allowed_outcomes model p in
+      if not (outcomes_equal fast slow) then
+        Alcotest.failf "%s under %s: search %d outcomes, reference %d" t.Test.name
+          (Axiomatic.model_name model)
+          (List.length fast) (List.length slow))
+    Library.all
+
+(* --- synthetic worst cases (same shapes the benchmark times) ----- *)
+
+let st loc v = Instr.Store { src = Instr.Imm v; addr = Instr.Imm loc; order = Instr.Plain }
+let ld r loc = Instr.Load { dst = r; addr = Instr.Imm loc; order = Instr.Plain }
+
+let iriw3 =
+  Program.make ~name:"IRIW+3w" ~location_names:[| "x"; "y" |]
+    [
+      [| st 0 1 |]; [| st 0 2 |]; [| st 0 3 |];
+      [| st 1 1 |]; [| st 1 2 |]; [| st 1 3 |];
+      [| ld 0 0; ld 1 1 |];
+      [| ld 2 1; ld 3 0 |];
+    ]
+
+let co_storm =
+  Program.make ~name:"co-storm" ~location_names:[| "x" |]
+    [
+      [| st 0 1; st 0 2 |];
+      [| st 0 3; st 0 4 |];
+      [| st 0 5; st 0 6 |];
+      [| ld 0 0; ld 1 0 |];
+    ]
+
+let test_golden_synthetic () =
+  List.iter
+    (fun (p, model) ->
+      let fast = Enumerate.allowed_outcomes model p in
+      let slow = Enumerate.Reference.allowed_outcomes model p in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/%s outcome count" p.Program.name (Axiomatic.model_name model))
+        (List.length slow) (List.length fast);
+      Alcotest.(check bool) "outcome lists identical" true (outcomes_equal fast slow))
+    [ (iriw3, Axiomatic.Arm); (co_storm, Axiomatic.Tso) ]
+
+(* --- pruning invariants ------------------------------------------ *)
+
+(* On complete candidates the prune screen plus the residual axioms
+   must reproduce the full consistency verdict - the correspondence
+   [residual_consistent] relies on. *)
+let test_prune_residual_invariant () =
+  let progs =
+    List.filter_map Library.by_name [ "SB"; "MP+dmb+addr"; "IRIW+syncs"; "2+2W"; "LB" ]
+    |> List.map (fun t -> t.Test.program)
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun model ->
+          List.iter
+            (fun ((x : Execution.t), _) ->
+              let st = Axiomatic.prepare model x in
+              let n = Array.length x.Execution.events in
+              let rf = Bitrel.of_relation n x.Execution.rf in
+              let co = Bitrel.of_relation n x.Execution.co in
+              let full = Axiomatic.consistent_static st ~rf ~co in
+              let via_prune =
+                Axiomatic.prune_viable st ~rf ~co
+                && Axiomatic.residual_consistent st ~rf ~co
+              in
+              if full <> via_prune then
+                Alcotest.failf "%s/%s: consistent=%b but prune+residual=%b" p.Program.name
+                  (Axiomatic.model_name model) full via_prune)
+            (Enumerate.candidate_executions p))
+        Axiomatic.all_models)
+    progs
+
+let test_stats_sanity () =
+  let outs, stats = Enumerate.allowed_outcomes_stats Axiomatic.Sc co_storm in
+  Alcotest.(check bool) "search pruned subtrees" true (stats.Enumerate.pruned > 0);
+  Alcotest.(check bool) "generated bounds consistent" true
+    (stats.Enumerate.consistent <= stats.Enumerate.generated);
+  Alcotest.(check bool) "outcomes dedup consistent candidates" true
+    (List.length outs <= stats.Enumerate.consistent);
+  Alcotest.(check int) "well-formed by construction" stats.Enumerate.generated
+    stats.Enumerate.well_formed
+
+let test_global_stats_accumulate () =
+  Enumerate.reset_global_stats ();
+  let zero = Enumerate.global_stats () in
+  Alcotest.(check int) "reset clears" 0 zero.Enumerate.generated;
+  ignore (Enumerate.allowed_outcomes Axiomatic.Tso iriw3);
+  ignore (Enumerate.allowed_outcomes Axiomatic.Sc co_storm);
+  let s = Enumerate.global_stats () in
+  Alcotest.(check bool) "accumulates generated" true (s.Enumerate.generated > 0);
+  Alcotest.(check bool) "accumulates consistent" true (s.Enumerate.consistent > 0);
+  Alcotest.(check bool) "accumulates wall clock" true (s.Enumerate.wall_s > 0.)
+
+let test_exists_outcome_agreement () =
+  List.iter
+    (fun name ->
+      let p = (Option.get (Library.by_name name)).Test.program in
+      List.iter
+        (fun model ->
+          let outs = Enumerate.allowed_outcomes model p in
+          List.iter
+            (fun target ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s witness found" name (Axiomatic.model_name model))
+                true
+                (Enumerate.exists_outcome model p (fun o ->
+                     Enumerate.compare_outcome o target = 0)))
+            outs;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s impossible outcome absent" name
+               (Axiomatic.model_name model))
+            false
+            (Enumerate.exists_outcome model p (fun o ->
+                 List.exists (fun (_, v) -> v = 99) o.Enumerate.memory)))
+        Axiomatic.all_models)
+    [ "SB"; "MP"; "LB"; "IRIW" ]
+
+let suite =
+  [
+    Alcotest.test_case "permutations with duplicates" `Quick test_permutations_duplicates;
+    Alcotest.test_case "golden library SC" `Quick (test_golden_library Axiomatic.Sc);
+    Alcotest.test_case "golden library TSO" `Quick (test_golden_library Axiomatic.Tso);
+    Alcotest.test_case "golden library ARMv8" `Quick (test_golden_library Axiomatic.Arm);
+    Alcotest.test_case "golden library POWER" `Quick (test_golden_library Axiomatic.Power);
+    Alcotest.test_case "golden synthetic worst cases" `Slow test_golden_synthetic;
+    Alcotest.test_case "prune+residual = consistent" `Quick test_prune_residual_invariant;
+    Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
+    Alcotest.test_case "global stats accumulate" `Quick test_global_stats_accumulate;
+    Alcotest.test_case "exists_outcome agreement" `Quick test_exists_outcome_agreement;
+  ]

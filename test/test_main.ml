@@ -12,6 +12,7 @@ let () =
       ("isa", Test_isa.suite);
       ("relation", Test_relation.suite);
       ("model", Test_model.suite);
+      ("explore", Test_explore.suite);
       ("relaxed-machine", Test_relaxed.suite);
       ("perf-machine", Test_perf.suite);
       ("memsys", Test_memsys.suite);

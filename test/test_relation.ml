@@ -66,6 +66,80 @@ let prop_acyclic_iff_closure_irreflexive =
       let r = rel_of l in
       Relation.is_acyclic r = Relation.is_irreflexive (Relation.transitive_closure r))
 
+(* ------------------------------------------------------------------ *)
+(* Backend agreement: the dense Bitrel representation must compute
+   exactly what the Set-of-pairs Relation does on every operation the
+   exploration core uses.  Events fit in 0..8, so n = 9 and relations
+   cross word boundaries only when we bump n past 63 - the large-n
+   case below covers the multi-word path too.                          *)
+(* ------------------------------------------------------------------ *)
+
+let n_small = 9
+
+let bit_of l = Bitrel.of_relation n_small (rel_of l)
+
+let agree name f_rel f_bit =
+  QCheck.Test.make ~name ~count:200 (QCheck.pair pairs_gen pairs_gen) (fun (a, b) ->
+      Relation.equal
+        (f_rel (rel_of a) (rel_of b))
+        (Bitrel.to_relation (f_bit (bit_of a) (bit_of b))))
+
+let prop_bitrel_union = agree "bitrel union agrees" Relation.union Bitrel.union
+let prop_bitrel_inter = agree "bitrel inter agrees" Relation.inter Bitrel.inter
+let prop_bitrel_diff = agree "bitrel diff agrees" Relation.diff Bitrel.diff
+let prop_bitrel_compose = agree "bitrel compose agrees" Relation.compose Bitrel.compose
+
+let prop_bitrel_closure =
+  QCheck.Test.make ~name:"bitrel transitive closure agrees" ~count:200 pairs_gen (fun l ->
+      Relation.equal
+        (Relation.transitive_closure (rel_of l))
+        (Bitrel.to_relation (Bitrel.transitive_closure (bit_of l))))
+
+let prop_bitrel_inverse =
+  QCheck.Test.make ~name:"bitrel inverse agrees" ~count:200 pairs_gen (fun l ->
+      Relation.equal
+        (Relation.inverse (rel_of l))
+        (Bitrel.to_relation (Bitrel.inverse (bit_of l))))
+
+let prop_bitrel_acyclic =
+  QCheck.Test.make ~name:"bitrel acyclicity agrees" ~count:500 pairs_gen (fun l ->
+      Relation.is_acyclic (rel_of l) = Bitrel.is_acyclic (bit_of l)
+      && Relation.is_irreflexive (rel_of l) = Bitrel.is_irreflexive (bit_of l))
+
+let prop_bitrel_add_remove =
+  QCheck.Test.make ~name:"bitrel add/remove roundtrip" ~count:200
+    (QCheck.pair pairs_gen (QCheck.pair (QCheck.int_range 0 8) (QCheck.int_range 0 8)))
+    (fun (l, (a, b)) ->
+      let t = bit_of l in
+      let before = Bitrel.mem t a b in
+      Bitrel.add t a b;
+      let added = Bitrel.mem t a b in
+      Bitrel.remove t a b;
+      let removed = Bitrel.mem t a b in
+      added && (not removed)
+      && Relation.equal
+           (Bitrel.to_relation t)
+           (Relation.of_list (List.filter (fun p -> p <> (a, b)) l))
+      && (before = List.mem (a, b) l))
+
+(* Exercise the multi-word rows (n > 63): same algebra, offsets near
+   the 63-bit word boundary. *)
+let test_bitrel_large () =
+  let n = 130 in
+  let pairs = [ (0, 62); (62, 63); (63, 64); (64, 127); (127, 129); (129, 0) ] in
+  let t = Bitrel.of_list n pairs in
+  Alcotest.(check int) "cardinal" (List.length pairs) (Bitrel.cardinal t);
+  Alcotest.(check bool) "mem across boundary" true (Bitrel.mem t 63 64);
+  let tc = Bitrel.transitive_closure t in
+  Alcotest.(check bool) "closure spans words" true (Bitrel.mem tc 0 129);
+  Alcotest.(check bool) "cycle detected" false (Bitrel.is_acyclic t);
+  Alcotest.(check bool) "acyclic after cut" true
+    (Bitrel.is_acyclic (Bitrel.of_list n (List.tl pairs)));
+  Alcotest.(check
+              (list (pair int int)))
+    "roundtrip" (List.sort compare pairs)
+    (Relation.to_list (Bitrel.to_relation t))
+
 let suite =
   [
     Alcotest.test_case "basics" `Quick test_basics;
@@ -79,4 +153,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_closure_contains;
     QCheck_alcotest.to_alcotest prop_inverse_involution;
     QCheck_alcotest.to_alcotest prop_acyclic_iff_closure_irreflexive;
+    Alcotest.test_case "bitrel large n" `Quick test_bitrel_large;
+    QCheck_alcotest.to_alcotest prop_bitrel_union;
+    QCheck_alcotest.to_alcotest prop_bitrel_inter;
+    QCheck_alcotest.to_alcotest prop_bitrel_diff;
+    QCheck_alcotest.to_alcotest prop_bitrel_compose;
+    QCheck_alcotest.to_alcotest prop_bitrel_closure;
+    QCheck_alcotest.to_alcotest prop_bitrel_inverse;
+    QCheck_alcotest.to_alcotest prop_bitrel_acyclic;
+    QCheck_alcotest.to_alcotest prop_bitrel_add_remove;
   ]
