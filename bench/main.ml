@@ -171,6 +171,37 @@ let analysis_summary ~engine () =
   Buffer.contents buffer
 
 (* ------------------------------------------------------------------ *)
+(* Differential conformance: the synthesized battery cross-checks the
+   semantic layers against each other before anything is measured.    *)
+(* ------------------------------------------------------------------ *)
+
+let conform_summary ~engine () =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (Exp_common.header "Conformance (synthesized battery, all semantic layers)");
+  Buffer.add_char buffer '\n';
+  let max_edges = if Exp_common.fast () then 3 else 4 in
+  let limit = if Exp_common.fast () then 60 else 0 in
+  let infer_limit = if Exp_common.fast () then 8 else 32 in
+  List.iter
+    (fun arch ->
+      let family = Wmm_synth.Synth.generate ~max_edges arch in
+      let tests =
+        List.filteri
+          (fun i _ -> limit = 0 || i < limit)
+          (List.map (fun g -> g.Wmm_synth.Synth.g_test) family)
+      in
+      let report =
+        Wmm_synth.Conform.run
+          ~config:{ Wmm_synth.Conform.default_config with infer_limit }
+          ~engine ~arch tests
+      in
+      Buffer.add_string buffer (Wmm_synth.Conform.render report);
+      Buffer.add_char buffer '\n')
+    [ Wmm_isa.Arch.Armv8; Wmm_isa.Arch.Power7 ];
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
 (* Command line: optional section filter plus engine flags.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -190,8 +221,8 @@ let usage () =
     "usage: main.exe [SECTION ...] [--jobs N] [--no-cache] [--telemetry FILE]";
   prerr_endline
     "                [--inject-faults SPEC] [--retries N] [--resume RUN-ID] [--robust-fit]";
-  prerr_endline "sections: litmus analysis fig1 fig2_3 fig4 fig5 fig6 jvm_tables";
-  prerr_endline "          rankings rbd counters optimizer bechamel";
+  prerr_endline "sections: litmus analysis conform fig1 fig2_3 fig4 fig5 fig6";
+  prerr_endline "          jvm_tables rankings rbd counters optimizer bechamel";
   exit 2
 
 let parse_options () =
@@ -270,6 +301,7 @@ let () =
     [
       ("litmus", fun () -> section "litmus" litmus_summary);
       ("analysis", fun () -> section "analysis" (analysis_summary ~engine));
+      ("conform", fun () -> section "conform" (conform_summary ~engine));
       ("fig1", fun () -> section "fig1" Fig1.report);
       ("fig2_3", fun () -> section "fig2_3" Fig2_3.report);
       ("fig4", fun () -> section "fig4" Fig4.report);

@@ -8,6 +8,7 @@
      sensitivity - fit a benchmark's sensitivity to a code path
      figure      - regenerate one of the paper's figures/tables
      analyze     - infer, verify and cost-rank fence placements
+     conform     - differential conformance over a synthesized battery
      cache       - inspect or trim the result cache *)
 
 open Cmdliner
@@ -626,6 +627,150 @@ let analyze_cmd =
       $ telemetry_arg $ retries_arg $ resume_arg $ no_cost_arg $ detail_arg)
 
 (* ------------------------------------------------------------------ *)
+(* conform                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let conform_cmd =
+  let arch_arg =
+    Arg.(
+      value & opt string "both"
+      & info [ "arch" ] ~docv:"ARCH" ~doc:"arm, power, or both (the default)")
+  in
+  let max_edges_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-edges" ] ~docv:"N"
+          ~doc:"Relaxation-cycle size bound for the synthesized battery")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Cap the battery at the first $(docv) tests (0 = the whole family)")
+  in
+  let infer_limit_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "infer-limit" ] ~docv:"N"
+          ~doc:"Tests run through the fence-inference layer (0 disables it)")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the execution engine (0 = all cores; 1 = sequential)")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Wmm_engine.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory")
+  in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE" ~doc:"Dump run telemetry as JSON to $(docv)")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries (with capped exponential backoff) for transient task failures")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"RUN-ID"
+          ~doc:
+            "Journal run id to resume; without this flag a run id is derived from the \
+             request, so rerunning an interrupted identical invocation resumes \
+             automatically.")
+  in
+  let run arch_s max_edges limit infer_limit jobs no_cache cache_dir telemetry_out
+      retries resume =
+    let archs =
+      match arch_s with
+      | "both" -> [ Wmm_isa.Arch.Armv8; Wmm_isa.Arch.Power7 ]
+      | s -> (
+          match Wmm_isa.Arch.of_string s with
+          | Some a -> [ a ]
+          | None -> die "unknown architecture %S (arm | power | both)" s)
+    in
+    if max_edges < 2 then die "--max-edges must be at least 2";
+    let cache =
+      if no_cache then Wmm_engine.Cache.disabled
+      else Wmm_engine.Cache.create ~dir:cache_dir ()
+    in
+    let journal =
+      let run_id =
+        match resume with
+        | Some id -> Some id
+        | None when no_cache -> None
+        | None ->
+            Some
+              (Wmm_engine.Journal.derived_run_id ~tag:"conform"
+                 [
+                   Wmm_engine.Cache.code_version ();
+                   arch_s;
+                   string_of_int max_edges;
+                   string_of_int limit;
+                   string_of_int infer_limit;
+                 ])
+      in
+      Option.map
+        (fun run_id ->
+          let dir = Filename.concat cache_dir "journal" in
+          let j = Wmm_engine.Journal.open_ ~dir ~run_id () in
+          Printf.eprintf "journal: run id %s (%d completed tasks on file)\n%!" run_id
+            (Wmm_engine.Journal.loaded j);
+          j)
+        run_id
+    in
+    let engine = Wmm_engine.Engine.create ~jobs ~cache ~retries ?journal () in
+    let disagreements = ref 0 in
+    List.iter
+      (fun arch ->
+        let family = Wmm_synth.Synth.generate ~max_edges arch in
+        let tests =
+          List.filteri
+            (fun i _ -> limit = 0 || i < limit)
+            (List.map (fun g -> g.Wmm_synth.Synth.g_test) family)
+        in
+        let report =
+          Wmm_synth.Conform.run
+            ~config:{ Wmm_synth.Conform.default_config with infer_limit }
+            ~engine ~arch tests
+        in
+        disagreements :=
+          !disagreements + List.length report.Wmm_synth.Conform.disagreements;
+        print_string (Wmm_synth.Conform.render report);
+        print_newline ())
+      archs;
+    record_exploration engine;
+    prerr_endline (Wmm_engine.Engine.render_summary engine);
+    Option.iter
+      (fun path ->
+        try Wmm_engine.Engine.write_telemetry engine path
+        with Sys_error msg -> Printf.eprintf "warning: cannot write telemetry: %s\n" msg)
+      telemetry_out;
+    if !disagreements > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:
+         "Differential conformance over a synthesized litmus battery: pruned search vs \
+          reference enumeration, operational machine vs axiomatic models, fence \
+          inference; disagreements are shrunk to minimal failing tests")
+    Term.(
+      const run $ arch_arg $ max_edges_arg $ limit_arg $ infer_limit_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg $ telemetry_arg $ retries_arg $ resume_arg)
+
+(* ------------------------------------------------------------------ *)
 (* cache                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -694,5 +839,6 @@ let () =
             sensitivity_cmd;
             figure_cmd;
             analyze_cmd;
+            conform_cmd;
             cache_cmd;
           ]))

@@ -8,6 +8,7 @@ type access = {
   loc : Instr.loc option;
   order : Instr.order;
   exclusive : bool;
+  value : Instr.value option;
 }
 
 type po_edge = {
@@ -80,7 +81,9 @@ let extract_thread ~next_node tid (thread : Instr.t array) =
           let node = fresh () in
           let exclusive = match instr with Instr.Load_exclusive _ -> true | _ -> false in
           let loc = match a.v with Known l -> Some l | Unknown -> None in
-          let acc = { node; tid; index; is_write = false; loc; order; exclusive } in
+          let acc =
+            { node; tid; index; is_write = false; loc; order; exclusive; value = None }
+          in
           raws :=
             { acc; addr_deps = a.deps; data_deps = IS.empty; ctrl_deps = !ctrl } :: !raws;
           set_reg dst { v = Unknown; deps = IS.singleton node }
@@ -88,13 +91,23 @@ let extract_thread ~next_node tid (thread : Instr.t array) =
           let a = eval !regs addr and s = eval !regs src in
           let node = fresh () in
           let loc = match a.v with Known l -> Some l | Unknown -> None in
-          let acc = { node; tid; index; is_write = true; loc; order; exclusive = false } in
+          let acc =
+            {
+              node; tid; index; is_write = true; loc; order; exclusive = false;
+              value = (match s.v with Known v -> Some v | Unknown -> None);
+            }
+          in
           raws := { acc; addr_deps = a.deps; data_deps = s.deps; ctrl_deps = !ctrl } :: !raws
       | Instr.Store_exclusive { status; src; addr; order } ->
           let a = eval !regs addr and s = eval !regs src in
           let node = fresh () in
           let loc = match a.v with Known l -> Some l | Unknown -> None in
-          let acc = { node; tid; index; is_write = true; loc; order; exclusive = true } in
+          let acc =
+            {
+              node; tid; index; is_write = true; loc; order; exclusive = true;
+              value = (match s.v with Known v -> Some v | Unknown -> None);
+            }
+          in
           raws := { acc; addr_deps = a.deps; data_deps = s.deps; ctrl_deps = !ctrl } :: !raws;
           (* Success path: status register is statically 0. *)
           set_reg status (const 0)

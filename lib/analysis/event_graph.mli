@@ -24,6 +24,10 @@ type access = {
           every other-thread access (a wildcard). *)
   order : Instr.order;
   exclusive : bool;
+  value : Instr.value option;
+      (** For writes, the statically resolved stored value; [None]
+          for reads and for stores of dynamically computed values
+          (e.g. data-dependency stores of a loaded register). *)
 }
 
 type po_edge = {

@@ -561,6 +561,18 @@ let all = coherence @ common @ atomics @ arm @ power
 let for_model model =
   List.filter (fun t -> Test.expected_under t model <> None) all
 
-let by_name name = List.find_opt (fun (t : Test.t) -> t.Test.name = name) all
+(* Callers look tests up by name in inner loops (CLI expansion, the
+   analysis pipeline, generated-battery naming), so build the index
+   once instead of scanning the list per query. *)
+let name_index =
+  lazy
+    (let tbl = Hashtbl.create (List.length all) in
+     List.iter
+       (fun (t : Test.t) ->
+         if not (Hashtbl.mem tbl t.Test.name) then Hashtbl.add tbl t.Test.name t)
+       all;
+     tbl)
+
+let by_name name = Hashtbl.find_opt (Lazy.force name_index) name
 
 let machine_config_for (_ : Test.t) = Wmm_machine.Relaxed.relaxed_config

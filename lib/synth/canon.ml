@@ -1,0 +1,231 @@
+open Wmm_isa
+open Wmm_litmus
+module EG = Wmm_analysis.Event_graph
+
+(* What a register condition refers to, resolved statically against
+   the thread's instruction listing. *)
+type cond_target =
+  | Ct_load of int  (** Ordinal of the defining load access. *)
+  | Ct_status of int  (** Ordinal of the store-exclusive access. *)
+  | Ct_raw  (** Set by mov/op or never written: keep raw. *)
+
+let rec perms = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (perms (List.filter (fun y -> y <> x) l)))
+        l
+
+let order_code = function
+  | Instr.Plain -> ""
+  | Instr.Acquire -> "A"
+  | Instr.Release -> "Q"
+
+let edge_code (e : EG.po_edge) =
+  let fs = List.sort compare (List.map Instr.barrier_mnemonic e.fences) in
+  let flag b c = if b then c else "" in
+  "["
+  ^ String.concat "," fs
+  ^ ";"
+  ^ flag e.addr_dep "a"
+  ^ flag e.data_dep "d"
+  ^ flag e.ctrl_dep "c"
+  ^ flag (e.ctrl_pipeline <> []) "p"
+  ^ "]"
+
+let of_test (t : Test.t) =
+  let p = t.Test.program in
+  let g = EG.extract p in
+  let nthreads = Array.length p.Program.threads in
+  let accs = Array.make nthreads [] in
+  List.iter (fun (a : EG.access) -> accs.(a.tid) <- a :: accs.(a.tid)) g.EG.accesses;
+  let accs = Array.map List.rev accs in
+  let edge_between (a : EG.access) (b : EG.access) =
+    List.find_opt
+      (fun (e : EG.po_edge) -> e.EG.src.EG.node = a.EG.node && e.EG.dst.EG.node = b.EG.node)
+      g.EG.edges
+  in
+  (* Resolve each register condition to its defining access. *)
+  let target tid reg =
+    if tid < 0 || tid >= nthreads then Ct_raw
+    else
+      let result = ref Ct_raw in
+      Array.iteri
+        (fun index instr ->
+          let ordinal () =
+            let rec find k = function
+              | [] -> None
+              | (a : EG.access) :: _ when a.EG.index = index -> Some k
+              | _ :: rest -> find (k + 1) rest
+            in
+            find 0 accs.(tid)
+          in
+          match instr with
+          | Instr.Load { dst; _ } | Instr.Load_exclusive { dst; _ } when dst = reg -> (
+              match ordinal () with Some k -> result := Ct_load k | None -> ())
+          | Instr.Store_exclusive { status; _ } when status = reg -> (
+              match ordinal () with Some k -> result := Ct_status k | None -> ())
+          | instr when Instr.output_reg instr = Some reg -> result := Ct_raw
+          | _ -> ())
+        p.Program.threads.(tid);
+      !result
+  in
+  let cond_targets =
+    List.map (fun (((tid, reg), v) : (int * Instr.reg) * Instr.value) ->
+        ((tid, reg), v, target tid reg))
+      t.Test.condition
+  in
+  (* Permutation-invariant local signature: within-thread location
+     classes, no concrete values. *)
+  let local_sig tid =
+    let seen = Hashtbl.create 4 in
+    let lid l =
+      match Hashtbl.find_opt seen l with
+      | Some i -> string_of_int i
+      | None ->
+          let i = Hashtbl.length seen in
+          Hashtbl.add seen l i;
+          string_of_int i
+    in
+    let acc_code (a : EG.access) =
+      (if a.EG.is_write then "W" else "R")
+      ^ (match a.EG.loc with Some l -> lid l | None -> "?")
+      ^ order_code a.EG.order
+      ^ if a.EG.exclusive then "x" else ""
+    in
+    let rec walk = function
+      | [] -> []
+      | [ a ] -> [ acc_code a ]
+      | a :: (b :: _ as rest) ->
+          (acc_code a
+          ^ match edge_between a b with Some e -> edge_code e | None -> "[?]")
+          :: walk rest
+    in
+    String.concat ";" (walk accs.(tid))
+  in
+  let sigs = Array.init nthreads local_sig in
+  (* Thread orders: sig-sorted, all permutations within tied groups. *)
+  let order = List.sort (fun a b -> compare (sigs.(a), a) (sigs.(b), b)) (List.init nthreads Fun.id) in
+  let groups =
+    List.fold_left
+      (fun groups tid ->
+        match groups with
+        | (s, members) :: rest when s = sigs.(tid) -> (s, tid :: members) :: rest
+        | _ -> (sigs.(tid), [ tid ]) :: groups)
+      [] order
+    |> List.rev_map (fun (_, members) -> List.rev members)
+  in
+  let rec orders = function
+    | [] -> [ [] ]
+    | g :: rest ->
+        let tails = orders rest in
+        List.concat_map (fun head -> List.map (fun tail -> head @ tail) tails) (perms g)
+  in
+  let encode perm =
+    let loc_ids = Hashtbl.create 8 in
+    let loc_id l =
+      match Hashtbl.find_opt loc_ids l with
+      | Some i -> Some i
+      | None -> None
+    in
+    let alloc_loc l =
+      if not (Hashtbl.mem loc_ids l) then Hashtbl.add loc_ids l (Hashtbl.length loc_ids)
+    in
+    (* loc -> (value, rank) for statically-valued stores, scan order. *)
+    let ranks : (int, (int * int) list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun tid ->
+        List.iter
+          (fun (a : EG.access) ->
+            (match a.EG.loc with Some l -> alloc_loc l | None -> ());
+            match (a.EG.is_write, a.EG.loc, a.EG.value) with
+            | true, Some l, Some v ->
+                let existing = Option.value ~default:[] (Hashtbl.find_opt ranks l) in
+                if not (List.mem_assoc v existing) then
+                  Hashtbl.replace ranks l (existing @ [ (v, List.length existing + 1) ])
+            | _ -> ())
+          accs.(tid))
+      perm;
+    let loc_code l =
+      match loc_id l with Some i -> "L" ^ string_of_int i | None -> "?" ^ string_of_int l
+    in
+    let value_code l v =
+      if v = 0 then "z"
+      else
+        match Hashtbl.find_opt ranks l with
+        | Some assoc -> (
+            match List.assoc_opt v assoc with
+            | Some r -> "v" ^ string_of_int r
+            | None -> "#" ^ string_of_int v)
+        | None -> "#" ^ string_of_int v
+    in
+    let acc_code (a : EG.access) =
+      (if a.EG.is_write then "W" else "R")
+      ^ (match a.EG.loc with Some l -> loc_code l | None -> "?")
+      ^ order_code a.EG.order
+      ^ if a.EG.exclusive then "x" else ""
+    in
+    let thread_code tid =
+      let rec walk = function
+        | [] -> []
+        | [ a ] -> [ acc_code a ]
+        | a :: (b :: _ as rest) ->
+            (acc_code a
+            ^ match edge_between a b with Some e -> edge_code e | None -> "[?]")
+            :: walk rest
+      in
+      String.concat ";" (walk accs.(tid))
+    in
+    let threads = String.concat "||" (List.map thread_code perm) in
+    let new_tid tid =
+      let rec find k = function
+        | [] -> -1
+        | t :: _ when t = tid -> k
+        | _ :: rest -> find (k + 1) rest
+      in
+      find 0 perm
+    in
+    let reg_conds =
+      List.map
+        (fun ((tid, reg), v, tgt) ->
+          match tgt with
+          | Ct_load k ->
+              let l =
+                match List.nth_opt accs.(tid) k with
+                | Some (a : EG.access) -> a.EG.loc
+                | None -> None
+              in
+              let tag =
+                match l with
+                | Some l -> value_code l v
+                | None -> if v = 0 then "z" else "#" ^ string_of_int v
+              in
+              Printf.sprintf "r:%d.%d=%s" (new_tid tid) k tag
+          | Ct_status k -> Printf.sprintf "s:%d.%d=%d" (new_tid tid) k v
+          | Ct_raw -> Printf.sprintf "q:%d.%d=%d" (new_tid tid) reg v)
+        cond_targets
+    in
+    let mem_conds =
+      List.map
+        (fun (l, v) ->
+          let lc = loc_code l in
+          Printf.sprintf "m:%s=%s" lc (value_code l v))
+        t.Test.mem_condition
+    in
+    let init_conds =
+      List.filter_map
+        (fun (l, v) ->
+          if v = 0 then None else Some (Printf.sprintf "i:%s=%d" (loc_code l) v))
+        p.Program.init
+    in
+    let conds = List.sort compare (reg_conds @ mem_conds @ init_conds) in
+    threads ^ "##" ^ String.concat "&" conds
+  in
+  List.fold_left
+    (fun best perm ->
+      let s = encode perm in
+      match best with Some b when b <= s -> best | _ -> Some s)
+    None (orders groups)
+  |> Option.get
+
+let equal a b = of_test a = of_test b

@@ -1,0 +1,25 @@
+open Wmm_litmus
+
+(** Program-level canonical forms for litmus tests.
+
+    Two tests get the same canonical string exactly when they are
+    isomorphic as litmus tests: equal up to thread order, location
+    names/indices, register names, concrete store values, and the
+    instruction sequences used to realise dependencies (the xor-self
+    address idiom and a direct reg-to-reg data copy canonicalise
+    identically).  What is kept is the abstract shape the models see:
+    per-thread access sequences (direction, location class,
+    acquire/release order, exclusivity), the fences and
+    address/data/control dependencies between consecutive accesses,
+    and the final-state condition mapped onto accesses with values
+    renamed by per-location store rank.
+
+    Thread order is canonicalised by sorting threads on a
+    permutation-invariant local signature and taking the minimum
+    encoding over the orders that tie, so the cost stays near-linear
+    for tests whose threads differ structurally. *)
+
+val of_test : Test.t -> string
+
+val equal : Test.t -> Test.t -> bool
+(** [equal a b = (of_test a = of_test b)]. *)

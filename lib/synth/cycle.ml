@@ -1,0 +1,255 @@
+open Wmm_isa
+
+type dir = R | W
+
+type com_kind = Rf | Co | Fr
+
+type dep = Addr | Data | Ctrl | Ctrl_fence
+
+type annot = An_plain | An_acq | An_rel
+
+type po_kind = Po_plain | Po_fence of Instr.barrier | Po_dep of dep
+
+type po = {
+  kind : po_kind;
+  same_loc : bool;
+  s : dir;
+  d : dir;
+  s_an : annot;
+  d_an : annot;
+}
+
+type edge = Po of po | Com of { c : com_kind; ext : bool }
+
+type t = edge list
+
+let src_dir = function
+  | Po p -> p.s
+  | Com { c = Rf | Co; _ } -> W
+  | Com { c = Fr; _ } -> R
+
+let dst_dir = function
+  | Po p -> p.d
+  | Com { c = Rf; _ } -> R
+  | Com { c = Co | Fr; _ } -> W
+
+let default_max_edges = 6
+let annot_max_edges = 4
+
+let fences = function
+  | Arch.Armv8 -> Instr.[ Dmb_ish; Dmb_ishld; Dmb_ishst ]
+  | Arch.Power7 -> Instr.[ Sync; Lwsync; Eieio ]
+
+(* ------------------------------------------------------------------ *)
+(* Tokens, rotation canonicalisation, names                           *)
+(* ------------------------------------------------------------------ *)
+
+let dir_letter = function R -> "R" | W -> "W"
+
+(* Fixed-width so the source/destination positions stay
+   distinguishable when concatenated. *)
+let annot_code = function An_plain -> "-" | An_acq -> "A" | An_rel -> "L"
+
+let edge_token = function
+  | Po p ->
+      let k =
+        match p.kind with
+        | Po_plain -> if p.same_loc then "Pos" else "Pod"
+        | Po_fence b -> "F." ^ Instr.barrier_mnemonic b
+        | Po_dep Addr -> "DpAddr"
+        | Po_dep Data -> "DpData"
+        | Po_dep Ctrl -> "DpCtrl"
+        | Po_dep Ctrl_fence -> "DpCtrlF"
+      in
+      k ^ dir_letter p.s ^ dir_letter p.d ^ annot_code p.s_an ^ annot_code p.d_an
+  | Com { c; ext } ->
+      (match c with Rf -> "Rf" | Co -> "Co" | Fr -> "Fr") ^ if ext then "e" else "i"
+
+let skeleton_token = function
+  | Po p -> "P" ^ (if p.same_loc then "s" else "d") ^ dir_letter p.s ^ dir_letter p.d
+  | Com { c; ext } ->
+      (match c with Rf -> "Rf" | Co -> "Co" | Fr -> "Fr") ^ if ext then "e" else "i"
+
+(* Lexicographically-least rotation of a token list. *)
+let min_rotation tokens =
+  let arr = Array.of_list tokens in
+  let n = Array.length arr in
+  let rot r = String.concat " " (List.init n (fun i -> arr.((r + i) mod n))) in
+  let best = ref (rot 0) in
+  for r = 1 to n - 1 do
+    let s = rot r in
+    if s < !best then best := s
+  done;
+  !best
+
+let rotation_key c = min_rotation (List.map edge_token c)
+let skeleton c = min_rotation (List.map skeleton_token c)
+let to_string c = String.concat " " (List.map edge_token c)
+
+let classic_table =
+  lazy
+    (let e name toks = (min_rotation toks, name) in
+     [
+       e "SB" [ "PdWR"; "Fre"; "PdWR"; "Fre" ];
+       e "MP" [ "PdWW"; "Rfe"; "PdRR"; "Fre" ];
+       e "LB" [ "PdRW"; "Rfe"; "PdRW"; "Rfe" ];
+       e "S" [ "PdWW"; "Rfe"; "PdRW"; "Coe" ];
+       e "R" [ "PdWW"; "Coe"; "PdWR"; "Fre" ];
+       e "2+2W" [ "PdWW"; "Coe"; "PdWW"; "Coe" ];
+       e "WRC" [ "Rfe"; "PdRW"; "Rfe"; "PdRR"; "Fre" ];
+       e "RWC" [ "Rfe"; "PdRR"; "Fre"; "PdWR"; "Fre" ];
+       e "WWC" [ "Rfe"; "PdRW"; "Coe"; "PdWR"; "Fre" ];
+       e "ISA2" [ "PdWW"; "Rfe"; "PdRW"; "Rfe"; "PdRR"; "Fre" ];
+       e "IRIW" [ "Rfe"; "PdRR"; "Fre"; "Rfe"; "PdRR"; "Fre" ];
+       e "CoRR" [ "Rfe"; "PsRR"; "Fre" ];
+       e "CoWW" [ "PsWW"; "Coi" ];
+       e "CoWR" [ "PsWR"; "Fri" ];
+       e "3.SB" [ "PdWR"; "Fre"; "PdWR"; "Fre"; "PdWR"; "Fre" ];
+       e "3.LB" [ "PdRW"; "Rfe"; "PdRW"; "Rfe"; "PdRW"; "Rfe" ];
+       e "3.2W" [ "PdWW"; "Coe"; "PdWW"; "Coe"; "PdWW"; "Coe" ];
+     ])
+
+let base_name c =
+  let key = skeleton c in
+  match List.assoc_opt key (Lazy.force classic_table) with
+  | Some n -> n
+  | None ->
+      (* Deterministic fallback: the skeleton in its canonical
+         rotation, joined without spaces so names stay one token. *)
+      "Cy." ^ String.concat "-" (String.split_on_char ' ' key)
+
+let fence_short = function
+  | Instr.Dmb_ish -> "dmb"
+  | Instr.Dmb_ishld -> "dmb.ld"
+  | Instr.Dmb_ishst -> "dmb.st"
+  | Instr.Isb -> "isb"
+  | Instr.Sync -> "sync"
+  | Instr.Lwsync -> "lwsync"
+  | Instr.Isync -> "isync"
+  | Instr.Eieio -> "eieio"
+
+let po_annot_name arch (p : po) =
+  match p.kind with
+  | Po_fence b -> fence_short b
+  | Po_dep Addr -> "addr"
+  | Po_dep Data -> "data"
+  | Po_dep Ctrl -> "ctrl"
+  | Po_dep Ctrl_fence -> (
+      match arch with Arch.Armv8 -> "ctrl+isb" | Arch.Power7 -> "ctrl+isync")
+  | Po_plain -> (
+      let an = function An_acq -> "acq" | An_rel -> "rel" | An_plain -> "" in
+      match (p.s_an, p.d_an) with
+      | An_plain, An_plain -> if p.same_loc then "pos" else "po"
+      (* Same-direction edges need a positional marker, since the
+         annotation could sit on either access.  The unmarked name is
+         the classic placement (MP-style: release on the second store,
+         acquire on the first load). *)
+      | a, An_plain when p.s = p.d -> if p.s = W then an a ^ "1" else an a
+      | An_plain, a when p.s = p.d -> if p.d = W then an a else an a ^ "2"
+      | _ ->
+          String.concat "-"
+            (List.filter_map
+               (function An_plain -> None | a -> Some (an a))
+               [ p.s_an; p.d_an ]))
+
+let name arch c =
+  let base = base_name c in
+  let segs =
+    List.filter_map (function Po p -> Some (po_annot_name arch p) | Com _ -> None) c
+  in
+  let trivial = List.for_all (fun s -> s = "po" || s = "pos") segs in
+  if segs = [] || trivial then base
+  else
+    match segs with
+    | s :: (_ :: _ as rest) when List.for_all (( = ) s) rest && s <> "po" && s <> "pos"
+      ->
+        base ^ "+" ^ s ^ "s"
+    | _ -> base ^ "+" ^ String.concat "+" segs
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let plain_po ~same_loc s d =
+  Po { kind = Po_plain; same_loc; s; d; s_an = An_plain; d_an = An_plain }
+
+let po_variants arch s d =
+  let mk kind = Po { kind; same_loc = false; s; d; s_an = An_plain; d_an = An_plain } in
+  let fenced = List.map (fun b -> mk (Po_fence b)) (fences arch) in
+  let deps =
+    if s = R then
+      List.map
+        (fun k -> mk (Po_dep k))
+        (Addr :: Ctrl :: Ctrl_fence :: (if d = W then [ Data ] else []))
+    else []
+  in
+  let annots =
+    if arch = Arch.Armv8 then
+      let s_ans = [ An_plain; (if s = W then An_rel else An_acq) ]
+      and d_ans = [ An_plain; (if d = W then An_rel else An_acq) ] in
+      List.concat_map
+        (fun sa ->
+          List.filter_map
+            (fun da ->
+              if sa = An_plain && da = An_plain then None
+              else Some (Po { kind = Po_plain; same_loc = false; s; d; s_an = sa; d_an = da }))
+            d_ans)
+        s_ans
+    else []
+  in
+  (plain_po ~same_loc:false s d :: plain_po ~same_loc:true s d :: fenced) @ deps @ annots
+
+let is_po = function Po _ -> true | Com _ -> false
+
+let enumerate ?(max_edges = default_max_edges) arch =
+  let seen = Hashtbl.create 4096 in
+  let out = ref [] in
+  let add cyc =
+    let key = rotation_key cyc in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := cyc :: !out
+    end
+  in
+  (* The two-edge coherence cycles close with an internal com edge. *)
+  add [ plain_po ~same_loc:true W W; Com { c = Co; ext = false } ];
+  add [ plain_po ~same_loc:true W R; Com { c = Fr; ext = false } ];
+  let po_from s = po_variants arch s W @ po_variants arch s R in
+  let po_w = po_from W and po_r = po_from R in
+  let po_from = function W -> po_w | R -> po_r in
+  let com_from = function
+    | W -> [ Com { c = Rf; ext = true }; Com { c = Co; ext = true } ]
+    | R -> [ Com { c = Fr; ext = true } ]
+  in
+  let has_annot = function
+    | Po p -> p.s_an <> An_plain || p.d_an <> An_plain
+    | Com _ -> false
+  in
+  let rec extend rev_seq n first_src last_dst last_po annotated n_ext =
+    if
+      n >= 2 && (not last_po) && last_dst = first_src && n_ext >= 2
+      && not (annotated && n > annot_max_edges)
+    then add (List.rev rev_seq);
+    if n < max_edges && not (annotated && n >= annot_max_edges) then begin
+      if not last_po then
+        List.iter
+          (fun e ->
+            let a = annotated || has_annot e in
+            if not (a && n + 1 > annot_max_edges) then
+              extend (e :: rev_seq) (n + 1) first_src (dst_dir e) true a n_ext)
+          (po_from last_dst);
+      List.iter
+        (fun e ->
+          extend (e :: rev_seq) (n + 1) first_src (dst_dir e) false annotated (n_ext + 1))
+        (com_from last_dst)
+    end
+  in
+  let first_edges =
+    po_w @ po_r @ com_from W @ com_from R
+  in
+  List.iter
+    (fun e ->
+      extend [ e ] 1 (src_dir e) (dst_dir e) (is_po e) (has_annot e)
+        (match e with Com _ -> 1 | Po _ -> 0))
+    first_edges;
+  List.rev !out

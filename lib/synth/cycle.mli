@@ -1,0 +1,86 @@
+open Wmm_isa
+
+(** Relaxation cycles, in the style of diy / "herding cats".
+
+    A cycle is a circular sequence of edges over abstract memory
+    accesses: program-order edges inside a thread (plain, fenced,
+    or dependency-carrying, optionally acquire/release-annotated on
+    ARM) and communication edges between threads (external rf, co
+    and fr).  Each edge constrains the direction (read or write) of
+    the accesses at its endpoints; a valid cycle chains directions
+    all the way around.  Compiling a cycle yields a litmus test
+    whose condition witnesses exactly the communication pattern of
+    the cycle — the classic critical-cycle construction of Shasha
+    and Snir that diy turns into test generation.
+
+    Structural invariants enforced by {!enumerate}:
+    - directions chain around the cycle;
+    - program-order edges are never adjacent (each thread
+      contributes at most two accesses: critical cycles);
+    - communication edges are external (cross-thread), except that
+      the two-edge coherence cycles CoWW and CoWR close with an
+      internal co/fr back-edge;
+    - at least two external communication edges otherwise (a single
+      crossing cannot return to its starting thread). *)
+
+type dir = R | W
+
+type com_kind = Rf | Co | Fr
+
+type dep =
+  | Addr  (** Address dependency (xor-self idiom). *)
+  | Data  (** Data dependency: store of the loaded register. *)
+  | Ctrl  (** Control dependency: compare-and-branch over nothing. *)
+  | Ctrl_fence  (** ctrl+isb on ARM, ctrl+isync on POWER. *)
+
+type annot = An_plain | An_acq | An_rel
+
+type po_kind = Po_plain | Po_fence of Instr.barrier | Po_dep of dep
+
+type po = {
+  kind : po_kind;
+  same_loc : bool;  (** Endpoints access the same location. *)
+  s : dir;
+  d : dir;
+  s_an : annot;  (** Non-plain only on plain ARM po edges. *)
+  d_an : annot;
+}
+
+type edge = Po of po | Com of { c : com_kind; ext : bool }
+
+type t = edge list
+(** Edge [i] runs from event [i] to event [(i+1) mod length]. *)
+
+val src_dir : edge -> dir
+val dst_dir : edge -> dir
+
+val default_max_edges : int
+(** 6 — large enough for ISA2/IRIW-shaped six-edge cycles. *)
+
+val annot_max_edges : int
+(** Acquire/release variants are only enumerated on cycles of at
+    most this many edges (4), keeping the family size in check. *)
+
+val enumerate : ?max_edges:int -> Arch.t -> t list
+(** All valid cycles with 2..[max_edges] edges for the
+    architecture's barrier vocabulary, deduplicated up to rotation,
+    in a deterministic order.  Every returned cycle ends with a
+    communication edge, so threads can be read off left to right. *)
+
+val skeleton : t -> string
+(** Rotation-canonical key with annotations and fence/dependency
+    kinds erased to edge shapes — the classic-name lookup key
+    (e.g. SB and SB+dmbs share a skeleton). *)
+
+val base_name : t -> string
+(** Classic name for known skeletons (SB, MP, LB, S, R, 2+2W, WRC,
+    RWC, ISA2, IRIW, CoRR, CoWW, CoWR, 3.SB, 3.LB, 3.2W, ...);
+    otherwise a deterministic encoding of the skeleton. *)
+
+val name : Arch.t -> t -> string
+(** diy-style display name: {!base_name} plus per-thread edge
+    annotations ("SB+dmbs", "MP+lwsync+addr", ...).  Not guaranteed
+    unique across a family; {!Synth.generate} uniquifies. *)
+
+val to_string : t -> string
+(** Human-readable edge list, e.g. "PodWW Rfe PodRR Fre". *)

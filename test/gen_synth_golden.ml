@@ -1,0 +1,5 @@
+(* Regenerates the golden verdict table asserted by test_synth:
+   `dune exec test/gen_synth_golden.exe > test/data/synth_golden.txt` *)
+let () =
+  print_string
+    (Wmm_synth.Synth.verdict_table ~max_edges:4 Wmm_isa.Arch.[ Armv8; Power7 ])

@@ -3,12 +3,32 @@
    machine can reach is allowed by the architecture's axiomatic
    model.  This is the strongest evidence that the two semantic
    layers agree - it explores shapes no hand-written litmus test
-   covers. *)
+   covers.
+
+   Reproducibility: every property derives its programs from the
+   integer seed QCheck feeds it, so a failure report names the exact
+   seed.  Set WMM_FUZZ_SEED=<n> to pin every iteration to that one
+   seed (bit-for-bit replay of a reported failure) and WMM_FUZZ_ITERS
+   to override the iteration count (e.g. 1 for a single replay, or a
+   large value for a soak run).  On a violation the report includes
+   the greedily shrunk program in litmus syntax. *)
 
 open Wmm_isa
 open Wmm_model
 open Wmm_machine
 open Wmm_util
+
+let iterations =
+  match Option.map int_of_string_opt (Sys.getenv_opt "WMM_FUZZ_ITERS") with
+  | Some (Some n) when n > 0 -> n
+  | Some _ -> failwith "WMM_FUZZ_ITERS must be a positive integer"
+  | None -> 60
+
+let pinned_seed =
+  match Option.map int_of_string_opt (Sys.getenv_opt "WMM_FUZZ_SEED") with
+  | Some (Some n) -> Some n
+  | Some None -> failwith "WMM_FUZZ_SEED must be an integer"
+  | None -> None
 
 (* Generate a random straight-line thread over two locations and a
    few registers, drawing from stores, loads, barriers, ALU ops and
@@ -65,64 +85,70 @@ let random_program rng arch =
   Program.make ~name:"fuzz" ~location_names:[| "x"; "y" |]
     (List.init threads thread)
 
-let operational_within_model arch seed =
-  let rng = Rng.create seed in
-  let program = random_program rng arch in
-  let model = Axiomatic.model_for_arch arch in
-  let operational = Relaxed.enumerate ~max_states:200_000 Relaxed.relaxed_config program in
+(* The first machine-reachable outcome the model forbids, if any. *)
+let escape machine_config model program =
+  let operational = Relaxed.enumerate ~max_states:200_000 machine_config program in
   let axiomatic = Enumerate.allowed_outcomes model program in
   let ax_pairs =
     List.map
       (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
       axiomatic
   in
-  List.for_all
+  List.find_opt
     (fun (o : Relaxed.outcome) ->
-      List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs)
+      not (List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs))
     operational
 
+let as_test (program : Program.t) =
+  Wmm_litmus.Test.make ~name:"fuzz" ~description:"fuzz counterexample"
+    ~locations:program.Program.location_names ~init:program.Program.init
+    ~threads:(Array.to_list program.Program.threads)
+    ~condition:[] ~mem_condition:[] ~expected:[] ()
+
+(* One soundness property: the machine at [machine_config] must stay
+   within [model].  [salt] decorrelates the seed streams of the
+   different machine/model pairings. *)
+let soundness_property ~name ~arch ~machine_config ~model ~salt =
+  QCheck.Test.make ~name ~count:iterations QCheck.small_int (fun qcheck_seed ->
+      let seed = match pinned_seed with Some s -> s | None -> qcheck_seed in
+      let rng = Rng.create (seed + salt) in
+      let program = random_program rng arch in
+      match escape machine_config model program with
+      | None -> true
+      | Some (o : Relaxed.outcome) ->
+          let still_fails (t : Wmm_litmus.Test.t) =
+            match escape machine_config model t.Wmm_litmus.Test.program with
+            | Some _ -> true
+            | None | (exception Failure _) -> false
+          in
+          let shrunk = Wmm_synth.Conform.shrink still_fails (as_test program) in
+          QCheck.Test.fail_reportf
+            "unsound at seed %d (replay: WMM_FUZZ_SEED=%d WMM_FUZZ_ITERS=1): machine \
+             reaches %s, forbidden by %s\nshrunk program:\n%s"
+            seed seed
+            (Enumerate.outcome_to_string program
+               { Enumerate.registers = o.Relaxed.registers; memory = o.Relaxed.memory })
+            (Axiomatic.model_name model)
+            (Wmm_litmus.Parse.to_text ~arch shrunk))
+
 let fuzz_arm =
-  QCheck.Test.make ~name:"random programs: operational within ARMv8 model" ~count:60
-    QCheck.small_int (fun seed -> operational_within_model Arch.Armv8 seed)
+  soundness_property ~name:"random programs: operational within ARMv8 model"
+    ~arch:Arch.Armv8 ~machine_config:Relaxed.relaxed_config ~model:Axiomatic.Arm ~salt:0
 
 let fuzz_power =
-  QCheck.Test.make ~name:"random programs: operational within POWER model" ~count:60
-    QCheck.small_int (fun seed -> operational_within_model Arch.Power7 seed)
+  soundness_property ~name:"random programs: operational within POWER model"
+    ~arch:Arch.Power7 ~machine_config:Relaxed.relaxed_config ~model:Axiomatic.Power
+    ~salt:0
 
 let fuzz_sc_within_tso =
   (* The SC machine's outcomes are TSO-allowed (strength ordering). *)
-  QCheck.Test.make ~name:"random programs: SC machine within TSO model" ~count:60
-    QCheck.small_int (fun seed ->
-      let rng = Rng.create (seed + 7777) in
-      let program = random_program rng Arch.Armv8 in
-      let operational = Relaxed.enumerate Relaxed.sc_config program in
-      let axiomatic = Enumerate.allowed_outcomes Axiomatic.Tso program in
-      let ax_pairs =
-        List.map
-          (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
-          axiomatic
-      in
-      List.for_all
-        (fun (o : Relaxed.outcome) ->
-          List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs)
-        operational)
+  soundness_property ~name:"random programs: SC machine within TSO model"
+    ~arch:Arch.Armv8 ~machine_config:Relaxed.sc_config ~model:Axiomatic.Tso ~salt:7777
 
 let fuzz_tso_within_arm =
-  QCheck.Test.make ~name:"random programs: TSO machine within ARM model" ~count:60
-    QCheck.small_int (fun seed ->
-      let rng = Rng.create (seed + 13_131) in
-      let program = random_program rng Arch.Armv8 in
-      let operational = Relaxed.enumerate Relaxed.tso_config program in
-      let axiomatic = Enumerate.allowed_outcomes Axiomatic.Arm program in
-      let ax_pairs =
-        List.map
-          (fun (o : Enumerate.outcome) -> (o.Enumerate.registers, o.Enumerate.memory))
-          axiomatic
-      in
-      List.for_all
-        (fun (o : Relaxed.outcome) ->
-          List.mem (o.Relaxed.registers, o.Relaxed.memory) ax_pairs)
-        operational)
+  soundness_property ~name:"random programs: TSO machine within ARM model"
+    ~arch:Arch.Armv8 ~machine_config:Relaxed.tso_config ~model:Axiomatic.Arm
+    ~salt:13_131
 
 let suite =
   [

@@ -25,6 +25,8 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("litmus-parse", Test_parse.suite);
       ("analysis", Test_analysis.suite);
+      ("synth", Test_synth.suite);
+      ("conform", Test_conform.suite);
       ("optimizer+counters", Test_optimizer.suite);
       ("rmw", Test_rmw.suite);
       ("experiments", Test_experiments.suite);

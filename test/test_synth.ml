@@ -1,0 +1,166 @@
+(* The litmus synthesizer: family size and determinism, recovery of
+   every hand-written library shape (by canonical form, with agreeing
+   verdicts), name uniqueness against the library, printer round-trips
+   and the golden verdict table for the size-4 battery. *)
+
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+open Wmm_synth
+
+let archs = [ Arch.Armv8; Arch.Power7 ]
+
+(* Families used by several tests; generation is cheap but not free,
+   so share one instance. *)
+let default_family = lazy (List.map (fun a -> (a, Synth.generate a)) archs)
+let bound4_family = lazy (List.map (fun a -> (a, Synth.generate ~max_edges:4 a)) archs)
+
+let family ~bound4 arch =
+  List.assoc arch (Lazy.force (if bound4 then bound4_family else default_family))
+
+let test_family_size () =
+  List.iter
+    (fun arch ->
+      let n = List.length (family ~bound4:false arch) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s family has >= 500 tests (got %d)" (Arch.name arch) n)
+        true (n >= 500))
+    archs
+
+let test_deterministic () =
+  List.iter
+    (fun arch ->
+      let names gens = List.map (fun g -> g.Synth.g_test.Test.name) gens in
+      Alcotest.(check (list string))
+        (Arch.name arch ^ " generation is deterministic")
+        (names (family ~bound4:false arch))
+        (names (Synth.generate arch)))
+    archs
+
+let test_distinct_canons () =
+  List.iter
+    (fun arch ->
+      let fam = family ~bound4:false arch in
+      let canons = List.sort_uniq compare (List.map (fun g -> g.Synth.g_canon) fam) in
+      Alcotest.(check int)
+        (Arch.name arch ^ " canonical forms are pairwise distinct")
+        (List.length fam) (List.length canons))
+    archs
+
+let test_library_coverage () =
+  List.iter
+    (fun (lt : Test.t) ->
+      let arch = if List.memq lt Library.power then Arch.Power7 else Arch.Armv8 in
+      match Synth.covers (family ~bound4:false arch) lt with
+      | None -> Alcotest.failf "library test %s not covered by the family" lt.Test.name
+      | Some g ->
+          List.iter
+            (fun (model, expect) ->
+              let got = Check.axiomatic_allowed model g.Synth.g_test in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s verdict under %s (via %s)" lt.Test.name
+                   (Axiomatic.model_name model) g.Synth.g_test.Test.name)
+                expect got)
+            lt.Test.expected)
+    Library.all
+
+let test_names_unique () =
+  List.iter
+    (fun arch ->
+      let fam = family ~bound4:false arch in
+      let names = List.map (fun g -> g.Synth.g_test.Test.name) fam in
+      Alcotest.(check int)
+        (Arch.name arch ^ " generated names are unique")
+        (List.length names)
+        (List.length (List.sort_uniq compare names));
+      (* A generated test may share a library name only when it is the
+         library test up to isomorphism. *)
+      List.iter
+        (fun g ->
+          match Library.by_name g.Synth.g_test.Test.name with
+          | None -> ()
+          | Some lt ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: generated test named after the library one is \
+                                 isomorphic to it"
+                   lt.Test.name)
+                true
+                (Canon.equal g.Synth.g_test lt))
+        fam)
+    archs
+
+let test_library_names_unique () =
+  let names = List.map (fun (t : Test.t) -> t.Test.name) Library.all in
+  Alcotest.(check int) "library names are unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun (t : Test.t) ->
+      match Library.by_name t.Test.name with
+      | Some t' -> Alcotest.(check bool) ("by_name finds " ^ t.Test.name) true (t == t')
+      | None -> Alcotest.failf "by_name misses %s" t.Test.name)
+    Library.all
+
+let test_roundtrip () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun g ->
+          let t = g.Synth.g_test in
+          let text = Parse.to_text ~arch t in
+          match Parse.parse text with
+          | Error msg -> Alcotest.failf "%s does not reparse: %s" t.Test.name msg
+          | Ok parsed ->
+              Alcotest.(check bool)
+                (t.Test.name ^ " round-trips through the printer up to isomorphism")
+                true
+                (Canon.equal t parsed.Parse.test))
+        (family ~bound4:true arch))
+    archs
+
+(* The golden table: every bound-4 test's verdict under each of the
+   architecture's check models.  Regenerate with
+   `dune exec test/gen_synth_golden.exe > test/data/synth_golden.txt`
+   after a deliberate generator or model change. *)
+let golden_table () = Synth.verdict_table ~max_edges:4 archs
+
+let test_golden () =
+  (* `dune runtest` runs in test/; `dune exec test/test_main.exe` in
+     the project root. *)
+  let path =
+    if Sys.file_exists "data/synth_golden.txt" then "data/synth_golden.txt"
+    else "test/data/synth_golden.txt"
+  in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let expected = really_input_string ic n in
+  close_in ic;
+  let got = golden_table () in
+  if got <> expected then begin
+    (* Locate the first differing line so the failure is actionable. *)
+    let gl = String.split_on_char '\n' got
+    and el = String.split_on_char '\n' expected in
+    let rec first_diff i = function
+      | g :: gs, e :: es -> if g = e then first_diff (i + 1) (gs, es) else (i, g, e)
+      | g :: _, [] -> (i, g, "<end of golden file>")
+      | [], e :: _ -> (i, "<end of generated table>", e)
+      | [], [] -> (i, "", "")
+    in
+    let line, g, e = first_diff 1 (gl, el) in
+    Alcotest.failf
+      "golden verdict table differs at line %d:\n  generated: %s\n  golden:    %s" line
+      g e
+  end
+
+let suite =
+  [
+    Alcotest.test_case "family size (>= 500 per arch)" `Quick test_family_size;
+    Alcotest.test_case "generation is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "canonical forms distinct" `Quick test_distinct_canons;
+    Alcotest.test_case "library shapes covered, verdicts agree" `Quick
+      test_library_coverage;
+    Alcotest.test_case "generated names unique vs library" `Quick test_names_unique;
+    Alcotest.test_case "library names unique, by_name total" `Quick
+      test_library_names_unique;
+    Alcotest.test_case "printer round-trip (bound-4 battery)" `Quick test_roundtrip;
+    Alcotest.test_case "golden verdict table (bound-4 battery)" `Quick test_golden;
+  ]
