@@ -221,6 +221,9 @@ let usage () =
     "usage: main.exe [SECTION ...] [--jobs N] [--no-cache] [--telemetry FILE]";
   prerr_endline
     "                [--inject-faults SPEC] [--retries N] [--resume RUN-ID] [--robust-fit]";
+  prerr_endline
+    "--jobs N: worker domains (0 = auto-detect via Domain.recommended_domain_count;";
+  prerr_endline "          1 = sequential, the default)";
   prerr_endline "sections: litmus analysis conform fig1 fig2_3 fig4 fig5 fig6";
   prerr_endline "          jvm_tables rankings rbd counters optimizer bechamel";
   exit 2

@@ -9,6 +9,8 @@
      figure      - regenerate one of the paper's figures/tables
      analyze     - infer, verify and cost-rank fence placements
      conform     - differential conformance over a synthesized battery
+     serve       - long-running exploration daemon on a Unix socket
+     query       - query a running daemon (single request or --stdin bulk)
      cache       - inspect or trim the result cache *)
 
 open Cmdliner
@@ -351,7 +353,9 @@ let figure_cmd =
     Arg.(
       value & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Worker domains for the execution engine (0 = all cores; 1 = sequential)")
+          ~doc:
+            "Worker domains for the execution engine (0 = auto-detect via \
+             Domain.recommended_domain_count; 1 = sequential)")
   in
   let no_cache_arg =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache")
@@ -507,7 +511,9 @@ let analyze_cmd =
     Arg.(
       value & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Worker domains for the execution engine (0 = all cores; 1 = sequential)")
+          ~doc:
+            "Worker domains for the execution engine (0 = auto-detect via \
+             Domain.recommended_domain_count; 1 = sequential)")
   in
   let no_cache_arg =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache")
@@ -658,7 +664,9 @@ let conform_cmd =
     Arg.(
       value & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Worker domains for the execution engine (0 = all cores; 1 = sequential)")
+          ~doc:
+            "Worker domains for the execution engine (0 = auto-detect via \
+             Domain.recommended_domain_count; 1 = sequential)")
   in
   let no_cache_arg =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache")
@@ -774,6 +782,261 @@ let conform_cmd =
 (* cache                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "wmm_served.sock"
+
+let socket_arg =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon")
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains kept warm across requests (0 = auto-detect via \
+             Domain.recommended_domain_count; 1 = sequential)")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the result cache and the resume journal")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Wmm_engine.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory")
+  in
+  let run_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run-id" ] ~docv:"RUN-ID"
+          ~doc:
+            "Journal run id; defaults to a stable derived id, so a restarted daemon \
+             resumes the journal of the previous one")
+  in
+  let executors_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "executors" ] ~docv:"N" ~doc:"Request-servicing threads")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admitted-but-unfinished request bound; beyond it requests are shed with \
+             a structured 'overloaded' reply")
+  in
+  let client_queue_bound_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "client-queue-bound" ] ~docv:"N"
+          ~doc:
+            "Buffered response lines per client before the producer blocks \
+             (back-pressure on slow readers)")
+  in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Dump run telemetry (including the server request counters) as JSON to \
+             $(docv) on shutdown")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Per-request log lines on stderr")
+  in
+  let run socket jobs no_cache cache_dir run_id executors queue_bound
+      client_queue_bound telemetry_out verbose =
+    if executors < 1 then die "--executors must be at least 1";
+    if queue_bound < 1 then die "--queue-bound must be at least 1";
+    if client_queue_bound < 1 then die "--client-queue-bound must be at least 1";
+    Wmm_served.Server.serve
+      {
+        Wmm_served.Server.socket_path = socket;
+        jobs;
+        cache_dir = (if no_cache then None else Some cache_dir);
+        run_id;
+        executors;
+        queue_bound;
+        client_queue_bound;
+        telemetry_out;
+        verbose;
+      }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the exploration daemon: a newline-delimited-JSON service over a \
+          Unix-domain socket, with a warm domain pool, request-level caching, \
+          in-flight deduplication and crash-resumable journaling")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg $ run_id_arg
+      $ executors_arg $ queue_bound_arg $ client_queue_bound_arg $ telemetry_arg
+      $ verbose_arg)
+
+let query_cmd =
+  let op_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "Request op: litmus, analyze, conform, cache-stats, stats, ping, or \
+             shutdown (required unless --stdin)")
+  in
+  let stdin_arg =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Bulk mode: read one JSON request per stdin line, pipeline them all, and \
+             print every response line as it arrives")
+  in
+  let tests_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "test" ] ~docv:"NAME"
+          ~doc:"Litmus test name (repeatable); default is the whole library")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Send the litmus-format program in $(docv) as the query")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Restrict litmus checking to one model (sc, tso, arm, power)")
+  in
+  let random_arg =
+    Arg.(
+      value & flag
+      & info [ "random" ]
+          ~doc:"Random-scheduling litmus runs instead of exhaustive exploration")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "iterations" ] ~docv:"N" ~doc:"Random-run count (with --random)")
+  in
+  let arch_s_arg =
+    Arg.(
+      value & opt string "arm"
+      & info [ "arch" ] ~docv:"ARCH" ~doc:"arm or power (analyze / conform)")
+  in
+  let cost_arg =
+    Arg.(
+      value & flag
+      & info [ "cost" ] ~doc:"Include the simulator cost-ranking phase (analyze)")
+  in
+  let max_edges_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-edges" ] ~docv:"N" ~doc:"Battery cycle-size bound (conform)")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "limit" ] ~docv:"N" ~doc:"Battery size cap (conform)")
+  in
+  let infer_limit_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "infer-limit" ] ~docv:"N" ~doc:"Inference-layer cap (conform)")
+  in
+  let run socket op stdin_mode tests file model random iterations arch_s cost
+      max_edges limit infer_limit =
+    let client =
+      match Wmm_served.Client.connect ~socket_path:socket with
+      | Ok c -> c
+      | Error e -> die "%s" e
+    in
+    let finish result =
+      match result with
+      | Error e ->
+          Wmm_served.Client.close client;
+          die "%s" e
+      | Ok lines ->
+          let failed = ref false in
+          List.iter
+            (fun line ->
+              print_endline line;
+              match Wmm_served.Json.parse line with
+              | Ok v when Wmm_served.Json.str_member "status" v = Some "ok" -> ()
+              | _ -> failed := true)
+            lines;
+          Wmm_served.Client.close client;
+          if !failed then exit 1
+    in
+    if stdin_mode then begin
+      let lines = ref [] in
+      (try
+         while true do
+           let line = input_line stdin in
+           if String.trim line <> "" then lines := line :: !lines
+         done
+       with End_of_file -> ());
+      finish (Wmm_served.Client.run_batch client (List.rev !lines))
+    end
+    else begin
+      let op = match op with Some op -> op | None -> die "OP required unless --stdin" in
+      let open Wmm_served.Json in
+      let str_list l = Arr (List.map (fun s -> Str s) l) in
+      let fields =
+        match op with
+        | "litmus" ->
+            (if tests = [] then [] else [ ("tests", str_list tests) ])
+            @ (match file with
+              | None -> []
+              | Some path -> (
+                  match In_channel.with_open_text path In_channel.input_all with
+                  | text -> [ ("program", Str text) ]
+                  | exception Sys_error e -> die "%s" e))
+            @ (match model with None -> [] | Some m -> [ ("model", Str m) ])
+            @
+            if random then
+              [ ("mode", Str "random"); ("iterations", of_int iterations) ]
+            else [ ("mode", Str "exhaustive") ]
+        | "analyze" ->
+            (if tests = [] then [] else [ ("tests", str_list tests) ])
+            @ [ ("arch", Str arch_s); ("cost", Bool cost) ]
+        | "conform" ->
+            [
+              ("arch", Str arch_s);
+              ("max_edges", of_int max_edges);
+              ("limit", of_int limit);
+              ("infer_limit", of_int infer_limit);
+            ]
+        | _ -> []
+      in
+      finish
+        (Wmm_served.Client.roundtrip client
+           (to_string (Obj (("op", Str op) :: fields))))
+    end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query a running exploration daemon (see $(b,serve)); prints the raw \
+          newline-delimited-JSON responses and exits non-zero if any response is not \
+          'ok'")
+    Term.(
+      const run $ socket_arg $ op_arg $ stdin_arg $ tests_arg $ file_arg $ model_arg
+      $ random_arg $ iterations_arg $ arch_s_arg $ cost_arg $ max_edges_arg
+      $ limit_arg $ infer_limit_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let cache_cmd =
   let action_arg =
     Arg.(
@@ -840,5 +1103,7 @@ let () =
             figure_cmd;
             analyze_cmd;
             conform_cmd;
+            serve_cmd;
+            query_cmd;
             cache_cmd;
           ]))

@@ -50,8 +50,32 @@ let bump a f =
   f a;
   Mutex.unlock a.lock
 
+(* Entries are sharded into 256 subdirectories by the first two hex
+   characters of their digest: concurrent writers (several daemon
+   workers, or a daemon plus one-shot CLIs sharing _wmm_cache/)
+   spread their directory traffic instead of all contending on one
+   huge flat directory.  Pre-sharding caches are still read (flat
+   fallback in [find]) but new stores always land sharded. *)
+let digest_hex a key = Digest.to_hex (Digest.string (a.version ^ "\x00" ^ key))
+
+let shard_of_digest hex = String.sub hex 0 2
+
 let path a key =
-  Filename.concat a.a_dir (Digest.to_hex (Digest.string (a.version ^ "\x00" ^ key)) ^ ".cache")
+  let hex = digest_hex a key in
+  Filename.concat (Filename.concat a.a_dir (shard_of_digest hex)) (hex ^ ".cache")
+
+let legacy_path a key = Filename.concat a.a_dir (digest_hex a key ^ ".cache")
+
+(* Tmp names embed PID, domain and a process-global counter: two
+   daemons (or a daemon and a CLI) sharing one cache directory can
+   never collide on a tmp path, and neither can two stores of the
+   same key racing within one process after a domain id is reused. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_name file =
+  Printf.sprintf "%s.tmp.%d.%d.%d" file (Unix.getpid ())
+    (Domain.self () :> int)
+    (Atomic.fetch_and_add tmp_counter 1)
 
 let rec mkdir_p d =
   if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
@@ -59,22 +83,26 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let read_entry ~key file =
+  try
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let stored_key : string = Marshal.from_channel ic in
+        if stored_key = key then `Hit (Marshal.from_channel ic) else `Miss)
+  with
+  | Sys_error _ -> `Miss
+  | _ -> `Error
+
 let find t ~key =
   match t with
   | Disabled -> None
   | Active a -> (
-      let file = path a key in
       match
-        (try
-           let ic = open_in_bin file in
-           Fun.protect
-             ~finally:(fun () -> close_in_noerr ic)
-             (fun () ->
-               let stored_key : string = Marshal.from_channel ic in
-               if stored_key = key then `Hit (Marshal.from_channel ic) else `Miss)
-         with
-        | Sys_error _ -> `Miss
-        | _ -> `Error)
+        (match read_entry ~key (path a key) with
+        | `Miss -> read_entry ~key (legacy_path a key)  (* pre-sharding entry *)
+        | (`Hit _ | `Error) as r -> r)
       with
       | `Hit v ->
           bump a (fun a -> a.hits <- a.hits + 1);
@@ -93,12 +121,9 @@ let store t ~key value =
   | Disabled -> ()
   | Active a -> (
       let file = path a key in
-      let tmp =
-        Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ())
-          (Domain.self () :> int)
-      in
+      let tmp = tmp_name file in
       try
-        mkdir_p a.a_dir;
+        mkdir_p (Filename.dirname file);
         let oc = open_out_bin tmp in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
@@ -116,8 +141,14 @@ let store t ~key value =
 (* ------------------------------------------------------------------ *)
 
 (* Every entry this module writes ends in ".cache"; anything else in
-   the directory (journals, tmp files of live writers) is left alone. *)
-let entries dirname =
+   the directory (journals, tmp files of live writers) is left alone.
+   Both layouts are walked: flat legacy entries at the top level plus
+   the two-hex-character shard subdirectories. *)
+let is_shard_dir name =
+  String.length name = 2
+  && String.for_all (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false) name
+
+let entries_in dirname =
   match Sys.readdir dirname with
   | exception Sys_error _ -> []
   | names ->
@@ -130,6 +161,20 @@ let entries dirname =
                    Some (file, st_size, st_mtime)
                | _ | (exception Unix.Unix_error _) -> None
              else None)
+
+let entries dirname =
+  let shards =
+    match Sys.readdir dirname with
+    | exception Sys_error _ -> []
+    | names ->
+        Array.to_list names
+        |> List.filter (fun name ->
+               is_shard_dir name
+               && try Sys.is_directory (Filename.concat dirname name)
+                  with Sys_error _ -> false)
+  in
+  entries_in dirname
+  @ List.concat_map (fun shard -> entries_in (Filename.concat dirname shard)) shards
 
 let disk_usage = function
   | Disabled -> None
@@ -178,7 +223,10 @@ let corrupt t ~key =
   match t with
   | Disabled -> false
   | Active a -> (
-      let file = path a key in
+      let file =
+        let sharded = path a key in
+        if Sys.file_exists sharded then sharded else legacy_path a key
+      in
       match open_out_gen [ Open_wronly; Open_binary ] 0o644 file with
       | exception Sys_error _ -> false
       | oc ->

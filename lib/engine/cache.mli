@@ -1,7 +1,11 @@
 (** Content-addressed result cache.
 
     Each cached entry lives in its own file under the cache
-    directory, named by the hex MD5 of [version ^ key].  The version
+    directory, named by the hex MD5 of [version ^ key] and sharded
+    into 256 subdirectories by the digest's first two hex characters
+    so concurrent writers (daemon workers, parallel CLIs) spread
+    their directory traffic.  Flat pre-sharding entries are still
+    found.  The version
     tag defaults to a digest of the running executable, so results
     computed by a stale binary are never reused after a rebuild; the
     task key carries everything else that determines the result
@@ -15,8 +19,10 @@
     equal result {e types}.
 
     All operations are safe to call concurrently from multiple
-    domains: counters are mutex-protected and stores write to a
-    unique temporary file before an atomic rename. *)
+    domains {e and} multiple processes sharing one directory:
+    counters are mutex-protected and stores write to a temporary file
+    made unique by PID, domain id and a process-global counter before
+    an atomic rename. *)
 
 type t
 

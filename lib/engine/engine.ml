@@ -1,5 +1,6 @@
 type t = {
   jobs : int;
+  pool : Workqueue.t option;
   cache : Cache.t;
   seed : int;
   soft_deadline_s : float option;
@@ -12,12 +13,17 @@ type t = {
 
 type 'a outcome = Computed of 'a | Cached of 'a | Replayed of 'a | Failed of string
 
-let create ?(jobs = 1) ?(cache = Cache.disabled) ?(seed = 0) ?soft_deadline_s
+let create ?(jobs = 1) ?pool ?(cache = Cache.disabled) ?(seed = 0) ?soft_deadline_s
     ?(retries = 2) ?(backoff_s = 0.05) ?faults ?journal () =
-  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  let jobs =
+    match pool with
+    | Some wq -> Workqueue.jobs wq
+    | None -> if jobs <= 0 then Pool.default_jobs () else jobs
+  in
   let faults = match faults with Some f -> f | None -> Fault.ambient () in
   {
     jobs;
+    pool;
     cache;
     seed;
     soft_deadline_s;
@@ -66,7 +72,7 @@ let run_all t tasks =
   let results = Array.make n (Failed "not executed") in
   let started = Atomic.make 0 in
   let batch_start = Unix.gettimeofday () in
-  Pool.run ~jobs:t.jobs n (fun i ->
+  let exec i =
       let task = tasks.(i) in
       let key = task.Task.key in
       let queue_depth = n - Atomic.fetch_and_add started 1 - 1 in
@@ -125,7 +131,14 @@ let run_all t tasks =
                   let msg = Printexc.to_string e in
                   Option.iter (fun j -> Journal.record_failed j ~key ~msg) t.journal;
                   results.(i) <- Failed msg;
-                  record wall (1 + t.retries) (Telemetry.Failed msg))));
+                  record wall (1 + t.retries) (Telemetry.Failed msg)))
+  in
+  (* Submission strategy only: [exec] is identical either way, and
+     results land by index, so a batch through a shared warm pool is
+     bit-identical to a one-shot Pool.run of the same tasks. *)
+  (match t.pool with
+  | Some wq when n > 1 -> Pool.raise_failures (Workqueue.run_indexed wq n exec)
+  | Some _ | None -> Pool.run ~jobs:t.jobs n exec);
   Telemetry.add_batch_wall t.telemetry (Unix.gettimeofday () -. batch_start);
   results
 
@@ -140,6 +153,7 @@ let get = function
   | Failed msg -> failwith ("engine task failed: " ^ msg)
 
 let set_exploration t e = Telemetry.set_exploration t.telemetry e
+let set_server t s = Telemetry.set_server t.telemetry s
 
 let summary t = Telemetry.summary ~jobs:t.jobs ~cache:(Cache.stats t.cache) t.telemetry
 let render_summary t = Telemetry.render_summary (summary t)

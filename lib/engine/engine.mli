@@ -27,6 +27,7 @@ type 'a outcome =
 
 val create :
   ?jobs:int ->
+  ?pool:Workqueue.t ->
   ?cache:Cache.t ->
   ?seed:int ->
   ?soft_deadline_s:float ->
@@ -36,9 +37,20 @@ val create :
   ?journal:Journal.t ->
   unit ->
   t
-(** [jobs] defaults to 1 (sequential; [0] means all recommended
-    domains); [cache] to {!Cache.disabled}; [seed] (the root of the
-    per-task RNG streams) to 0.
+(** [jobs] defaults to 1 (sequential; [0] means all domains as
+    reported by [Domain.recommended_domain_count]); [cache] to
+    {!Cache.disabled}; [seed] (the root of the per-task RNG streams)
+    to 0.
+
+    [pool], when given, is a persistent {!Workqueue} shared with the
+    caller (and possibly with other engines): batches submit to it
+    instead of spinning up a one-shot pool, [jobs] is taken from the
+    queue, and the engine never shuts it down.  This is how the
+    served daemon keeps one set of warm worker domains across every
+    request.  Because results land by submission index and task RNGs
+    derive from keys, output is bit-identical across [jobs] settings,
+    pool sharing, and concurrent [run_all] calls from several
+    threads.
 
     [soft_deadline_s], when given, marks any task whose wall-clock
     exceeds it as [Failed]; running domains cannot be preempted, so
@@ -80,6 +92,10 @@ val get : 'a outcome -> 'a
 val set_exploration : t -> Telemetry.exploration -> unit
 (** Attach candidate-search counters (an [Enumerate.global_stats]
     snapshot taken by the harness) to this run's telemetry. *)
+
+val set_server : t -> Telemetry.server -> unit
+(** Attach served-daemon request counters to this run's telemetry
+    (the daemon calls this before every summary/dump). *)
 
 val summary : t -> Telemetry.summary
 val render_summary : t -> string

@@ -1,0 +1,76 @@
+type 'v outcome = Running | Finished of ('v, string) result
+
+type 'v entry = { mutable outcome : 'v outcome }
+
+type 'v t = {
+  lock : Mutex.t;
+  settled : Condition.t;
+  table : (string, 'v entry) Hashtbl.t;
+  mutable computed : int;
+  mutable joined : int;
+  mutable max_active : int;
+}
+
+type stats = { computed : int; joined : int; active : int; max_active : int }
+
+let create () =
+  {
+    lock = Mutex.create ();
+    settled = Condition.create ();
+    table = Hashtbl.create 64;
+    computed = 0;
+    joined = 0;
+    max_active = 0;
+  }
+
+let run t ~key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+      (* Joiner: wait for the owner to settle this entry.  The entry
+         outlives its table slot (the owner removes the key before
+         broadcasting), so we poll the entry, not the table. *)
+      t.joined <- t.joined + 1;
+      while entry.outcome = Running do
+        Condition.wait t.settled t.lock
+      done;
+      let outcome = entry.outcome in
+      Mutex.unlock t.lock;
+      (match outcome with
+      | Running -> assert false
+      | Finished (Ok v) -> (v, true)
+      | Finished (Error msg) -> failwith msg)
+  | None ->
+      let entry = { outcome = Running } in
+      Hashtbl.add t.table key entry;
+      t.computed <- t.computed + 1;
+      t.max_active <- max t.max_active (Hashtbl.length t.table);
+      Mutex.unlock t.lock;
+      let result =
+        try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.lock;
+      entry.outcome <-
+        Finished
+          (match result with
+          | Ok v -> Ok v
+          | Error (e, _) -> Error (Printexc.to_string e));
+      Hashtbl.remove t.table key;
+      Condition.broadcast t.settled;
+      Mutex.unlock t.lock;
+      (match result with
+      | Ok v -> (v, false)
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      computed = t.computed;
+      joined = t.joined;
+      active = Hashtbl.length t.table;
+      max_active = t.max_active;
+    }
+  in
+  Mutex.unlock t.lock;
+  s

@@ -1,0 +1,38 @@
+(** In-flight computation deduplication.
+
+    A table of computations currently running, keyed by the same
+    content-addressed strings as the result cache.  When several
+    threads ask for the same key concurrently, exactly one (the
+    {e owner}) runs the computation; the others ({e joiners}) block
+    until it finishes and share its result.  Once a computation
+    settles it leaves the table - subsequent requests are expected to
+    hit the result cache instead, so the table only ever holds keys
+    whose first computation is still running.
+
+    This is the layer that makes a thousand identical concurrent
+    daemon queries cost one computation: cache-miss traffic collapses
+    onto the single in-flight run instead of racing it.
+
+    All entry points are thread- and domain-safe. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val run : 'v t -> key:string -> (unit -> 'v) -> 'v * bool
+(** [run t ~key f] either runs [f] (as owner) or waits for the owner
+    of [key] and shares its outcome.  The boolean is [true] iff the
+    result was shared (joined).  If the owner's [f] raises, the owner
+    re-raises its own exception and every joiner raises [Failure]
+    with the printed form - a failure is shared exactly like a
+    success, so joiners never retry a computation that just failed in
+    front of them. *)
+
+type stats = {
+  computed : int;  (** Calls that ran their closure (owners). *)
+  joined : int;  (** Calls served by somebody else's run. *)
+  active : int;  (** Keys currently in flight. *)
+  max_active : int;  (** High-water mark of [active]. *)
+}
+
+val stats : 'v t -> stats

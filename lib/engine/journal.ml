@@ -1,8 +1,12 @@
+type mode = Rewrite | Append
+
 type t = {
   j_path : string;
   j_run_id : string;
+  mode : mode;
   lock : Mutex.t;
-  content : Buffer.t;  (* full current file body, appended to on record *)
+  content : Buffer.t;  (* full current file body; maintained in Rewrite mode only *)
+  mutable append_oc : out_channel option;  (* open O_APPEND channel in Append mode *)
   replay_table : (string, string) Hashtbl.t;  (* key -> marshalled value *)
   loaded_entries : int;
 }
@@ -112,7 +116,7 @@ let parse_line line =
 (* Open / replay / append.                                            *)
 (* ------------------------------------------------------------------ *)
 
-let open_ ?(dir = default_dir) ~run_id () =
+let open_ ?(dir = default_dir) ?(mode = Rewrite) ~run_id () =
   let path = Filename.concat dir (sanitize run_id ^ ".jsonl") in
   let content = Buffer.create 4096 in
   let replay_table = Hashtbl.create 64 in
@@ -131,21 +135,27 @@ let open_ ?(dir = default_dir) ~run_id () =
                     duplicates across appended runs agree anyway. *)
                  if not (Hashtbl.mem replay_table key) then incr loaded;
                  Hashtbl.replace replay_table key value_bytes;
-                 Buffer.add_string content line;
-                 Buffer.add_char content '\n'
+                 if mode = Rewrite then begin
+                   Buffer.add_string content line;
+                   Buffer.add_char content '\n'
+                 end
              | Failed_entry _ ->
                  (* Failures are journaled for the record but never
                     replayed: they may have been transient. *)
-                 Buffer.add_string content line;
-                 Buffer.add_char content '\n'
+                 if mode = Rewrite then begin
+                   Buffer.add_string content line;
+                   Buffer.add_char content '\n'
+                 end
              | exception _ -> () (* torn or foreign line: drop *)
            done
          with End_of_file -> ()));
   {
     j_path = path;
     j_run_id = run_id;
+    mode;
     lock = Mutex.create ();
     content;
+    append_oc = None;
     replay_table;
     loaded_entries = !loaded;
   }
@@ -160,29 +170,67 @@ let replay t ~key =
   Mutex.unlock t.lock;
   Option.map (fun bytes -> Marshal.from_string bytes 0) found
 
-(* Append = rewrite the whole file through a tmp + atomic rename, the
-   same publication discipline as the cache: a crash mid-append can
-   never leave a torn journal, only the previous complete one.
-   Journals are small (one line per task), so the quadratic rewrite
-   cost is noise next to the tasks themselves. *)
+(* Tmp names embed PID, domain and a process-global counter, the same
+   uniqueness discipline as the cache: concurrent journal writers
+   sharing a directory (two daemons, daemon plus CLI) can never race
+   on a tmp path. *)
+let tmp_counter = Atomic.make 0
+
+let tmp_name path =
+  Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+    (Domain.self () :> int)
+    (Atomic.fetch_and_add tmp_counter 1)
+
+(* Two durability disciplines.
+
+   [Rewrite] (the one-shot default): every append rewrites the whole
+   file through a tmp + atomic rename, so a crash at any point leaves
+   either the previous or the new complete journal - never a torn
+   line.  Journals of one-shot runs are small, so the quadratic
+   rewrite cost is noise next to the tasks themselves.
+
+   [Append] (the daemon's mode): the line is appended to an O_APPEND
+   channel and flushed.  A crash can tear at most the final line,
+   which the load-time parser already skips; the incremental cost is
+   O(line) instead of O(file), which matters once a long-lived server
+   journals thousands of requests through one file. *)
 let append t line =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      Buffer.add_string t.content line;
-      Buffer.add_char t.content '\n';
-      let tmp =
-        Printf.sprintf "%s.tmp.%d.%d" t.j_path (Unix.getpid ()) (Domain.self () :> int)
-      in
-      try
-        mkdir_p (Filename.dirname t.j_path);
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> Buffer.output_buffer oc t.content);
-        Sys.rename tmp t.j_path
-      with _ -> ( try Sys.remove tmp with _ -> ()))
+      match t.mode with
+      | Append -> (
+          try
+            let oc =
+              match t.append_oc with
+              | Some oc -> oc
+              | None ->
+                  mkdir_p (Filename.dirname t.j_path);
+                  let oc =
+                    open_out_gen
+                      [ Open_wronly; Open_append; Open_creat; Open_binary ]
+                      0o644 t.j_path
+                  in
+                  t.append_oc <- Some oc;
+                  oc
+            in
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+          with _ -> ())
+      | Rewrite -> (
+          Buffer.add_string t.content line;
+          Buffer.add_char t.content '\n';
+          let tmp = tmp_name t.j_path in
+          try
+            mkdir_p (Filename.dirname t.j_path);
+            let oc = open_out_bin tmp in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> Buffer.output_buffer oc t.content);
+            Sys.rename tmp t.j_path
+          with _ -> ( try Sys.remove tmp with _ -> ())))
 
 let record_ok t ~key value =
   let bytes = Marshal.to_string value [] in
@@ -192,3 +240,12 @@ let record_ok t ~key value =
   append t (ok_line ~key bytes)
 
 let record_failed t ~key ~msg = append t (failed_line ~key ~msg)
+
+let close t =
+  Mutex.lock t.lock;
+  (match t.append_oc with
+  | Some oc ->
+      close_out_noerr oc;
+      t.append_oc <- None
+  | None -> ());
+  Mutex.unlock t.lock

@@ -8,11 +8,17 @@
     self-contained (the marshalled value is embedded hex-encoded in
     the line), so resume works even under [--no-cache].
 
-    Durability discipline: each append rewrites the whole journal to a
-    temporary file and renames it over the old one, so a crash at any
-    point leaves either the previous or the new complete journal -
-    never a torn line.  Unparseable lines (from foreign writers or
-    pre-rename crashes of older formats) are skipped on load.
+    Durability discipline: in the default [Rewrite] mode each append
+    rewrites the whole journal to a temporary file (made unique by
+    PID, domain and a process-global counter) and renames it over the
+    old one, so a crash at any point leaves either the previous or
+    the new complete journal - never a torn line.  Long-lived writers
+    (the served daemon) open in [Append] mode instead: lines go to an
+    O_APPEND channel with a flush per record, so each append costs
+    O(line) rather than O(file); a crash can tear at most the final
+    line.  Unparseable lines (torn appends, foreign writers,
+    pre-rename crashes of older formats) are skipped on load either
+    way.
 
     Line format (one JSON object per line):
     {v
@@ -34,10 +40,13 @@ val derived_run_id : tag:string -> string list -> string
     request derives the identical id, so resume-on-rerun is
     automatic without the user naming runs. *)
 
-val open_ : ?dir:string -> run_id:string -> unit -> t
+type mode = Rewrite | Append
+
+val open_ : ?dir:string -> ?mode:mode -> run_id:string -> unit -> t
 (** Open (creating lazily on first append) the journal for [run_id],
     loading any entries a previous run left behind.  The run id is
-    sanitised to filename-safe characters. *)
+    sanitised to filename-safe characters.  [mode] defaults to
+    [Rewrite]; see the durability note above. *)
 
 val path : t -> string
 val run_id : t -> string
@@ -56,3 +65,7 @@ val record_ok : t -> key:string -> 'a -> unit
 
 val record_failed : t -> key:string -> msg:string -> unit
 (** Journal a permanently-failed task (recomputed on resume). *)
+
+val close : t -> unit
+(** Close the underlying channel of an [Append]-mode journal (no-op
+    in [Rewrite] mode, where nothing stays open between appends). *)

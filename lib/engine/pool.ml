@@ -7,6 +7,22 @@ let () =
     | Multiple_failures msg -> Some ("Pool.Multiple_failures: " ^ msg)
     | _ -> None)
 
+(* Shared raise policy for a finished batch: one failure re-raises the
+   original exception (original backtrace), several aggregate so no
+   cause is silently swallowed.  Used by both the ephemeral path here
+   and {!Engine} when it runs on a persistent queue. *)
+let raise_failures = function
+  | [] -> ()
+  | [ (_, e, bt) ] -> Printexc.raise_with_backtrace e bt
+  | (_, e, bt) :: rest ->
+      let msg =
+        Printf.sprintf "%d tasks failed; first: %s; also: %s"
+          (List.length rest + 1) (Printexc.to_string e)
+          (String.concat "; "
+             (List.map (fun (_, e, _) -> Printexc.to_string e) rest))
+      in
+      Printexc.raise_with_backtrace (Multiple_failures msg) bt
+
 let run ~jobs n f =
   if n <= 0 then ()
   else if jobs <= 1 || n = 1 then
@@ -14,40 +30,13 @@ let run ~jobs n f =
       f i
     done
   else begin
-    let next = Atomic.make 0 in
-    let errors_lock = Mutex.create () in
-    let errors = ref [] in
-    (* Collected in arrival order, never dropped: a run that fails on
-       several domains at once reports every cause, not just whichever
-       worker lost the race. *)
-    let record e bt =
-      Mutex.lock errors_lock;
-      errors := (e, bt) :: !errors;
-      Mutex.unlock errors_lock
+    (* One-shot batches ride the same submit/await machinery as the
+       persistent daemon pool: spin a queue up, drain it, shut it
+       down.  Never more workers than tasks. *)
+    let wq = Workqueue.create ~jobs:(min jobs n) () in
+    let failures =
+      Fun.protect ~finally:(fun () -> Workqueue.shutdown wq)
+        (fun () -> Workqueue.run_indexed wq n f)
     in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (try f i
-           with e -> record e (Printexc.get_raw_backtrace ()));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    match List.rev !errors with
-    | [] -> ()
-    | [ (e, bt) ] -> Printexc.raise_with_backtrace e bt
-    | (e, bt) :: rest ->
-        let msg =
-          Printf.sprintf "%d tasks failed; first: %s; also: %s"
-            (List.length rest + 1) (Printexc.to_string e)
-            (String.concat "; "
-               (List.map (fun (e, _) -> Printexc.to_string e) rest))
-        in
-        Printexc.raise_with_backtrace (Multiple_failures msg) bt
+    raise_failures failures
   end

@@ -1,24 +1,28 @@
-(** Domain-pool scheduling.
+(** Domain-pool scheduling for one-shot batches.
 
-    Tasks self-schedule off a shared atomic counter: each worker
-    repeatedly claims the next unclaimed index, so load balances
-    automatically however uneven the per-task costs are.  With
-    [jobs <= 1] no domains are spawned and the body runs in a plain
-    sequential loop - the scheduling strategy can never change
-    results, only their arrival order. *)
+    [run] is the build-list-and-drain entry point the CLIs use: it
+    stands up a {!Workqueue} for the batch, submits every index, and
+    shuts the queue down again.  Long-lived callers (the daemon)
+    instead create one persistent {!Workqueue} and hand it to
+    {!Engine.create}, so every batch reuses the same warm worker
+    domains.  With [jobs <= 1] no domains are spawned and the body
+    runs in a plain sequential loop - the scheduling strategy can
+    never change results, only their arrival order. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
 exception Multiple_failures of string
 (** Raised by {!run} when more than one task raised: the message
-    carries the count, the first exception, and the others in arrival
+    carries the count, the first exception, and the others in index
     order, so no failure is silently swallowed. *)
 
+val raise_failures : (int * exn * Printexc.raw_backtrace) list -> unit
+(** The batch raise policy over {!Workqueue.run_indexed}'s failure
+    list: nothing on [[]], the original exception (original
+    backtrace) for exactly one, {!Multiple_failures} for several. *)
+
 val run : jobs:int -> int -> (int -> unit) -> unit
-(** [run ~jobs n f] applies [f] to every index in [0, n): with at
-    most [jobs] domains ([jobs - 1] spawned workers plus the calling
-    domain).  [f] is expected not to raise; if exactly one task does,
-    its exception is re-raised (original backtrace) after all workers
-    have drained; if several do, {!Multiple_failures} aggregates
-    them. *)
+(** [run ~jobs n f] applies [f] to every index in [0, n) across at
+    most [jobs] worker domains.  [f] is expected not to raise; stray
+    exceptions follow {!raise_failures}. *)

@@ -17,15 +17,41 @@ type exploration = {
   explore_wall_s : float;
 }
 
+(* Counters the served daemon reports alongside the engine's own
+   task-level records: request counts by disposition, where answers
+   came from (fresh computation, result cache, resume journal, or an
+   in-flight computation another client started), latency split by
+   hit/compute, and load high-water marks. *)
+type server = {
+  requests : int;
+  ok : int;
+  errors : int;
+  overloaded : int;  (** Requests shed with a structured reply. *)
+  computed : int;
+  cache_hits : int;
+  journal_hits : int;
+  dedup_joined : int;
+  streamed_items : int;  (** Response objects written (>= requests). *)
+  clients : int;  (** Connections accepted over the lifetime. *)
+  hit_wall_total_s : float;
+  hit_wall_max_s : float;
+  compute_wall_total_s : float;
+  compute_wall_max_s : float;
+  max_pending : int;  (** Peak admitted-but-unfinished requests. *)
+  max_client_queue : int;  (** Peak per-client response backlog. *)
+}
+
 type t = {
   lock : Mutex.t;
   mutable entries : record list;  (* reversed *)
   mutable batch_wall_s : float;
   mutable exploration : exploration option;
+  mutable server : server option;
 }
 
 let create () =
-  { lock = Mutex.create (); entries = []; batch_wall_s = 0.; exploration = None }
+  { lock = Mutex.create (); entries = []; batch_wall_s = 0.; exploration = None;
+    server = None }
 
 let add t r =
   Mutex.lock t.lock;
@@ -40,6 +66,11 @@ let add_batch_wall t s =
 let set_exploration t e =
   Mutex.lock t.lock;
   t.exploration <- Some e;
+  Mutex.unlock t.lock
+
+let set_server t s =
+  Mutex.lock t.lock;
+  t.server <- Some s;
   Mutex.unlock t.lock
 
 let records t =
@@ -62,6 +93,7 @@ type summary = {
   max_queue_depth : int;
   cache : Cache.stats;
   exploration : exploration option;
+  server : server option;
 }
 
 let summary ~jobs ~cache t =
@@ -94,6 +126,7 @@ let summary ~jobs ~cache t =
     max_queue_depth;
     cache;
     exploration = t.exploration;
+    server = t.server;
   }
 
 let render_summary s =
@@ -118,6 +151,24 @@ let render_summary s =
         (Printf.sprintf
            "\nexploration: %d candidates (%d pruned subtrees, %d well-formed, %d consistent) in %.2fs"
            e.explored e.pruned e.well_formed e.consistent e.explore_wall_s));
+  (match s.server with
+  | None -> ()
+  | Some sv ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "\nserver: %d requests (%d ok, %d errors, %d overloaded) from %d clients | %d \
+            computed, %d cache, %d journal, %d deduped"
+           sv.requests sv.ok sv.errors sv.overloaded sv.clients sv.computed
+           sv.cache_hits sv.journal_hits sv.dedup_joined);
+      let mean total count = if count = 0 then 0. else total /. float_of_int count in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\nserver latency: hits mean %.0fus max %.0fus | compute mean %.1fms max %.1fms \
+            | peak pending %d, peak client queue %d"
+           (1e6 *. mean sv.hit_wall_total_s (sv.cache_hits + sv.journal_hits + sv.dedup_joined))
+           (1e6 *. sv.hit_wall_max_s)
+           (1e3 *. mean sv.compute_wall_total_s sv.computed)
+           (1e3 *. sv.compute_wall_max_s) sv.max_pending sv.max_client_queue));
   Buffer.contents b
 
 (* Minimal JSON emission: only strings, numbers and the two shapes
@@ -149,8 +200,9 @@ let outcome_json = function
 
 (* Bumped whenever the shape of this JSON changes, so downstream
    parsers of telemetry dumps can dispatch on it.  v3 added the
-   "exploration" object (candidate-execution search counters). *)
-let schema_version = 3
+   "exploration" object (candidate-execution search counters); v4 the
+   "server" object (served-daemon request counters). *)
+let schema_version = 4
 
 let to_json s rs =
   let b = Buffer.create 4096 in
@@ -180,6 +232,22 @@ let to_json s rs =
         (Printf.sprintf
            "  \"exploration\": {\"explored\": %d, \"pruned\": %d, \"well_formed\": %d, \"consistent\": %d, \"wall_s\": %s},\n"
            e.explored e.pruned e.well_formed e.consistent (json_float e.explore_wall_s)));
+  (match s.server with
+  | None -> Buffer.add_string b "  \"server\": null,\n"
+  | Some sv ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"server\": {\"requests\": %d, \"ok\": %d, \"errors\": %d, \"overloaded\": \
+            %d, \"computed\": %d, \"cache_hits\": %d, \"journal_hits\": %d, \
+            \"dedup_joined\": %d, \"streamed_items\": %d, \"clients\": %d, \
+            \"hit_wall_total_s\": %s, \"hit_wall_max_s\": %s, \"compute_wall_total_s\": \
+            %s, \"compute_wall_max_s\": %s, \"max_pending\": %d, \"max_client_queue\": \
+            %d},\n"
+           sv.requests sv.ok sv.errors sv.overloaded sv.computed sv.cache_hits
+           sv.journal_hits sv.dedup_joined sv.streamed_items sv.clients
+           (json_float sv.hit_wall_total_s) (json_float sv.hit_wall_max_s)
+           (json_float sv.compute_wall_total_s) (json_float sv.compute_wall_max_s)
+           sv.max_pending sv.max_client_queue));
   Buffer.add_string b "  \"tasks\": [\n";
   let n = List.length rs in
   List.iteri

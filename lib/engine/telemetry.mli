@@ -34,6 +34,29 @@ type exploration = {
     ([Enumerate.global_stats] snapshot), attached to a run's
     telemetry by the harness that drove the engine. *)
 
+type server = {
+  requests : int;
+  ok : int;
+  errors : int;
+  overloaded : int;  (** Requests shed with a structured reply. *)
+  computed : int;  (** Requests that ran their computation. *)
+  cache_hits : int;  (** Requests answered from the result cache. *)
+  journal_hits : int;  (** Requests answered from the resume journal. *)
+  dedup_joined : int;
+      (** Requests that joined an identical in-flight computation. *)
+  streamed_items : int;  (** Response objects written (>= requests). *)
+  clients : int;  (** Connections accepted over the lifetime. *)
+  hit_wall_total_s : float;  (** Latency over cache/journal/dedup answers. *)
+  hit_wall_max_s : float;
+  compute_wall_total_s : float;  (** Latency over computed answers. *)
+  compute_wall_max_s : float;
+  max_pending : int;  (** Peak admitted-but-unfinished requests. *)
+  max_client_queue : int;  (** Peak per-client response backlog. *)
+}
+(** Request counters from the served daemon ({!Wmm_served}), attached
+    to its engine's telemetry so one JSON dump describes both the
+    request traffic and the task work it caused. *)
+
 type t
 
 val create : unit -> t
@@ -43,6 +66,9 @@ val add : t -> record -> unit
 
 val set_exploration : t -> exploration -> unit
 (** Attach exploration counters to the run (last call wins). *)
+
+val set_server : t -> server -> unit
+(** Attach served-daemon request counters (last call wins). *)
 
 val add_batch_wall : t -> float -> unit
 (** Accumulate the wall-clock of one engine batch (the denominator
@@ -68,6 +94,8 @@ type summary = {
   cache : Cache.stats;
   exploration : exploration option;
       (** Present when the harness recorded exploration counters. *)
+  server : server option;
+      (** Present when a served daemon recorded request counters. *)
 }
 
 val summary : jobs:int -> cache:Cache.stats -> t -> summary

@@ -1,0 +1,54 @@
+(** A persistent, resubmittable domain pool.
+
+    Where {!Pool.run} builds a task list and drains it (spawning and
+    joining its workers every batch), a workqueue decouples task
+    submission from worker lifetime: [jobs] worker domains are
+    spawned once at {!create} and block on a shared queue until
+    {!shutdown}.  Any thread - including several concurrently - may
+    {!submit} work and {!await} its handle, so a long-running process
+    (the [wmm_served] daemon) pays domain startup once and then feeds
+    the same warm pool from every client request.
+
+    Ordering is FIFO per queue but completion order is unspecified;
+    callers that need deterministic output index results themselves
+    (as {!Engine.run_all} does).  A submitted closure that raises has
+    the exception captured and re-raised - original backtrace
+    preserved - by whichever thread awaits its handle. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** Spawn the worker domains.  [jobs] defaults to
+    [Domain.recommended_domain_count ()]; values [<= 0] also select
+    the recommended count, and at least one worker always exists. *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val depth : t -> int
+(** Tasks currently queued (not yet claimed by a worker): a
+    point-in-time load signal for telemetry and overload decisions. *)
+
+val submitted : t -> int
+(** Total tasks submitted over the queue's lifetime. *)
+
+type 'a handle
+
+val submit : t -> (unit -> 'a) -> 'a handle
+(** Enqueue a closure for the pool.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val await : 'a handle -> 'a
+(** Block until the closure has run; returns its value or re-raises
+    its exception with the original backtrace.  Safe to call from any
+    thread, any number of times. *)
+
+val run_indexed : t -> int -> (int -> unit) -> (int * exn * Printexc.raw_backtrace) list
+(** [run_indexed t n f] submits [f 0 .. f (n-1)] and awaits them all;
+    the calling thread blocks but performs no work itself.  Returns
+    the failures in index order ([] when every task succeeded) so the
+    caller owns the raise policy - see {!Pool.run}. *)
+
+val shutdown : t -> unit
+(** Drain: workers finish the tasks already queued, then exit and are
+    joined.  Idempotent.  Submitting after shutdown is an error. *)

@@ -1,0 +1,60 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          closed = false;
+        }
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket_path
+           (Unix.error_message err))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Closing either channel closes the shared descriptor. *)
+    try close_out_noerr t.oc; close_in_noerr t.ic with _ -> ()
+  end
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_line t = try Some (input_line t.ic) with End_of_file | Sys_error _ -> None
+
+let is_final line =
+  match Json.parse line with
+  | Ok v -> Json.bool_member "final" v <> Some false
+  | Error _ -> true
+
+let collect t ~finals_expected =
+  let rec go acc finals =
+    if finals >= finals_expected then Ok (List.rev acc)
+    else
+      match recv_line t with
+      | None -> Error "connection closed mid-response"
+      | Some line -> go (line :: acc) (finals + if is_final line then 1 else 0)
+  in
+  go [] 0
+
+let roundtrip t line =
+  send_line t line;
+  collect t ~finals_expected:1
+
+let run_batch t lines =
+  List.iter (send_line t) lines;
+  collect t ~finals_expected:(List.length lines)

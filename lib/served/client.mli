@@ -1,0 +1,29 @@
+(** A small blocking client for the served protocol, used by
+    [wmm_bench query] and the tests. *)
+
+type t
+
+val connect : socket_path:string -> (t, string) result
+
+val close : t -> unit
+
+val send_line : t -> string -> unit
+(** Write one raw request line (newline appended). *)
+
+val recv_line : t -> string option
+(** Next response line; [None] on EOF. *)
+
+val roundtrip : t -> string -> (string list, string) result
+(** Send one request line and collect its response frames up to and
+    including the [final] one, in order.  Only valid when no other
+    request is outstanding on this connection.  [Error] on EOF or an
+    unparseable response frame. *)
+
+val run_batch : t -> string list -> (string list, string) result
+(** Pipeline every request line, then collect response lines until
+    one [final] frame per request has arrived (frames of different
+    requests may interleave; lines are returned in arrival order). *)
+
+val is_final : string -> bool
+(** Whether a response line is a [final] frame (malformed lines count
+    as final, so a broken stream cannot hang a collector). *)

@@ -1,0 +1,190 @@
+open Wmm_model
+open Wmm_litmus
+module Engine = Wmm_engine.Engine
+module Task = Wmm_engine.Task
+
+let obj fields = Json.to_string (Json.Obj fields)
+
+(* ------------------------------------------------------------------ *)
+(* litmus *)
+
+let machine_config_for_model = function
+  | Axiomatic.Sc -> Wmm_machine.Relaxed.sc_config
+  | Axiomatic.Tso -> Wmm_machine.Relaxed.tso_config
+  | Axiomatic.Arm | Axiomatic.Power -> Wmm_machine.Relaxed.relaxed_config
+
+let resolve_litmus_tests ~tests ~program =
+  match program with
+  | Some text -> (
+      match Parse.parse text with
+      | Ok p -> [ (p.Parse.test, true) ]
+      | Error e -> failwith (Printf.sprintf "program: %s" e))
+  | None -> (
+      match tests with
+      | [] -> List.map (fun t -> (t, false)) Library.all
+      | names ->
+          List.map
+            (fun name ->
+              match Library.by_name name with
+              | Some t -> (t, false)
+              | None -> failwith (Printf.sprintf "unknown litmus test %S" name))
+            names)
+
+(* Mirrors the one-shot CLI's selection: annotated models for library
+   tests; for inline programs (no annotations) the requested model or
+   the weak-model pair. *)
+let models_for ~requested ~from_program test =
+  match requested with
+  | Some m -> [ m ]
+  | None ->
+      List.filter
+        (fun m ->
+          Test.expected_under test m <> None
+          || (from_program && (m = Axiomatic.Arm || m = Axiomatic.Power)))
+        Axiomatic.all_models
+
+let verdict_item v =
+  let open Check in
+  obj
+    [
+      ("test", Json.Str v.test.Test.name);
+      ("model", Json.Str (Protocol.model_wire_name v.model));
+      ("axiomatic_allowed", Json.Bool v.axiomatic_allowed);
+      ( "expected",
+        match v.expected with Some b -> Json.Bool b | None -> Json.Null );
+      ("observed", Json.Bool v.observed);
+      ("observations", Json.of_int v.observations);
+      ("total", Json.of_int v.total);
+      ("sound", Json.Bool (Check.sound v));
+      ("describe", Json.Str (Check.describe v));
+    ]
+
+let run_litmus ~engine ~tests ~program ~model ~mode =
+  let selected = resolve_litmus_tests ~tests ~program in
+  let pairs =
+    List.concat_map
+      (fun (test, from_program) ->
+        List.map
+          (fun m -> (test, m, from_program))
+          (models_for ~requested:model ~from_program test))
+      selected
+  in
+  let mode_key =
+    match mode with
+    | Protocol.Exhaustive -> "exhaustive"
+    | Protocol.Random n -> Printf.sprintf "random:%d" n
+  in
+  let task_of (test, m, from_program) =
+    let content =
+      (* Library tests are keyed by unique name; inline programs by a
+         digest of their rendered form (names may collide). *)
+      if from_program then Digest.to_hex (Digest.string (Parse.to_text test))
+      else test.Test.name
+    in
+    let key =
+      Printf.sprintf "served/litmus/v1|%s|%s|%s" content
+        (Protocol.model_wire_name m) mode_key
+    in
+    Task.pure ~key ~label:("litmus " ^ test.Test.name) (fun () ->
+        let config = machine_config_for_model m in
+        let v =
+          match mode with
+          | Protocol.Exhaustive -> Check.run_exhaustive m config test
+          | Protocol.Random iterations -> Check.run_random ~iterations m config test
+        in
+        verdict_item v)
+  in
+  let outcomes = Engine.run_all engine (Array.of_list (List.map task_of pairs)) in
+  Array.to_list (Array.map Engine.get outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let resolve_library_tests = function
+  | [] -> Library.all
+  | names ->
+      List.map
+        (fun name ->
+          match Library.by_name name with
+          | Some t -> t
+          | None -> failwith (Printf.sprintf "unknown litmus test %S" name))
+        names
+
+let run_analyze ~engine ~tests ~arch ~cost =
+  let tests = resolve_library_tests tests in
+  let rows = Wmm_analysis.Infer.analyze_all ~with_cost:cost ~engine ~arch tests in
+  List.map
+    (fun row ->
+      let open Wmm_analysis.Infer in
+      let extra =
+        match row.status with
+        | Inferred inf ->
+            [
+              ("cycles", Json.of_int inf.cycle_count);
+              ("delays", Json.of_int inf.delay_count);
+              ("witnesses_ok", Json.Bool inf.witnesses_ok);
+            ]
+        | _ -> []
+      in
+      obj
+        ([
+           ("test", Json.Str row.test.Test.name);
+           ("arch", Json.Str (Wmm_isa.Arch.name row.arch));
+           ("model", Json.Str (Protocol.model_wire_name row.model));
+           ("status", Json.Str (status_string row.status));
+         ]
+        @ extra))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* conform *)
+
+let run_conform ~engine ~arch ~max_edges ~limit ~infer_limit =
+  let family = Wmm_synth.Synth.generate ~max_edges arch in
+  let tests =
+    List.filteri
+      (fun i _ -> limit = 0 || i < limit)
+      (List.map (fun g -> g.Wmm_synth.Synth.g_test) family)
+  in
+  let report =
+    Wmm_synth.Conform.run
+      ~config:{ Wmm_synth.Conform.default_config with infer_limit }
+      ~engine ~arch tests
+  in
+  let open Wmm_synth.Conform in
+  let summary =
+    obj
+      [
+        ("arch", Json.Str (Wmm_isa.Arch.name report.arch));
+        ("tests", Json.of_int report.tests);
+        ("explore_checks", Json.of_int report.explore_checks);
+        ("machine_checks", Json.of_int report.machine_checks);
+        ("machine_skipped", Json.of_int report.machine_skipped);
+        ("infer_checks", Json.of_int report.infer_checks);
+        ("disagreements", Json.of_int (List.length report.disagreements));
+      ]
+  in
+  let disagreement d =
+    obj
+      [
+        ("layer", Json.Str (layer_name d.layer));
+        ( "model",
+          match d.model with
+          | Some m -> Json.Str (Protocol.model_wire_name m)
+          | None -> Json.Null );
+        ("test", Json.Str d.test.Test.name);
+        ("detail", Json.Str d.detail);
+        ("shrunk", Json.Str (Parse.to_text ~arch:report.arch d.shrunk));
+      ]
+  in
+  summary :: List.map disagreement report.disagreements
+
+(* ------------------------------------------------------------------ *)
+
+let compute ~engine = function
+  | Protocol.Litmus { tests; program; model; mode } ->
+      run_litmus ~engine ~tests ~program ~model ~mode
+  | Protocol.Analyze { tests; arch; cost } -> run_analyze ~engine ~tests ~arch ~cost
+  | Protocol.Conform { arch; max_edges; limit; infer_limit } ->
+      run_conform ~engine ~arch ~max_edges ~limit ~infer_limit
+  | req -> invalid_arg ("Ops.compute: non-cacheable op " ^ Protocol.op_name req)

@@ -1,0 +1,17 @@
+(** Execution of cacheable requests against the shared engine.
+
+    Each request computes to a list of {e items} - serialized JSON
+    objects, one per result row - which is what gets cached,
+    journaled and streamed: the server frames each item in a
+    response envelope by splicing ({!Json.Raw}), so replayed items
+    never need re-parsing.
+
+    [compute] must only be called from a server executor thread,
+    never from inside a {!Wmm_engine.Workqueue} worker: it submits
+    engine batches to the shared pool and awaits them, and a worker
+    awaiting its own queue deadlocks. *)
+
+val compute : engine:Wmm_engine.Engine.t -> Protocol.request -> string list
+(** Raises [Failure] on semantic errors surviving protocol-level
+    validation (unknown test name, malformed program text, failed
+    engine task) and [Invalid_argument] on non-cacheable requests. *)

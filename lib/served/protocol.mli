@@ -1,0 +1,90 @@
+open Wmm_model
+open Wmm_isa
+
+(** The wire protocol of the exploration service.
+
+    Framing is newline-delimited JSON: every request and every
+    response is one JSON object on one line, UTF-8, terminated by
+    ['\n'].  A connection carries any number of requests; responses
+    to one request may span several objects (streaming), matched to
+    their request by the echoed [id] and ordered by [seq], with
+    [final: true] marking the last.  Responses to {e different}
+    requests may interleave freely - clients must demultiplex by
+    [id].  The full schema is documented in DESIGN.md §13. *)
+
+val schema_version : int
+(** Protocol schema version, echoed as ["v"] in every response.
+    Bumped on any incompatible change to request or response
+    shapes. *)
+
+type litmus_mode = Exhaustive | Random of int  (** iterations *)
+
+type request =
+  | Litmus of {
+      tests : string list;  (** Library names; [[]] = the whole library. *)
+      program : string option;
+          (** Litmus-format source text; overrides [tests]. *)
+      model : Axiomatic.model option;  (** [None] = every annotated model. *)
+      mode : litmus_mode;
+    }
+  | Analyze of { tests : string list; arch : Arch.t; cost : bool }
+      (** [tests = []] analyses the whole library. *)
+  | Conform of { arch : Arch.t; max_edges : int; limit : int; infer_limit : int }
+  | Cache_stats
+  | Stats
+  | Ping
+  | Shutdown
+
+type envelope = {
+  req_id : Json.t;  (** Echoed verbatim; [Null] when the client sent none. *)
+  request : request;
+}
+
+val parse_request : Json.t -> (envelope, string) result
+(** Validate one request object: the required [op] field dispatches,
+    op-specific fields are checked for type and, where cheap, for
+    validity (unknown ops, unknown models/archs and malformed
+    programs are rejected here, before any queueing). *)
+
+val op_name : request -> string
+(** The wire [op] string for a request. *)
+
+val cacheable : request -> bool
+(** Whether responses may be cached / journaled / deduplicated:
+    [true] for the pure computations ([litmus]/[analyze]/[conform]),
+    [false] for control and introspection ops. *)
+
+val canonical_key : request -> string
+(** A canonical content key for a cacheable request: independent of
+    field order, request id, and client, so identical queries from
+    different clients share cache entries and in-flight runs.  The
+    key embeds the protocol schema version.  Raises [Invalid_argument]
+    on non-cacheable requests. *)
+
+val model_of_string : string -> Axiomatic.model option
+(** Accepts the wire names [sc]/[tso]/[arm]/[power] (any case) plus
+    the display names {!Axiomatic.model_name} produces. *)
+
+val model_wire_name : Axiomatic.model -> string
+(** Lower-case wire name, e.g. [Arm] -> ["arm"]. *)
+
+val response :
+  id:Json.t ->
+  op:string ->
+  seq:int ->
+  final:bool ->
+  ?status:string ->
+  ?served_from:string ->
+  ?wall_us:float ->
+  (string * Json.t) list ->
+  string
+(** Assemble one response line (without the trailing newline):
+    envelope fields ([v], [id], [op], [seq], [final], [status] -
+    default ["ok"]) followed by the payload fields. *)
+
+val error_response : id:Json.t -> op:string -> string -> string
+(** A single-object [status: "error"] response carrying the message. *)
+
+val overloaded_response : id:Json.t -> op:string -> retry_after_ms:int -> string
+(** The structured shed reply: [status: "overloaded"] plus a
+    [retry_after_ms] hint; no computation was queued. *)

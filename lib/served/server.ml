@@ -1,0 +1,585 @@
+module Engine = Wmm_engine.Engine
+module Workqueue = Wmm_engine.Workqueue
+module Inflight = Wmm_engine.Inflight
+module Cache = Wmm_engine.Cache
+module Journal = Wmm_engine.Journal
+module Telemetry = Wmm_engine.Telemetry
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  cache_dir : string option;
+  run_id : string option;
+  executors : int;
+  queue_bound : int;
+  client_queue_bound : int;
+  telemetry_out : string option;
+  verbose : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = 0;
+    cache_dir = Some Cache.default_dir;
+    run_id = None;
+    executors = 4;
+    queue_bound = 256;
+    client_queue_bound = 64;
+    telemetry_out = None;
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request metrics, mirrored into Telemetry.server on every dump.     *)
+(* ------------------------------------------------------------------ *)
+
+type metrics = {
+  m_lock : Mutex.t;
+  mutable requests : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable overloaded : int;
+  mutable computed : int;
+  mutable cache_hits : int;
+  mutable journal_hits : int;
+  mutable dedup_joined : int;
+  mutable streamed_items : int;
+  mutable clients : int;
+  mutable hit_wall_total_s : float;
+  mutable hit_wall_max_s : float;
+  mutable compute_wall_total_s : float;
+  mutable compute_wall_max_s : float;
+  mutable max_pending : int;
+  mutable max_client_queue : int;
+}
+
+let metrics_create () =
+  {
+    m_lock = Mutex.create ();
+    requests = 0;
+    ok = 0;
+    errors = 0;
+    overloaded = 0;
+    computed = 0;
+    cache_hits = 0;
+    journal_hits = 0;
+    dedup_joined = 0;
+    streamed_items = 0;
+    clients = 0;
+    hit_wall_total_s = 0.;
+    hit_wall_max_s = 0.;
+    compute_wall_total_s = 0.;
+    compute_wall_max_s = 0.;
+    max_pending = 0;
+    max_client_queue = 0;
+  }
+
+let with_metrics m f =
+  Mutex.lock m.m_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.m_lock) (fun () -> f m)
+
+let metrics_snapshot m : Telemetry.server =
+  with_metrics m (fun m ->
+      {
+        Telemetry.requests = m.requests;
+        ok = m.ok;
+        errors = m.errors;
+        overloaded = m.overloaded;
+        computed = m.computed;
+        cache_hits = m.cache_hits;
+        journal_hits = m.journal_hits;
+        dedup_joined = m.dedup_joined;
+        streamed_items = m.streamed_items;
+        clients = m.clients;
+        hit_wall_total_s = m.hit_wall_total_s;
+        hit_wall_max_s = m.hit_wall_max_s;
+        compute_wall_total_s = m.compute_wall_total_s;
+        compute_wall_max_s = m.compute_wall_max_s;
+        max_pending = m.max_pending;
+        max_client_queue = m.max_client_queue;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Clients.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type work = { w_id : Json.t; w_req : Protocol.request }
+
+type client = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_lock : Mutex.t;
+  c_out : string Queue.t;  (* response lines awaiting the writer *)
+  c_out_nonempty : Condition.t;
+  c_out_nonfull : Condition.t;
+  c_inbox : work Queue.t;  (* admitted requests awaiting an executor *)
+  mutable c_dead : bool;
+  mutable c_closed : bool;  (* fd released; guards against double close *)
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  pool : Workqueue.t;
+  cache : Cache.t;
+  journal : Journal.t option;
+  inflight : (string * string list) Inflight.t;
+  metrics : metrics;
+  s_lock : Mutex.t;
+  s_ready : Condition.t;  (* work admitted, or stopping *)
+  rr : client Queue.t;  (* round-robin: clients with a non-empty inbox *)
+  mutable all_clients : client list;
+  mutable pending : int;  (* admitted and not yet answered *)
+  mutable stopping : bool;
+  listen_fd : Unix.file_descr;
+  stop_r : Unix.file_descr;  (* self-pipe waking the accept loop *)
+  stop_w : Unix.file_descr;
+}
+
+let log t fmt =
+  Printf.ksprintf (fun s -> if t.cfg.verbose then Printf.eprintf "wmm_served: %s\n%!" s) fmt
+
+(* Enqueue one response line for a client.  Blocks while the queue is
+   at the bound - this is the back-pressure path: a slow reader stalls
+   the executor streaming to it, not the whole server (other clients
+   have their own queues and executors). *)
+let enqueue_out t client line =
+  Mutex.lock client.c_lock;
+  while Queue.length client.c_out >= t.cfg.client_queue_bound && not client.c_dead do
+    Condition.wait client.c_out_nonfull client.c_lock
+  done;
+  if not client.c_dead then begin
+    Queue.push line client.c_out;
+    let depth = Queue.length client.c_out in
+    with_metrics t.metrics (fun m ->
+        m.streamed_items <- m.streamed_items + 1;
+        if depth > m.max_client_queue then m.max_client_queue <- depth);
+    Condition.signal client.c_out_nonempty
+  end;
+  Mutex.unlock client.c_lock
+
+let mark_dead client =
+  Mutex.lock client.c_lock;
+  client.c_dead <- true;
+  Queue.clear client.c_out;
+  Condition.broadcast client.c_out_nonempty;
+  Condition.broadcast client.c_out_nonfull;
+  Mutex.unlock client.c_lock
+
+let writer_thread client =
+  let rec loop () =
+    Mutex.lock client.c_lock;
+    while Queue.is_empty client.c_out && not client.c_dead do
+      Condition.wait client.c_out_nonempty client.c_lock
+    done;
+    if client.c_dead then Mutex.unlock client.c_lock
+    else begin
+      let line = Queue.pop client.c_out in
+      Condition.signal client.c_out_nonfull;
+      Mutex.unlock client.c_lock;
+      let payload = Bytes.of_string (line ^ "\n") in
+      (match
+         let rec write_all off =
+           if off < Bytes.length payload then
+             let n = Unix.write client.c_fd payload off (Bytes.length payload - off) in
+             write_all (off + n)
+         in
+         write_all 0
+       with
+      | () -> ()
+      | exception _ -> mark_dead client);
+      loop ()
+    end
+  in
+  loop ()
+
+(* Wait (bounded) for a client's output queue to drain, then close the
+   connection: used on shutdown so the final frames reach the peer. *)
+let close_client client =
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec drain () =
+    Mutex.lock client.c_lock;
+    let flushed = Queue.is_empty client.c_out || client.c_dead in
+    Mutex.unlock client.c_lock;
+    if (not flushed) && Unix.gettimeofday () < deadline then begin
+      Unix.sleepf 0.01;
+      drain ()
+    end
+  in
+  drain ();
+  Mutex.lock client.c_lock;
+  let first = not client.c_closed in
+  client.c_closed <- true;
+  Mutex.unlock client.c_lock;
+  mark_dead client;
+  if first then begin
+    (try Unix.shutdown client.c_fd Unix.SHUTDOWN_ALL with _ -> ());
+    try Unix.close client.c_fd with _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on executor threads).                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve a cacheable request to its items, sharing every layer:
+   concurrent identical requests join one in-flight computation keyed
+   on the content digest; completed ones replay from the journal or
+   the cache.  Returns the items plus a provenance tag. *)
+let resolve t req =
+  let key = Protocol.canonical_key req in
+  let digest = Digest.to_hex (Digest.string key) in
+  let (origin, items), joined =
+    Inflight.run t.inflight ~key:digest (fun () ->
+        match Option.bind t.journal (fun j -> Journal.replay j ~key) with
+        | Some items -> ("journal", items)
+        | None -> (
+            match Cache.find t.cache ~key with
+            | Some items -> ("cache", items)
+            | None ->
+                let items = Ops.compute ~engine:t.engine req in
+                Cache.store t.cache ~key items;
+                Option.iter (fun j -> Journal.record_ok j ~key items) t.journal;
+                ("computed", items)))
+  in
+  ((if joined then "inflight" else origin), items)
+
+let stream_items t client ~id ~op ~served_from ~wall_us items =
+  match items with
+  | [] ->
+      enqueue_out t client
+        (Protocol.response ~id ~op ~seq:0 ~final:true ~served_from ~wall_us
+           [ ("items", Json.of_int 0) ])
+  | items ->
+      let k = List.length items in
+      List.iteri
+        (fun i item ->
+          let final = i = k - 1 in
+          let line =
+            if final then
+              Protocol.response ~id ~op ~seq:i ~final ~served_from ~wall_us
+                [ ("item", Json.Raw item); ("items", Json.of_int k) ]
+            else
+              Protocol.response ~id ~op ~seq:i ~final [ ("item", Json.Raw item) ]
+          in
+          enqueue_out t client line)
+        items
+
+let execute t client { w_id = id; w_req = req } =
+  let op = Protocol.op_name req in
+  let t0 = Unix.gettimeofday () in
+  match resolve t req with
+  | served_from, items ->
+      let wall = Unix.gettimeofday () -. t0 in
+      with_metrics t.metrics (fun m ->
+          m.ok <- m.ok + 1;
+          (match served_from with
+          | "computed" ->
+              m.computed <- m.computed + 1;
+              m.compute_wall_total_s <- m.compute_wall_total_s +. wall;
+              if wall > m.compute_wall_max_s then m.compute_wall_max_s <- wall
+          | origin ->
+              (match origin with
+              | "cache" -> m.cache_hits <- m.cache_hits + 1
+              | "journal" -> m.journal_hits <- m.journal_hits + 1
+              | _ -> m.dedup_joined <- m.dedup_joined + 1);
+              m.hit_wall_total_s <- m.hit_wall_total_s +. wall;
+              if wall > m.hit_wall_max_s then m.hit_wall_max_s <- wall));
+      log t "client %d: %s served from %s in %.1f ms (%d items)" client.c_id op
+        served_from (wall *. 1e3) (List.length items);
+      stream_items t client ~id ~op ~served_from ~wall_us:(wall *. 1e6) items
+  | exception e ->
+      let msg =
+        match e with Failure m -> m | e -> Printexc.to_string e
+      in
+      with_metrics t.metrics (fun m -> m.errors <- m.errors + 1);
+      log t "client %d: %s failed: %s" client.c_id op msg;
+      enqueue_out t client (Protocol.error_response ~id ~op msg)
+
+let executor_thread t =
+  let rec loop () =
+    Mutex.lock t.s_lock;
+    while Queue.is_empty t.rr && not t.stopping do
+      Condition.wait t.s_ready t.s_lock
+    done;
+    if Queue.is_empty t.rr then (* stopping and drained *)
+      Mutex.unlock t.s_lock
+    else begin
+      (* Round-robin fairness: take one request from the head client,
+         then rotate it to the back if it still has work queued. *)
+      let client = Queue.pop t.rr in
+      let work = Queue.pop client.c_inbox in
+      if not (Queue.is_empty client.c_inbox) then Queue.push client t.rr;
+      Mutex.unlock t.s_lock;
+      (try execute t client work
+       with e ->
+         log t "executor: uncaught %s" (Printexc.to_string e));
+      Mutex.lock t.s_lock;
+      t.pending <- t.pending - 1;
+      Mutex.unlock t.s_lock;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Control requests (answered inline by the reader thread; they skip  *)
+(* admission so a saturated server still answers ping and stats).     *)
+(* ------------------------------------------------------------------ *)
+
+let cache_stats_payload t =
+  let s = Cache.stats t.cache in
+  let disk =
+    match Cache.disk_usage t.cache with
+    | Some (files, bytes) ->
+        [ ("disk_files", Json.of_int files); ("disk_bytes", Json.of_int bytes) ]
+    | None -> []
+  in
+  [
+    ("enabled", Json.Bool (Cache.enabled t.cache));
+    ("hits", Json.of_int s.Cache.hits);
+    ("misses", Json.of_int s.Cache.misses);
+    ("stores", Json.of_int s.Cache.stores);
+    ("cache_errors", Json.of_int s.Cache.errors);
+    ("pruned", Json.of_int s.Cache.pruned);
+  ]
+  @ disk
+
+let stats_payload t =
+  let s = metrics_snapshot t.metrics in
+  let fl f = Json.Num (Float.round (f *. 1e6)) in
+  Mutex.lock t.s_lock;
+  let pending = t.pending in
+  Mutex.unlock t.s_lock;
+  [
+    ("requests", Json.of_int s.Telemetry.requests);
+    ("ok", Json.of_int s.Telemetry.ok);
+    ("request_errors", Json.of_int s.Telemetry.errors);
+    ("overloaded", Json.of_int s.Telemetry.overloaded);
+    ("computed", Json.of_int s.Telemetry.computed);
+    ("cache_hits", Json.of_int s.Telemetry.cache_hits);
+    ("journal_hits", Json.of_int s.Telemetry.journal_hits);
+    ("dedup_joined", Json.of_int s.Telemetry.dedup_joined);
+    ("streamed_items", Json.of_int s.Telemetry.streamed_items);
+    ("clients", Json.of_int s.Telemetry.clients);
+    ("hit_wall_total_us", fl s.Telemetry.hit_wall_total_s);
+    ("hit_wall_max_us", fl s.Telemetry.hit_wall_max_s);
+    ("compute_wall_total_us", fl s.Telemetry.compute_wall_total_s);
+    ("compute_wall_max_us", fl s.Telemetry.compute_wall_max_s);
+    ("pending", Json.of_int pending);
+    ("max_pending", Json.of_int s.Telemetry.max_pending);
+    ("max_client_queue", Json.of_int s.Telemetry.max_client_queue);
+    ("jobs", Json.of_int (Workqueue.jobs t.pool));
+    ("pool_depth", Json.of_int (Workqueue.depth t.pool));
+    ("pool_submitted", Json.of_int (Workqueue.submitted t.pool));
+  ]
+
+let request_shutdown t =
+  Mutex.lock t.s_lock;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.s_ready;
+    (* Wake the accept loop's select. *)
+    ignore (try Unix.write t.stop_w (Bytes.of_string "x") 0 1 with _ -> 0)
+  end;
+  Mutex.unlock t.s_lock
+
+(* One parsed request from a client's reader thread. *)
+let handle_request t client envelope =
+  let { Protocol.req_id = id; request } = envelope in
+  let op = Protocol.op_name request in
+  with_metrics t.metrics (fun m -> m.requests <- m.requests + 1);
+  let reply payload =
+    with_metrics t.metrics (fun m -> m.ok <- m.ok + 1);
+    enqueue_out t client (Protocol.response ~id ~op ~seq:0 ~final:true payload)
+  in
+  match request with
+  | Protocol.Ping -> reply [ ("pong", Json.Bool true) ]
+  | Protocol.Cache_stats -> reply (cache_stats_payload t)
+  | Protocol.Stats -> reply (stats_payload t)
+  | Protocol.Shutdown ->
+      reply [ ("stopping", Json.Bool true) ];
+      request_shutdown t
+  | Protocol.Litmus _ | Protocol.Analyze _ | Protocol.Conform _ ->
+      Mutex.lock t.s_lock;
+      if t.stopping || t.pending >= t.cfg.queue_bound then begin
+        Mutex.unlock t.s_lock;
+        with_metrics t.metrics (fun m -> m.overloaded <- m.overloaded + 1);
+        log t "client %d: %s shed (queue full)" client.c_id op;
+        enqueue_out t client
+          (Protocol.overloaded_response ~id ~op ~retry_after_ms:200)
+      end
+      else begin
+        t.pending <- t.pending + 1;
+        with_metrics t.metrics (fun m ->
+            if t.pending > m.max_pending then m.max_pending <- t.pending);
+        let was_empty = Queue.is_empty client.c_inbox in
+        Queue.push { w_id = id; w_req = request } client.c_inbox;
+        if was_empty then Queue.push client t.rr;
+        Condition.signal t.s_ready;
+        Mutex.unlock t.s_lock
+      end
+
+let handle_line t client line =
+  if String.trim line <> "" then
+    match Json.parse line with
+    | Error e ->
+        with_metrics t.metrics (fun m ->
+            m.requests <- m.requests + 1;
+            m.errors <- m.errors + 1);
+        enqueue_out t client (Protocol.error_response ~id:Json.Null ~op:"?" e)
+    | Ok v -> (
+        match Protocol.parse_request v with
+        | Error e ->
+            let id = Option.value ~default:Json.Null (Json.member "id" v) in
+            let op = Option.value ~default:"?" (Json.str_member "op" v) in
+            with_metrics t.metrics (fun m ->
+                m.requests <- m.requests + 1;
+                m.errors <- m.errors + 1);
+            enqueue_out t client (Protocol.error_response ~id ~op e)
+        | Ok envelope -> handle_request t client envelope)
+
+let reader_thread t client =
+  let ic = Unix.in_channel_of_descr client.c_fd in
+  (try
+     while not client.c_dead do
+       handle_line t client (input_line ic)
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  (* EOF: let queued responses flush, then drop the connection.  Work
+     already admitted for this client still executes (its results are
+     cached for the next asker); frames to a dead client are dropped
+     at enqueue. *)
+  close_client client
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_client t fd =
+  let client =
+    Mutex.lock t.s_lock;
+    let id = with_metrics t.metrics (fun m ->
+        m.clients <- m.clients + 1;
+        m.clients)
+    in
+    let client =
+      {
+        c_id = id;
+        c_fd = fd;
+        c_lock = Mutex.create ();
+        c_out = Queue.create ();
+        c_out_nonempty = Condition.create ();
+        c_out_nonfull = Condition.create ();
+        c_inbox = Queue.create ();
+        c_dead = false;
+        c_closed = false;
+      }
+    in
+    t.all_clients <- client :: t.all_clients;
+    Mutex.unlock t.s_lock;
+    client
+  in
+  log t "client %d: connected" client.c_id;
+  ignore (Thread.create (fun () -> writer_thread client) ());
+  ignore (Thread.create (fun () -> reader_thread t client) ())
+
+let accept_loop t =
+  let stopping () =
+    Mutex.lock t.s_lock;
+    let s = t.stopping in
+    Mutex.unlock t.s_lock;
+    s
+  in
+  while not (stopping ()) do
+    match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.mem t.listen_fd ready && not (stopping ()) then (
+          match Unix.accept t.listen_fd with
+          | fd, _ -> spawn_client t fd
+          | exception Unix.Unix_error _ -> ())
+  done
+
+let serve cfg =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception _ -> ());
+  let cache =
+    match cfg.cache_dir with
+    | None -> Cache.disabled
+    | Some dir -> Cache.create ~dir ()
+  in
+  let journal =
+    match cfg.cache_dir with
+    | None -> None
+    | Some dir ->
+        let run_id =
+          match cfg.run_id with
+          | Some id -> id
+          | None -> Journal.derived_run_id ~tag:"served" [ Cache.code_version () ]
+        in
+        let j =
+          Journal.open_
+            ~dir:(Filename.concat dir "journal")
+            ~mode:Journal.Append ~run_id ()
+        in
+        Printf.eprintf "wmm_served: journal run id %s (%d completed tasks on file)\n%!"
+          run_id (Journal.loaded j);
+        Some j
+  in
+  let pool = Workqueue.create ~jobs:cfg.jobs () in
+  let engine = Engine.create ~pool ~cache ?journal () in
+  (* Bind, replacing a stale socket file from a killed daemon. *)
+  (try if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path
+   with Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      engine;
+      pool;
+      cache;
+      journal;
+      inflight = Inflight.create ();
+      metrics = metrics_create ();
+      s_lock = Mutex.create ();
+      s_ready = Condition.create ();
+      rr = Queue.create ();
+      all_clients = [];
+      pending = 0;
+      stopping = false;
+      listen_fd;
+      stop_r;
+      stop_w;
+    }
+  in
+  Printf.eprintf "wmm_served: listening on %s (%d worker domains, %d executors)\n%!"
+    cfg.socket_path (Workqueue.jobs pool) cfg.executors;
+  let executors =
+    Array.init (max 1 cfg.executors) (fun _ ->
+        Thread.create (fun () -> executor_thread t) ())
+  in
+  accept_loop t;
+  (* Shutdown: stop accepting, drain admitted work, flush clients. *)
+  Array.iter Thread.join executors;
+  Mutex.lock t.s_lock;
+  let clients = t.all_clients in
+  Mutex.unlock t.s_lock;
+  List.iter close_client clients;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close stop_w with Unix.Unix_error _ -> ());
+  (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+  Workqueue.shutdown pool;
+  Engine.set_server engine (metrics_snapshot t.metrics);
+  Option.iter Journal.close journal;
+  prerr_endline (Engine.render_summary engine);
+  Option.iter
+    (fun path ->
+      try Engine.write_telemetry engine path
+      with Sys_error msg -> Printf.eprintf "warning: cannot write telemetry: %s\n" msg)
+    cfg.telemetry_out

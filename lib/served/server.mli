@@ -1,0 +1,43 @@
+(** The exploration daemon: a Unix-domain-socket server over the
+    shared engine.
+
+    One {!Wmm_engine.Workqueue} of worker domains is spawned at
+    startup and kept warm across every request; POSIX threads handle
+    the sockets (readers, per-client writers, a small executor pool)
+    and submit compute work to that queue.  Identical concurrent
+    requests share one computation ({!Wmm_engine.Inflight}), results
+    are cached and journaled at request granularity (so a restarted
+    daemon answers a repeated battery without recomputing), responses
+    stream through bounded per-client queues (back-pressure), request
+    scheduling is round-robin across clients, and admission control
+    sheds work with a structured [overloaded] reply once too many
+    requests are in flight. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** Worker domains; [0] auto-detects. *)
+  cache_dir : string option;  (** [None] disables cache and journal. *)
+  run_id : string option;
+      (** Journal run id; [None] derives a stable default, so a
+          restarted daemon resumes the same journal. *)
+  executors : int;  (** Request-servicing threads. *)
+  queue_bound : int;
+      (** Max admitted-but-unfinished requests before shedding. *)
+  client_queue_bound : int;
+      (** Max buffered response lines per client before the producer
+          blocks (back-pressure). *)
+  telemetry_out : string option;  (** JSON dump path, written on exit. *)
+  verbose : bool;  (** Per-request log lines on stderr. *)
+}
+
+val default_config : socket_path:string -> config
+(** [jobs = 0]; cache at {!Wmm_engine.Cache.default_dir}; derived run
+    id; 4 executors; [queue_bound = 256]; [client_queue_bound = 64];
+    no telemetry dump; quiet. *)
+
+val serve : config -> unit
+(** Bind, accept, and serve until a [shutdown] request arrives.
+    In-flight requests complete and their responses flush before the
+    listener returns.  The engine summary always goes to stderr on
+    exit; the telemetry JSON (including the [server] section) to
+    [telemetry_out] when set. *)

@@ -41,17 +41,20 @@ let test_sequential_vs_parallel () =
   in
   Alcotest.(check bool) "deferred sweep equals direct sweep" true (seq = direct)
 
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
 let with_temp_cache f =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "wmm_engine_test_%d_%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6))
   in
   Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-        Unix.rmdir dir
-      end)
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
     (fun () -> f dir)
 
 let test_cache_hit_on_second_run () =
@@ -116,7 +119,7 @@ let test_task_rng_deterministic () =
     <> List.init 8 (fun _ -> Wmm_util.Rng.int64 c))
 
 let test_telemetry_json () =
-  Alcotest.(check int) "telemetry schema version" 3 Telemetry.schema_version;
+  Alcotest.(check int) "telemetry schema version" 4 Telemetry.schema_version;
   let engine = Engine.create ~jobs:1 () in
   ignore (Engine.run_all engine [| Task.pure ~key:"t" (fun () -> ()) |]);
   Engine.set_exploration engine
@@ -173,15 +176,6 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let rec rm_rf path =
-  if Sys.is_directory path then begin
-    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
-    Unix.rmdir path
-  end
-  else Sys.remove path
-
-(* Unlike [with_temp_cache] this handles nested directories (the
-   journal lives in a subdirectory of the cache). *)
 let with_temp_dir f =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -382,6 +376,136 @@ let test_pool_aggregates_failures () =
       check_contains "aggregate message" msg "4 tasks failed";
       check_contains "aggregate message" msg "task "
 
+(* ------------------------------------------------------------------ *)
+(* The persistent work queue and its sharing machinery (the served
+   daemon's substrate): resubmittable pool, in-flight deduplication,
+   sharded cache layout.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_workqueue_submit_await () =
+  let wq = Workqueue.create ~jobs:3 () in
+  Alcotest.(check int) "worker count" 3 (Workqueue.jobs wq);
+  let hs = List.init 20 (fun i -> Workqueue.submit wq (fun () -> i * i)) in
+  let sum = List.fold_left (fun acc h -> acc + Workqueue.await h) 0 hs in
+  Alcotest.(check int) "first wave completes" 2470 sum;
+  (* The queue is persistent: a later wave reuses the warm workers. *)
+  let h = Workqueue.submit wq (fun () -> 41 + 1) in
+  Alcotest.(check int) "second wave on the same workers" 42 (Workqueue.await h);
+  Alcotest.(check int) "submissions counted" 21 (Workqueue.submitted wq);
+  (match Workqueue.await (Workqueue.submit wq (fun () -> failwith "wq boom")) with
+  | _ -> Alcotest.fail "job exception should propagate to await"
+  | exception Failure m -> Alcotest.(check string) "original exception" "wq boom" m);
+  Workqueue.shutdown wq;
+  Workqueue.shutdown wq;
+  (* idempotent *)
+  match Workqueue.submit wq (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_shared_pool_bit_identical () =
+  (* The daemon's execution shape: several submitters race batches
+     into one warm pool.  Every one of them must get results
+     bit-identical to a sequential one-shot engine. *)
+  let seq = small_sweep (Engine.create ~jobs:1 ()) in
+  let wq = Workqueue.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Workqueue.shutdown wq)
+    (fun () ->
+      let results = Array.make 3 None in
+      let threads =
+        Array.init 3 (fun i ->
+            Thread.create
+              (fun () ->
+                let engine = Engine.create ~pool:wq () in
+                Alcotest.(check int) "engine takes jobs from the pool" 4
+                  (Engine.jobs engine);
+                results.(i) <- Some (small_sweep engine))
+              ())
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some sweep ->
+              Alcotest.(check bool)
+                (Printf.sprintf "submitter %d bit-identical to sequential" i)
+                true (sweep = seq)
+          | None -> Alcotest.failf "submitter %d produced no sweep" i)
+        results)
+
+let test_inflight_dedup_computes_once () =
+  let inflight : int Inflight.t = Inflight.create () in
+  let n = 8 in
+  let computed = Atomic.make 0 in
+  let results = Array.make n (0, false) in
+  let threads =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              Inflight.run inflight ~key:"shared" (fun () ->
+                  (* The owner holds the computation open until every
+                     other submitter has joined, making the overlap -
+                     and thus the dedup - deterministic. *)
+                  while (Inflight.stats inflight).Inflight.joined < n - 1 do
+                    Thread.yield ()
+                  done;
+                  Atomic.incr computed;
+                  42))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computed);
+  Array.iter (fun (v, _) -> Alcotest.(check int) "every caller sees the value" 42 v) results;
+  let joiners = Array.fold_left (fun acc (_, j) -> acc + if j then 1 else 0) 0 results in
+  Alcotest.(check int) "everyone else joined" (n - 1) joiners;
+  let s = Inflight.stats inflight in
+  Alcotest.(check int) "stats count one computation" 1 s.Inflight.computed;
+  Alcotest.(check int) "stats count the joiners" (n - 1) s.Inflight.joined;
+  Alcotest.(check int) "nothing left active" 0 s.Inflight.active;
+  (* A failed owner propagates to everyone but does not poison the
+     key: the next run recomputes. *)
+  (match Inflight.run inflight ~key:"boom" (fun () -> failwith "inflight boom") with
+  | _ -> Alcotest.fail "owner failure should raise"
+  | exception Failure m -> Alcotest.(check string) "owner re-raises" "inflight boom" m);
+  let v, joined = Inflight.run inflight ~key:"boom" (fun () -> 5) in
+  Alcotest.(check bool) "failed key retriable" true (v = 5 && not joined)
+
+let test_cache_sharded_layout_and_legacy () =
+  with_temp_dir (fun dir ->
+      let cache = Cache.create ~dir () in
+      Cache.store cache ~key:"shard-me" 99;
+      let shard_dirs () =
+        List.filter
+          (fun f -> String.length f = 2 && Sys.is_directory (Filename.concat dir f))
+          (Array.to_list (Sys.readdir dir))
+      in
+      Alcotest.(check int) "entry lands in a shard subdirectory" 1
+        (List.length (shard_dirs ()));
+      Alcotest.(check (option int)) "sharded entry readable" (Some 99)
+        (Cache.find cache ~key:"shard-me");
+      (* No tmp droppings: publication is tmp + atomic rename. *)
+      let rec tmp_files d =
+        Array.to_list (Sys.readdir d)
+        |> List.concat_map (fun f ->
+               let p = Filename.concat d f in
+               if Sys.is_directory p then tmp_files p
+               else if contains f ".tmp" then [ p ]
+               else [])
+      in
+      Alcotest.(check (list string)) "no tmp files left behind" [] (tmp_files dir);
+      (* A flat pre-sharding entry is still served: move the file to
+         where the old layout kept it and read through a fresh cache. *)
+      let shard = Filename.concat dir (List.hd (shard_dirs ())) in
+      let file = (Sys.readdir shard).(0) in
+      Sys.rename (Filename.concat shard file) (Filename.concat dir file);
+      let fresh = Cache.create ~dir () in
+      Alcotest.(check (option int)) "legacy flat entry found" (Some 99)
+        (Cache.find fresh ~key:"shard-me");
+      match Cache.disk_usage fresh with
+      | Some (count, _) -> Alcotest.(check int) "accounting spans both layouts" 1 count
+      | None -> Alcotest.fail "disk usage unavailable")
+
 let fig5_style_sweep ?robust engine =
   let batch = Experiment.batch () in
   let finish =
@@ -503,6 +627,13 @@ let suite =
       test_corrupted_cache_entry_recomputed;
     Alcotest.test_case "cache prune and clear" `Quick test_cache_prune_and_clear;
     Alcotest.test_case "pool aggregates failures" `Quick test_pool_aggregates_failures;
+    Alcotest.test_case "workqueue submit and await" `Quick test_workqueue_submit_await;
+    Alcotest.test_case "shared warm pool bit-identical" `Quick
+      test_shared_pool_bit_identical;
+    Alcotest.test_case "inflight dedup computes once" `Quick
+      test_inflight_dedup_computes_once;
+    Alcotest.test_case "cache sharded layout and legacy" `Quick
+      test_cache_sharded_layout_and_legacy;
     Alcotest.test_case "robust fit survives outliers" `Quick
       test_robust_fit_survives_outliers;
     Alcotest.test_case "telemetry json resilience" `Quick

@@ -21,6 +21,7 @@ let () =
       ("workload", Test_workload.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
+      ("served", Test_served.suite);
       ("litmus", Test_litmus.suite);
       ("fuzz", Test_fuzz.suite);
       ("litmus-parse", Test_parse.suite);
