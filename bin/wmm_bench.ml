@@ -11,7 +11,8 @@
      conform     - differential conformance over a synthesized battery
      serve       - long-running exploration daemon on a Unix socket
      query       - query a running daemon (single request or --stdin bulk)
-     cache       - inspect or trim the result cache *)
+     cache       - inspect, trim or fsck the result cache and journals
+     chaos       - seeded fault-injection run against a live daemon *)
 
 open Cmdliner
 
@@ -954,86 +955,131 @@ let query_cmd =
       value & opt int 16
       & info [ "infer-limit" ] ~docv:"N" ~doc:"Inference-layer cap (conform)")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Resends per request on an 'overloaded' shed or a dropped \
+             connection before giving up (seeded-jitter backoff honouring the \
+             server's retry_after_ms hint)")
+  in
+  let retry_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retry-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the retry jitter stream (same seed, same schedule)")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline: an unanswered request is cut off with a \
+             'deadline_exceeded' frame after $(docv) milliseconds")
+  in
   let run socket op stdin_mode tests file model random iterations arch_s cost
-      max_edges limit infer_limit =
-    let client =
-      match Wmm_served.Client.connect ~socket_path:socket with
-      | Ok c -> c
-      | Error e -> die "%s" e
+      max_edges limit infer_limit retries retry_seed deadline_ms =
+    if retries < 0 then die "--retries must be non-negative";
+    let request_lines =
+      if stdin_mode then begin
+        let lines = ref [] in
+        (try
+           while true do
+             let line = input_line stdin in
+             if String.trim line <> "" then lines := line :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines
+      end
+      else begin
+        let op =
+          match op with Some op -> op | None -> die "OP required unless --stdin"
+        in
+        let open Wmm_served.Json in
+        let str_list l = Arr (List.map (fun s -> Str s) l) in
+        let fields =
+          match op with
+          | "litmus" ->
+              (if tests = [] then [] else [ ("tests", str_list tests) ])
+              @ (match file with
+                | None -> []
+                | Some path -> (
+                    match In_channel.with_open_text path In_channel.input_all with
+                    | text -> [ ("program", Str text) ]
+                    | exception Sys_error e -> die "%s" e))
+              @ (match model with None -> [] | Some m -> [ ("model", Str m) ])
+              @
+              if random then
+                [ ("mode", Str "random"); ("iterations", of_int iterations) ]
+              else [ ("mode", Str "exhaustive") ]
+          | "analyze" ->
+              (if tests = [] then [] else [ ("tests", str_list tests) ])
+              @ [ ("arch", Str arch_s); ("cost", Bool cost) ]
+          | "conform" ->
+              [
+                ("arch", Str arch_s);
+                ("max_edges", of_int max_edges);
+                ("limit", of_int limit);
+                ("infer_limit", of_int infer_limit);
+              ]
+          | _ -> []
+        in
+        let fields =
+          fields
+          @
+          match deadline_ms with
+          | None -> []
+          | Some d -> [ ("deadline_ms", of_int d) ]
+        in
+        [ to_string (Obj (("op", Str op) :: fields)) ]
+      end
     in
-    let finish result =
-      match result with
-      | Error e ->
-          Wmm_served.Client.close client;
-          die "%s" e
-      | Ok lines ->
-          let failed = ref false in
-          List.iter
-            (fun line ->
-              print_endline line;
-              match Wmm_served.Json.parse line with
-              | Ok v when Wmm_served.Json.str_member "status" v = Some "ok" -> ()
-              | _ -> failed := true)
-            lines;
-          Wmm_served.Client.close client;
-          if !failed then exit 1
+    let policy =
+      {
+        Wmm_served.Client.default_policy with
+        max_attempts = retries + 1;
+        seed = retry_seed;
+      }
     in
-    if stdin_mode then begin
-      let lines = ref [] in
-      (try
-         while true do
-           let line = input_line stdin in
-           if String.trim line <> "" then lines := line :: !lines
-         done
-       with End_of_file -> ());
-      finish (Wmm_served.Client.run_batch client (List.rev !lines))
-    end
-    else begin
-      let op = match op with Some op -> op | None -> die "OP required unless --stdin" in
-      let open Wmm_served.Json in
-      let str_list l = Arr (List.map (fun s -> Str s) l) in
-      let fields =
-        match op with
-        | "litmus" ->
-            (if tests = [] then [] else [ ("tests", str_list tests) ])
-            @ (match file with
-              | None -> []
-              | Some path -> (
-                  match In_channel.with_open_text path In_channel.input_all with
-                  | text -> [ ("program", Str text) ]
-                  | exception Sys_error e -> die "%s" e))
-            @ (match model with None -> [] | Some m -> [ ("model", Str m) ])
-            @
-            if random then
-              [ ("mode", Str "random"); ("iterations", of_int iterations) ]
-            else [ ("mode", Str "exhaustive") ]
-        | "analyze" ->
-            (if tests = [] then [] else [ ("tests", str_list tests) ])
-            @ [ ("arch", Str arch_s); ("cost", Bool cost) ]
-        | "conform" ->
-            [
-              ("arch", Str arch_s);
-              ("max_edges", of_int max_edges);
-              ("limit", of_int limit);
-              ("infer_limit", of_int infer_limit);
-            ]
-        | _ -> []
-      in
-      finish
-        (Wmm_served.Client.roundtrip client
-           (to_string (Obj (("op", Str op) :: fields))))
-    end
+    (* Exit codes (documented in README): 0 all ok; 1 a per-request
+       error or deadline_exceeded frame; 2 usage; 3 still overloaded
+       after the retry budget; 4 transport failure.  Transport beats
+       frame-level errors beats overload. *)
+    match Wmm_served.Client.run_resilient ~socket_path:socket ~policy request_lines with
+    | Error e ->
+        prerr_endline ("wmm_bench: " ^ e);
+        exit 4
+    | Ok out ->
+        let failed = ref false and overloaded = ref false in
+        List.iter
+          (fun line ->
+            print_endline line;
+            match Wmm_served.Json.str_member "status"
+                    (Result.value ~default:Wmm_served.Json.Null
+                       (Wmm_served.Json.parse line))
+            with
+            | Some "ok" -> ()
+            | Some "overloaded" -> overloaded := true
+            | _ -> failed := true)
+          out.Wmm_served.Client.lines;
+        if out.Wmm_served.Client.gave_up_overloaded <> [] then overloaded := true;
+        if !failed then exit 1 else if !overloaded then exit 3
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:
          "Query a running exploration daemon (see $(b,serve)); prints the raw \
-          newline-delimited-JSON responses and exits non-zero if any response is not \
-          'ok'")
+          newline-delimited-JSON responses.  Retries shed requests and replays \
+          unanswered ones over a fresh connection if the daemon restarts.  \
+          Exit codes: 0 all responses ok, 1 a request was answered with an \
+          error or deadline_exceeded frame, 2 usage error, 3 still overloaded \
+          after the retry budget, 4 transport failure")
     Term.(
       const run $ socket_arg $ op_arg $ stdin_arg $ tests_arg $ file_arg $ model_arg
       $ random_arg $ iterations_arg $ arch_s_arg $ cost_arg $ max_edges_arg
-      $ limit_arg $ infer_limit_arg)
+      $ limit_arg $ infer_limit_arg $ retries_arg $ retry_seed_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1042,7 +1088,7 @@ let cache_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"ACTION" ~doc:"stats, clear, or prune")
+      & info [] ~docv:"ACTION" ~doc:"stats, clear, prune, or fsck")
   in
   let cache_dir_arg =
     Arg.(
@@ -1056,7 +1102,15 @@ let cache_cmd =
       & opt (some int) None
       & info [ "max-mb" ] ~docv:"N" ~doc:"Size budget for prune, in megabytes")
   in
-  let run action cache_dir max_mb =
+  let run_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run-id" ] ~docv:"RUN-ID"
+          ~doc:"Restrict fsck's journal scan to one run id (default: every \
+                journal under the cache directory)")
+  in
+  let run action cache_dir max_mb run_id =
     let cache = Wmm_engine.Cache.create ~dir:cache_dir () in
     let usage () =
       match Wmm_engine.Cache.disk_usage cache with
@@ -1078,11 +1132,159 @@ let cache_cmd =
             Printf.printf "pruned %d entries (oldest first)\n"
               (Wmm_engine.Cache.prune cache ~max_bytes:(mb * 1024 * 1024));
             usage ())
-    | other -> die "unknown cache action %S; valid actions: stats clear prune" other
+    | "fsck" ->
+        let r = Wmm_engine.Cache.fsck cache in
+        Printf.printf
+          "cache: scanned %d entries, %d verified, %d quarantined (.corrupt), \
+           %d legacy unverified\n"
+          r.Wmm_engine.Cache.f_scanned r.Wmm_engine.Cache.f_ok
+          r.Wmm_engine.Cache.f_quarantined r.Wmm_engine.Cache.f_unverified;
+        let journal_dir = Filename.concat cache_dir "journal" in
+        let run_ids =
+          match run_id with
+          | Some id -> [ id ]
+          | None -> (
+              (* Journal filenames are the sanitised run ids, so the
+                 directory listing IS the run-id list. *)
+              match Sys.readdir journal_dir with
+              | names ->
+                  Array.to_list names
+                  |> List.filter (fun n -> Filename.check_suffix n ".jsonl")
+                  |> List.map (fun n -> Filename.chop_suffix n ".jsonl")
+                  |> List.sort compare
+              | exception Sys_error _ -> [])
+        in
+        List.iter
+          (fun id ->
+            let j =
+              Wmm_engine.Journal.fsck ~dir:journal_dir ~run_id:id ()
+            in
+            Printf.printf
+              "journal %s: %d lines, %d ok, %d failed, %d torn, %d duplicate, \
+               %d orphaned; kept %d%s\n"
+              id j.Wmm_engine.Journal.j_lines j.Wmm_engine.Journal.j_ok
+              j.Wmm_engine.Journal.j_failed j.Wmm_engine.Journal.j_torn
+              j.Wmm_engine.Journal.j_duplicates j.Wmm_engine.Journal.j_orphans
+              j.Wmm_engine.Journal.j_kept
+              (if j.Wmm_engine.Journal.j_compacted then " (compacted)" else ""))
+          run_ids
+    | other ->
+        die "unknown cache action %S; valid actions: stats clear prune fsck" other
   in
   Cmd.v
-    (Cmd.info "cache" ~doc:"Inspect or trim the result cache (stats | clear | prune)")
-    Term.(const run $ action_arg $ cache_dir_arg $ max_mb_arg)
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect, trim or verify the result cache (stats | clear | prune | \
+          fsck).  fsck digest-checks every cache entry (quarantining damaged \
+          ones as .corrupt) and scans journals for torn, duplicate or orphaned \
+          records, compacting when it finds any")
+    Term.(const run $ action_arg $ cache_dir_arg $ max_mb_arg $ run_id_arg)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let default_dir = Filename.concat (Filename.get_temp_dir_name ()) "wmm_chaos" in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Fault-schedule seed: same seed + same binary = same faults and \
+                the same verdict lines")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string default_dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Scratch directory for the daemon's socket and cache ($(b,wiped) \
+                at the start of the run)")
+  in
+  let bin_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bin" ] ~docv:"PATH"
+          ~doc:"wmm_bench binary to spawn as the daemon (default: this binary)")
+  in
+  let battery_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "battery" ] ~docv:"N"
+          ~doc:"Cap the litmus battery at $(docv) tests (0 = whole library)")
+  in
+  let kills_arg =
+    Arg.(value & opt int 3 & info [ "kills" ] ~docv:"N" ~doc:"kill -9 + restart cycles")
+  in
+  let corruptions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "corruptions" ] ~docv:"N" ~doc:"Cache entries garbled on disk")
+  in
+  let disconnects_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "disconnects" ] ~docv:"N" ~doc:"Clients yanked mid-stream")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "deadline-probes" ] ~docv:"N"
+          ~doc:"Doomed requests that must be answered 'deadline_exceeded'")
+  in
+  let slow_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "slow-iterations" ] ~docv:"N"
+          ~doc:"Iterations of the slow requests kept in flight across kills")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 2 & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Daemon worker domains")
+  in
+  let executors_arg =
+    Arg.(value & opt int 2 & info [ "executors" ] ~docv:"N" ~doc:"Daemon executor threads")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Pass the daemon's stderr through")
+  in
+  let run seed dir bin battery kills corruptions disconnects probes slow jobs
+      executors verbose =
+    if kills < 1 && corruptions > 0 then
+      die "--corruptions needs --kills >= 1 (a live daemon's in-memory journal \
+           shadows corrupted cache entries)";
+    let bin = match bin with Some b -> b | None -> Sys.executable_name in
+    let cfg =
+      {
+        (Wmm_chaos.Chaos.default_config ~bin ~dir) with
+        Wmm_chaos.Chaos.seed;
+        battery_limit = battery;
+        kills;
+        corruptions;
+        disconnects;
+        deadline_probes = probes;
+        slow_iterations = slow;
+        jobs;
+        executors;
+        verbose;
+      }
+    in
+    let report = Wmm_chaos.Chaos.run cfg in
+    print_string (Wmm_chaos.Chaos.render report);
+    if not (Wmm_chaos.Chaos.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Drive a live daemon through a seeded fault schedule (kill -9, cache \
+          corruption, torn journals, mid-stream disconnects, doomed deadlines) \
+          and verify that battery verdicts stay identical to a pristine \
+          one-shot computation and that every fault is accounted for in \
+          telemetry.  Lines starting with 'verdict|' are deterministic for a \
+          fixed seed and binary; exits 1 on any mismatch or accounting gap")
+    Term.(
+      const run $ seed_arg $ dir_arg $ bin_arg $ battery_arg $ kills_arg
+      $ corruptions_arg $ disconnects_arg $ probes_arg $ slow_arg $ jobs_arg
+      $ executors_arg $ verbose_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -1106,4 +1308,5 @@ let () =
             serve_cmd;
             query_cmd;
             cache_cmd;
+            chaos_cmd;
           ]))

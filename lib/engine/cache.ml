@@ -1,4 +1,11 @@
-type stats = { hits : int; misses : int; stores : int; errors : int; pruned : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  errors : int;
+  pruned : int;
+  verify_failures : int;
+}
 
 type active = {
   a_dir : string;
@@ -9,6 +16,7 @@ type active = {
   mutable stores : int;
   mutable errors : int;
   mutable pruned : int;
+  mutable verify_failures : int;
 }
 
 type t = Disabled | Active of active
@@ -29,18 +37,20 @@ let create ?(dir = default_dir) ?version () =
   let version = match version with Some v -> v | None -> code_version () in
   Active
     { a_dir = dir; version; lock = Mutex.create (); hits = 0; misses = 0;
-      stores = 0; errors = 0; pruned = 0 }
+      stores = 0; errors = 0; pruned = 0; verify_failures = 0 }
 
 let enabled = function Disabled -> false | Active _ -> true
 let dir = function Disabled -> None | Active a -> Some a.a_dir
 
 let stats = function
-  | Disabled -> { hits = 0; misses = 0; stores = 0; errors = 0; pruned = 0 }
+  | Disabled ->
+      { hits = 0; misses = 0; stores = 0; errors = 0; pruned = 0;
+        verify_failures = 0 }
   | Active a ->
       Mutex.lock a.lock;
       let s =
         { hits = a.hits; misses = a.misses; stores = a.stores; errors = a.errors;
-          pruned = a.pruned }
+          pruned = a.pruned; verify_failures = a.verify_failures }
       in
       Mutex.unlock a.lock;
       s
@@ -83,26 +93,66 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Entry layout (three marshalled fields after a magic marker):
+     magic ^ key ^ digest-of-payload ^ payload
+   where payload is the marshalled value as a string.  The digest is
+   verified on every read, so a flipped bit anywhere in the payload
+   reads as damage — not as a plausible-but-wrong result — and the
+   file is quarantined.  Pre-digest entries (two fields, no magic)
+   are still readable but unverifiable. *)
+let entry_magic = "wmm-cache-v2"
+
 let read_entry ~key file =
   try
     let ic = open_in_bin file in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        let stored_key : string = Marshal.from_channel ic in
-        if stored_key = key then `Hit (Marshal.from_channel ic) else `Miss)
+        let first : string = Marshal.from_channel ic in
+        if first = entry_magic then begin
+          let stored_key : string = Marshal.from_channel ic in
+          if stored_key <> key then `Miss
+          else
+            let digest : string = Marshal.from_channel ic in
+            let payload : string = Marshal.from_channel ic in
+            if Digest.string payload <> digest then `Corrupt
+            else `Hit (Marshal.from_string payload 0)
+        end
+        else if first = key then `Hit (Marshal.from_channel ic)  (* legacy *)
+        else `Miss)
   with
   | Sys_error _ -> `Miss
-  | _ -> `Error
+  (* Anything else — truncated marshal header, garbled bytes, a
+     failing digest — is evidence of on-disk damage, never of a plain
+     miss. *)
+  | _ -> `Corrupt
+
+(* Move a damaged entry out of the lookup path but keep the evidence:
+   <hex>.cache becomes <hex>.corrupt, which no maintenance or lookup
+   code ever reads ([entries] filters on the .cache suffix). *)
+let quarantine_path file =
+  (try Filename.chop_suffix file ".cache" with Invalid_argument _ -> file)
+  ^ ".corrupt"
+
+let quarantine file =
+  try
+    Sys.rename file (quarantine_path file);
+    true
+  with Sys_error _ -> false
 
 let find t ~key =
   match t with
   | Disabled -> None
   | Active a -> (
+      let sharded = path a key in
       match
-        (match read_entry ~key (path a key) with
-        | `Miss -> read_entry ~key (legacy_path a key)  (* pre-sharding entry *)
-        | (`Hit _ | `Error) as r -> r)
+        (match read_entry ~key sharded with
+        | `Miss ->
+            (match read_entry ~key (legacy_path a key) with  (* pre-sharding *)
+            | `Corrupt -> `Corrupt_at (legacy_path a key)
+            | (`Hit _ | `Miss) as r -> r)
+        | `Corrupt -> `Corrupt_at sharded
+        | `Hit _ as r -> r)
       with
       | `Hit v ->
           bump a (fun a -> a.hits <- a.hits + 1);
@@ -110,8 +160,10 @@ let find t ~key =
       | `Miss ->
           bump a (fun a -> a.misses <- a.misses + 1);
           None
-      | `Error ->
+      | `Corrupt_at file ->
+          ignore (quarantine file);
           bump a (fun a ->
+              a.verify_failures <- a.verify_failures + 1;
               a.errors <- a.errors + 1;
               a.misses <- a.misses + 1);
           None)
@@ -124,12 +176,15 @@ let store t ~key value =
       let tmp = tmp_name file in
       try
         mkdir_p (Filename.dirname file);
+        let payload = Marshal.to_string value [] in
         let oc = open_out_bin tmp in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () ->
+            Marshal.to_channel oc entry_magic [];
             Marshal.to_channel oc key [];
-            Marshal.to_channel oc value []);
+            Marshal.to_channel oc (Digest.string payload) [];
+            Marshal.to_channel oc payload []);
         Sys.rename tmp file;
         bump a (fun a -> a.stores <- a.stores + 1)
       with _ ->
@@ -218,6 +273,68 @@ let prune t ~max_bytes =
       in
       bump a (fun a -> a.pruned <- a.pruned + removed);
       removed
+
+(* ------------------------------------------------------------------ *)
+(* Offline verification: walk every entry and check its payload       *)
+(* digest.  Filenames embed the digest of the *writing* binary's      *)
+(* version, so the key→filename mapping cannot be re-derived here —   *)
+(* fsck verifies payload integrity only, which is exactly the         *)
+(* property [find] relies on at serve time.                           *)
+(* ------------------------------------------------------------------ *)
+
+type fsck_report = {
+  f_scanned : int;
+  f_ok : int;
+  f_quarantined : int;
+  f_unverified : int;
+}
+
+let verify_file file =
+  try
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let first : string = Marshal.from_channel ic in
+        if first = entry_magic then begin
+          let _key : string = Marshal.from_channel ic in
+          let digest : string = Marshal.from_channel ic in
+          let payload : string = Marshal.from_channel ic in
+          if Digest.string payload = digest then `Ok else `Corrupt
+        end
+        else
+          (* Legacy two-field entry: no stored digest to check against.
+             Require the value to at least unmarshal. *)
+          let _v : Obj.t = Marshal.from_channel ic in
+          `Unverified)
+  with
+  | Sys_error _ -> `Ok  (* vanished mid-scan (concurrent prune): not damage *)
+  | _ -> `Corrupt
+
+let fsck t =
+  match t with
+  | Disabled -> { f_scanned = 0; f_ok = 0; f_quarantined = 0; f_unverified = 0 }
+  | Active a ->
+      let report =
+        List.fold_left
+          (fun r (file, _, _) ->
+            match verify_file file with
+            | `Ok -> { r with f_scanned = r.f_scanned + 1; f_ok = r.f_ok + 1 }
+            | `Unverified ->
+                { r with f_scanned = r.f_scanned + 1;
+                  f_unverified = r.f_unverified + 1 }
+            | `Corrupt ->
+                if quarantine file then
+                  { r with f_scanned = r.f_scanned + 1;
+                    f_quarantined = r.f_quarantined + 1 }
+                else { r with f_scanned = r.f_scanned + 1 })
+          { f_scanned = 0; f_ok = 0; f_quarantined = 0; f_unverified = 0 }
+          (entries a.a_dir)
+      in
+      bump a (fun a ->
+          a.verify_failures <- a.verify_failures + report.f_quarantined;
+          a.errors <- a.errors + report.f_quarantined);
+      report
 
 let corrupt t ~key =
   match t with

@@ -26,10 +26,20 @@
 
 type t
 
-type stats = { hits : int; misses : int; stores : int; errors : int; pruned : int }
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  errors : int;
+  pruned : int;
+  verify_failures : int;
+}
 (** [errors] counts unreadable or corrupt entries (treated as
     misses) and failed writes; [pruned] counts entries deleted by
-    {!clear} or {!prune} through this handle. *)
+    {!clear} or {!prune} through this handle; [verify_failures]
+    counts entries whose stored payload digest did not match on read
+    (a subset of [errors]) — each one was quarantined to a
+    [.corrupt] file and reported as a miss. *)
 
 val default_dir : string
 (** ["_wmm_cache"]. *)
@@ -49,6 +59,12 @@ val code_version : unit -> string
     cannot be read.  Computed once. *)
 
 val find : t -> key:string -> 'a option
+(** Entries are verified on read: each stores an MD5 of its
+    marshalled payload, and a mismatch (or any unmarshalable bytes)
+    is treated as a miss, counted in [verify_failures], and the
+    damaged file renamed to [<hex>.corrupt] beside its shard so the
+    evidence survives while the next {!store} repopulates cleanly. *)
+
 val store : t -> key:string -> 'a -> unit
 val stats : t -> stats
 
@@ -68,6 +84,21 @@ val clear : t -> int
 val prune : t -> max_bytes:int -> int
 (** Evict oldest-first (by mtime, i.e. store order) until the cache
     fits in [max_bytes]; returns how many entries were removed. *)
+
+type fsck_report = {
+  f_scanned : int;      (** entries examined *)
+  f_ok : int;           (** digest-verified clean *)
+  f_quarantined : int;  (** damaged, renamed to [.corrupt] *)
+  f_unverified : int;   (** legacy pre-digest entries (readable, no digest) *)
+}
+
+val fsck : t -> fsck_report
+(** Walk every [.cache] entry (both layouts) and verify its stored
+    payload digest, quarantining damaged files exactly as {!find}
+    would.  Filename digests embed the {e writing} binary's version,
+    so fsck checks payload integrity only — it never judges the
+    key→filename mapping.  Quarantines are counted into
+    [verify_failures]/[errors] on this handle. *)
 
 val corrupt : t -> key:string -> bool
 (** Garble the on-disk entry for [key] in place (fault injection:

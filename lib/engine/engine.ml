@@ -9,6 +9,7 @@ type t = {
   faults : Fault.t;
   journal : Journal.t option;
   telemetry : Telemetry.t;
+  cancel : Wmm_util.Cancel.t;
 }
 
 type 'a outcome = Computed of 'a | Cached of 'a | Replayed of 'a | Failed of string
@@ -32,6 +33,7 @@ let create ?(jobs = 1) ?pool ?(cache = Cache.disabled) ?(seed = 0) ?soft_deadlin
     faults;
     journal;
     telemetry = Telemetry.create ();
+    cancel = Wmm_util.Cancel.never;
   }
 
 let sequential () = create ()
@@ -40,22 +42,34 @@ let jobs t = t.jobs
 let cache t = t.cache
 let journal t = t.journal
 
+(* Shallow copy sharing every mutable inner structure (telemetry,
+   cache handle, pool): batches run through the copy count into the
+   same run, but carry the caller's cancellation token.  This is how
+   the served daemon scopes one request's deadline without touching
+   the engine other requests are using concurrently. *)
+let with_cancel t cancel = { t with cancel }
+
 (* One task, full resilience path: journal replay, cache lookup, then
    up to [1 + retries] attempts with capped exponential backoff
    between them.  Only transient exceptions (see {!Fault.transient_exn})
    are retried - retrying a deterministic error from a pure
    computation cannot change the result. *)
-let attempt_task t task =
+let attempt_task t ~token task =
   let key = task.Task.key in
   let max_attempts = 1 + t.retries in
   let rec go attempt =
     match
+      Wmm_util.Cancel.check token;
       if Fault.should_fail t.faults ~key ~attempt then
         raise (Fault.Injected (Printf.sprintf "attempt %d of %s" attempt key));
       (* A fresh RNG per attempt: a retried task sees exactly the
          stream its first attempt would have, preserving bit-identical
-         output. *)
-      task.Task.run (Task.rng_for ~root_seed:t.seed key)
+         output.  The token rides along as the ambient one so deep
+         loops (explorer backtracking, machine iteration) can poll it
+         without threading it through every signature; [Cancelled] is
+         not transient, so a cancelled attempt is never retried. *)
+      Wmm_util.Cancel.with_ambient token (fun () ->
+          task.Task.run (Task.rng_for ~root_seed:t.seed key))
     with
     | v -> Ok (v, attempt + 1)
     | exception e when Fault.transient_exn e && attempt + 1 < max_attempts ->
@@ -98,7 +112,16 @@ let run_all t tasks =
               record 0. 0 Telemetry.Cache_hit
           | None -> (
               let t0 = Unix.gettimeofday () in
-              match attempt_task t task with
+              (* Per-task token: fires at the soft deadline (making it
+                 enforceable mid-task, not just post-hoc) and whenever
+                 the engine-wide token does (a served request's
+                 [deadline_ms], a watchdog recycling an executor). *)
+              let token =
+                Wmm_util.Cancel.create
+                  ?deadline:(Option.map (fun s -> t0 +. s) t.soft_deadline_s)
+                  ~parent:t.cancel ()
+              in
+              match attempt_task t ~token task with
               | Ok (v, attempts) -> (
                   let wall = Unix.gettimeofday () -. t0 in
                   match t.soft_deadline_s with
@@ -135,9 +158,14 @@ let run_all t tasks =
   in
   (* Submission strategy only: [exec] is identical either way, and
      results land by index, so a batch through a shared warm pool is
-     bit-identical to a one-shot Pool.run of the same tasks. *)
+     bit-identical to a one-shot Pool.run of the same tasks.  With a
+     pool, even single-task batches go through it: worker domains run
+     one task at a time, which is what makes the per-domain ambient
+     cancellation token sound when many submitter threads share the
+     pool (running inline would stack ambient tokens from concurrent
+     threads onto the submitter's one domain). *)
   (match t.pool with
-  | Some wq when n > 1 -> Pool.raise_failures (Workqueue.run_indexed wq n exec)
+  | Some wq when n >= 1 -> Pool.raise_failures (Workqueue.run_indexed wq n exec)
   | Some _ | None -> Pool.run ~jobs:t.jobs n exec);
   Telemetry.add_batch_wall t.telemetry (Unix.gettimeofday () -. batch_start);
   results

@@ -53,10 +53,14 @@ val create :
     threads.
 
     [soft_deadline_s], when given, marks any task whose wall-clock
-    exceeds it as [Failed]; running domains cannot be preempted, so
-    the deadline is checked on completion, and enabling it trades
-    run-to-run determinism of failure marking for boundedness.
-    Overrun results are discarded: neither cached nor journaled.
+    exceeds it as [Failed].  The deadline is enforced twice: a
+    cooperative cancellation token fires mid-task (the explorer's
+    backtracking loop and the operational machine poll it, so even a
+    pathological task stops within milliseconds of the deadline), and
+    a post-hoc wall-clock check catches tasks that never polled.
+    Enabling it trades run-to-run determinism of failure marking for
+    boundedness.  Overrun results are discarded: neither cached nor
+    journaled.
 
     [retries] (default 2) is how many times a transiently-failing
     attempt is retried before the task settles as [Failed];
@@ -77,6 +81,17 @@ val sequential : unit -> t
 val jobs : t -> int
 val cache : t -> Cache.t
 val journal : t -> Journal.t option
+
+val with_cancel : t -> Wmm_util.Cancel.t -> t
+(** [with_cancel t token] is [t] with [token] as the parent of every
+    per-task cancellation token in batches submitted through the
+    returned handle.  All mutable state (telemetry, cache, pool) is
+    shared with [t] — this scopes cancellation per submission, which
+    is how the served daemon enforces one request's [deadline_ms]
+    without disturbing concurrent requests.  Tasks observe
+    cancellation cooperatively (the explorer and the operational
+    machine poll the ambient token) and settle as [Failed]; a
+    cancelled attempt is never retried, cached or journaled. *)
 
 val run_all : t -> 'a Task.t array -> 'a outcome array
 (** Execute one batch.  Result [i] corresponds to task [i].  Per

@@ -6,9 +6,10 @@ type t = {
   mode : mode;
   lock : Mutex.t;
   content : Buffer.t;  (* full current file body; maintained in Rewrite mode only *)
-  mutable append_oc : out_channel option;  (* open O_APPEND channel in Append mode *)
+  mutable append_fd : Unix.file_descr option;  (* open O_APPEND fd in Append mode *)
   replay_table : (string, string) Hashtbl.t;  (* key -> marshalled value *)
   loaded_entries : int;
+  loaded_dropped : int;  (* torn / digest-mismatched lines skipped on open *)
 }
 
 let default_dir = Filename.concat Cache.default_dir "journal"
@@ -46,9 +47,15 @@ let hex_decode s =
   if n mod 2 <> 0 then failwith "Journal: odd hex length";
   String.init (n / 2) (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
 
+(* Ok lines carry an MD5 of the raw marshalled value: a bit flipped
+   inside the hex payload after the line was written still parses as
+   JSON and as hex, so without the digest it would replay as a
+   plausible wrong result.  With it, damage reads as a torn line. *)
 let ok_line ~key value_bytes =
-  Printf.sprintf {|{"key": "%s", "status": "ok", "value": "%s"}|}
-    (Telemetry.json_escape key) (hex_encode value_bytes)
+  Printf.sprintf {|{"key": "%s", "status": "ok", "digest": "%s", "value": "%s"}|}
+    (Telemetry.json_escape key)
+    (Digest.to_hex (Digest.string value_bytes))
+    (hex_encode value_bytes)
 
 let failed_line ~key ~msg =
   Printf.sprintf {|{"key": "%s", "status": "failed", "msg": "%s"}|}
@@ -101,10 +108,25 @@ let parse_line line =
   let status, i = parse_string_at line i in
   match status with
   | "ok" ->
+      (* Digest is optional on parse so journals written before the
+         field existed still replay (unverified). *)
+      let digest, i =
+        let lit = {|, "digest": |} in
+        let n = String.length lit in
+        if i + n <= String.length line && String.sub line i n = lit then
+          let d, i = parse_string_at line (i + n) in
+          (Some d, i)
+        else (None, i)
+      in
       let i = expect line i {|, "value": |} in
       let value_hex, i = parse_string_at line i in
       ignore (expect line i "}");
-      Ok_entry (key, hex_decode value_hex)
+      let value_bytes = hex_decode value_hex in
+      (match digest with
+      | Some d when Digest.to_hex (Digest.string value_bytes) <> d ->
+          failwith "Journal: value digest mismatch"
+      | _ -> ());
+      Ok_entry (key, value_bytes)
   | "failed" ->
       let i = expect line i {|, "msg": |} in
       let msg, i = parse_string_at line i in
@@ -121,6 +143,7 @@ let open_ ?(dir = default_dir) ?(mode = Rewrite) ~run_id () =
   let content = Buffer.create 4096 in
   let replay_table = Hashtbl.create 64 in
   let loaded = ref 0 in
+  let dropped = ref 0 in
   (if Sys.file_exists path then
      let ic = open_in_bin path in
      Fun.protect
@@ -146,7 +169,7 @@ let open_ ?(dir = default_dir) ?(mode = Rewrite) ~run_id () =
                    Buffer.add_string content line;
                    Buffer.add_char content '\n'
                  end
-             | exception _ -> () (* torn or foreign line: drop *)
+             | exception _ -> incr dropped (* torn / damaged / foreign: drop *)
            done
          with End_of_file -> ()));
   {
@@ -155,14 +178,16 @@ let open_ ?(dir = default_dir) ?(mode = Rewrite) ~run_id () =
     mode;
     lock = Mutex.create ();
     content;
-    append_oc = None;
+    append_fd = None;
     replay_table;
     loaded_entries = !loaded;
+    loaded_dropped = !dropped;
   }
 
 let path t = t.j_path
 let run_id t = t.j_run_id
 let loaded t = t.loaded_entries
+let dropped t = t.loaded_dropped
 
 let replay t ~key =
   Mutex.lock t.lock;
@@ -189,11 +214,24 @@ let tmp_name path =
    line.  Journals of one-shot runs are small, so the quadratic
    rewrite cost is noise next to the tasks themselves.
 
-   [Append] (the daemon's mode): the line is appended to an O_APPEND
-   channel and flushed.  A crash can tear at most the final line,
-   which the load-time parser already skips; the incremental cost is
-   O(line) instead of O(file), which matters once a long-lived server
-   journals thousands of requests through one file. *)
+   [Append] (the daemon's mode): the whole line goes to an O_APPEND
+   fd in ONE write(2).  A buffered channel could split one record
+   across several syscalls, so two processes appending to the same
+   run id could interleave mid-record; a single O_APPEND write is
+   atomic with respect to the file offset, so concurrent writers can
+   at worst tear the final line of a crashed process — which the
+   load-time parser already skips.  Incremental cost stays O(line)
+   instead of O(file). *)
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
 let append t line =
   Mutex.lock t.lock;
   Fun.protect
@@ -202,22 +240,20 @@ let append t line =
       match t.mode with
       | Append -> (
           try
-            let oc =
-              match t.append_oc with
-              | Some oc -> oc
+            let fd =
+              match t.append_fd with
+              | Some fd -> fd
               | None ->
                   mkdir_p (Filename.dirname t.j_path);
-                  let oc =
-                    open_out_gen
-                      [ Open_wronly; Open_append; Open_creat; Open_binary ]
-                      0o644 t.j_path
+                  let fd =
+                    Unix.openfile t.j_path
+                      [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+                      0o644
                   in
-                  t.append_oc <- Some oc;
-                  oc
+                  t.append_fd <- Some fd;
+                  fd
             in
-            output_string oc line;
-            output_char oc '\n';
-            flush oc
+            write_all fd (line ^ "\n")
           with _ -> ())
       | Rewrite -> (
           Buffer.add_string t.content line;
@@ -243,9 +279,97 @@ let record_failed t ~key ~msg = append t (failed_line ~key ~msg)
 
 let close t =
   Mutex.lock t.lock;
-  (match t.append_oc with
-  | Some oc ->
-      close_out_noerr oc;
-      t.append_oc <- None
+  (match t.append_fd with
+  | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      t.append_fd <- None
   | None -> ());
   Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Offline fsck: scan one run's JSONL for torn, duplicate and orphan  *)
+(* records, then compact it (tmp + rename) down to one line per       *)
+(* surviving key.  Orphans are failed records superseded by a later   *)
+(* ok for the same key — kept lines are the last ok per key in        *)
+(* first-seen order, plus failures that were never superseded.        *)
+(* ------------------------------------------------------------------ *)
+
+type fsck_report = {
+  j_lines : int;
+  j_ok : int;
+  j_failed : int;
+  j_torn : int;
+  j_duplicates : int;
+  j_orphans : int;
+  j_kept : int;
+  j_compacted : bool;
+}
+
+let fsck ?(dir = default_dir) ~run_id () =
+  let path = Filename.concat dir (sanitize run_id ^ ".jsonl") in
+  let zero =
+    { j_lines = 0; j_ok = 0; j_failed = 0; j_torn = 0; j_duplicates = 0;
+      j_orphans = 0; j_kept = 0; j_compacted = false }
+  in
+  if not (Sys.file_exists path) then zero
+  else begin
+    let lines = ref 0 and ok = ref 0 and failed = ref 0 and torn = ref 0 in
+    let dups = ref 0 in
+    let last_ok : (string, string) Hashtbl.t = Hashtbl.create 64 in
+    let ok_order = ref [] (* keys, first-seen order, reversed *) in
+    let failures = ref [] (* (key, line), order, reversed *) in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            incr lines;
+            match parse_line line with
+            | Ok_entry (key, _) ->
+                incr ok;
+                if Hashtbl.mem last_ok key then incr dups
+                else ok_order := key :: !ok_order;
+                Hashtbl.replace last_ok key line
+            | Failed_entry (key, _) ->
+                incr failed;
+                failures := (key, line) :: !failures
+            | exception _ -> incr torn
+          done
+        with End_of_file -> ());
+    (* A failure is an orphan once any ok for its key exists. *)
+    let orphans =
+      List.length (List.filter (fun (k, _) -> Hashtbl.mem last_ok k) !failures)
+    in
+    let kept_failures =
+      List.rev (List.filter (fun (k, _) -> not (Hashtbl.mem last_ok k)) !failures)
+    in
+    let kept = List.length !ok_order + List.length kept_failures in
+    let needs_compaction = !torn > 0 || !dups > 0 || orphans > 0 in
+    if needs_compaction then begin
+      let tmp = tmp_name path in
+      let oc = open_out_bin tmp in
+      (try
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () ->
+             List.iter
+               (fun key ->
+                 output_string oc (Hashtbl.find last_ok key);
+                 output_char oc '\n')
+               (List.rev !ok_order);
+             List.iter
+               (fun (_, line) ->
+                 output_string oc line;
+                 output_char oc '\n')
+               kept_failures);
+         Sys.rename tmp path
+       with e ->
+         (try Sys.remove tmp with _ -> ());
+         raise e)
+    end;
+    { j_lines = !lines; j_ok = !ok; j_failed = !failed; j_torn = !torn;
+      j_duplicates = !dups; j_orphans = orphans; j_kept = kept;
+      j_compacted = needs_compaction }
+  end

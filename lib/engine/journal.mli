@@ -22,11 +22,15 @@
 
     Line format (one JSON object per line):
     {v
-    {"key": "<task key>", "status": "ok", "value": "<hex marshal>"}
+    {"key": "<task key>", "status": "ok", "digest": "<md5 hex>", "value": "<hex marshal>"}
     {"key": "<task key>", "status": "failed", "msg": "<message>"}
     v}
-    Failed entries are recorded for post-mortems but never replayed:
-    the failure may have been transient. *)
+    The digest is the MD5 of the raw marshalled value and is checked
+    on load: a flipped bit inside the payload would otherwise still
+    parse and replay as a plausible wrong result.  Lines without the
+    field (older journals) load unverified.  Failed entries are
+    recorded for post-mortems but never replayed: the failure may
+    have been transient. *)
 
 type t
 
@@ -54,6 +58,11 @@ val run_id : t -> string
 val loaded : t -> int
 (** Number of distinct replayable (ok) entries found on open. *)
 
+val dropped : t -> int
+(** Number of lines skipped on open as torn, digest-mismatched or
+    foreign.  Nonzero after a crash mid-append (expected, at most the
+    final line per crashed writer) or after on-disk damage. *)
+
 val replay : t -> key:string -> 'a option
 (** The journaled value for [key], if a completed entry exists.  The
     caller must expect the same type the value was recorded at (task
@@ -67,5 +76,27 @@ val record_failed : t -> key:string -> msg:string -> unit
 (** Journal a permanently-failed task (recomputed on resume). *)
 
 val close : t -> unit
-(** Close the underlying channel of an [Append]-mode journal (no-op
-    in [Rewrite] mode, where nothing stays open between appends). *)
+(** Close the underlying fd of an [Append]-mode journal (no-op in
+    [Rewrite] mode, where nothing stays open between appends). *)
+
+(** {1 Offline verification} *)
+
+type fsck_report = {
+  j_lines : int;       (** physical lines scanned *)
+  j_ok : int;          (** parseable ok records (incl. duplicates) *)
+  j_failed : int;      (** parseable failed records *)
+  j_torn : int;        (** unparseable or digest-mismatched lines *)
+  j_duplicates : int;  (** ok records whose key already appeared *)
+  j_orphans : int;     (** failed records superseded by an ok for the key *)
+  j_kept : int;        (** lines surviving compaction *)
+  j_compacted : bool;  (** whether the file was rewritten *)
+}
+
+val fsck : ?dir:string -> run_id:string -> unit -> fsck_report
+(** Scan the journal for [run_id] and, when any torn, duplicate or
+    orphan record is found, compact it via tmp + atomic rename down
+    to the last ok per key (first-seen order) plus never-superseded
+    failures.  Safe against concurrent readers (they see either file
+    version); do not run against a journal something is actively
+    appending to — compaction would discard appends racing the
+    rename.  A missing journal reports all zeros. *)

@@ -39,6 +39,9 @@ type server = {
   compute_wall_max_s : float;
   max_pending : int;  (** Peak admitted-but-unfinished requests. *)
   max_client_queue : int;  (** Peak per-client response backlog. *)
+  deadline_exceeded : int;  (** Requests answered with a deadline frame. *)
+  executor_recycles : int;  (** Executor threads quarantined + respawned. *)
+  client_retries : int;  (** Requests arriving with a retry count > 0. *)
 }
 
 type t = {
@@ -141,9 +144,10 @@ let render_summary s =
        s.wall_s s.busy_s s.speedup_estimate);
   Buffer.add_string b
     (Printf.sprintf
-       "cache: %d hits, %d misses, %d stores, %d errors, %d pruned | max queue depth %d"
+       "cache: %d hits, %d misses, %d stores, %d errors (%d verify failures), %d pruned | max queue depth %d"
        s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores
-       s.cache.Cache.errors s.cache.Cache.pruned s.max_queue_depth);
+       s.cache.Cache.errors s.cache.Cache.verify_failures s.cache.Cache.pruned
+       s.max_queue_depth);
   (match s.exploration with
   | None -> ()
   | Some e ->
@@ -160,6 +164,12 @@ let render_summary s =
             computed, %d cache, %d journal, %d deduped"
            sv.requests sv.ok sv.errors sv.overloaded sv.clients sv.computed
            sv.cache_hits sv.journal_hits sv.dedup_joined);
+      if sv.deadline_exceeded > 0 || sv.executor_recycles > 0 || sv.client_retries > 0
+      then
+        Buffer.add_string b
+          (Printf.sprintf
+             "\nserver faults: %d deadline exceeded, %d executors recycled, %d client retries"
+             sv.deadline_exceeded sv.executor_recycles sv.client_retries);
       let mean total count = if count = 0 then 0. else total /. float_of_int count in
       Buffer.add_string b
         (Printf.sprintf
@@ -201,8 +211,10 @@ let outcome_json = function
 (* Bumped whenever the shape of this JSON changes, so downstream
    parsers of telemetry dumps can dispatch on it.  v3 added the
    "exploration" object (candidate-execution search counters); v4 the
-   "server" object (served-daemon request counters). *)
-let schema_version = 4
+   "server" object (served-daemon request counters); v5 the failure-
+   containment counters (cache "verify_failures", server
+   "deadline_exceeded" / "executor_recycles" / "client_retries"). *)
+let schema_version = 5
 
 let to_json s rs =
   let b = Buffer.create 4096 in
@@ -222,9 +234,9 @@ let to_json s rs =
   Buffer.add_string b (Printf.sprintf "  \"max_queue_depth\": %d,\n" s.max_queue_depth);
   Buffer.add_string b
     (Printf.sprintf
-       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \"errors\": %d, \"pruned\": %d},\n"
+       "  \"cache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \"errors\": %d, \"verify_failures\": %d, \"pruned\": %d},\n"
        s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.stores s.cache.Cache.errors
-       s.cache.Cache.pruned);
+       s.cache.Cache.verify_failures s.cache.Cache.pruned);
   (match s.exploration with
   | None -> Buffer.add_string b "  \"exploration\": null,\n"
   | Some e ->
@@ -242,12 +254,14 @@ let to_json s rs =
             \"dedup_joined\": %d, \"streamed_items\": %d, \"clients\": %d, \
             \"hit_wall_total_s\": %s, \"hit_wall_max_s\": %s, \"compute_wall_total_s\": \
             %s, \"compute_wall_max_s\": %s, \"max_pending\": %d, \"max_client_queue\": \
-            %d},\n"
+            %d, \"deadline_exceeded\": %d, \"executor_recycles\": %d, \
+            \"client_retries\": %d},\n"
            sv.requests sv.ok sv.errors sv.overloaded sv.computed sv.cache_hits
            sv.journal_hits sv.dedup_joined sv.streamed_items sv.clients
            (json_float sv.hit_wall_total_s) (json_float sv.hit_wall_max_s)
            (json_float sv.compute_wall_total_s) (json_float sv.compute_wall_max_s)
-           sv.max_pending sv.max_client_queue));
+           sv.max_pending sv.max_client_queue sv.deadline_exceeded
+           sv.executor_recycles sv.client_retries));
   Buffer.add_string b "  \"tasks\": [\n";
   let n = List.length rs in
   List.iteri

@@ -52,6 +52,14 @@ type server = {
   compute_wall_max_s : float;
   max_pending : int;  (** Peak admitted-but-unfinished requests. *)
   max_client_queue : int;  (** Peak per-client response backlog. *)
+  deadline_exceeded : int;
+      (** Requests answered with a structured [deadline_exceeded] frame. *)
+  executor_recycles : int;
+      (** Executor threads quarantined after overrunning a deadline and
+          replaced with a fresh one. *)
+  client_retries : int;
+      (** Requests that arrived marked as client-side retries
+          (an envelope [retry] count > 0). *)
 }
 (** Request counters from the served daemon ({!Wmm_served}), attached
     to its engine's telemetry so one JSON dump describes both the

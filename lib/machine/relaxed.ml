@@ -665,6 +665,7 @@ let run config ~seed (program : Program.t) =
 let collect config ~seed ~iterations program =
   let table = Hashtbl.create 64 in
   for i = 0 to iterations - 1 do
+    if i land 63 = 0 then Cancel.check_ambient ();
     let o = run config ~seed:(seed + (i * 7919)) program in
     let current = try Hashtbl.find table o with Not_found -> 0 in
     Hashtbl.replace table o (current + 1)
@@ -690,6 +691,7 @@ let enumerate ?(max_states = 500_000) config (program : Program.t) =
     if not (Hashtbl.mem seen k) then begin
       Hashtbl.replace seen k ();
       incr visited;
+      if !visited land 1023 = 0 then Cancel.check_ambient ();
       if !visited > max_states then failwith "Relaxed.enumerate: state limit exceeded";
       match enabled_actions config state with
       | [] ->

@@ -487,11 +487,21 @@ let search ?static skel ~counters ~(emit : rf_pairs:(int * int) list ->
   in
   let locs = co_locations skel in
   let rf_edges = ref [] in
+  (* Cooperative cancellation: the search can run for minutes on
+     adversarial candidates, so poll the ambient token on a masked
+     tick — cheap enough to disappear in the noise, frequent enough
+     that a deadline lands within milliseconds. *)
+  let tick = ref 0 in
+  let poll () =
+    incr tick;
+    if !tick land 1023 = 0 then Wmm_util.Cancel.check_ambient ()
+  in
   if Array.exists (fun c -> c = []) rf_cands then ()
   else begin
     let rec assign_read i =
       if i = nreads then assign_locs locs []
       else begin
+        poll ();
         let r = reads.(order.(i)) in
         List.iter
           (fun w ->
@@ -511,6 +521,7 @@ let search ?static skel ~counters ~(emit : rf_pairs:(int * int) list ->
       match remaining with
       | [] -> assign_locs rest ((l, List.rev placed) :: done_chains)
       | _ ->
+          poll ();
           List.iter
             (fun w ->
               let others = List.filter (fun o -> o <> w) remaining in

@@ -13,6 +13,11 @@ val send_line : t -> string -> unit
 val recv_line : t -> string option
 (** Next response line; [None] on EOF. *)
 
+val set_timeout : t -> float -> unit
+(** Receive timeout on the underlying socket: a {!recv_line} blocked
+    longer than this returns [None] instead of hanging forever.
+    Best-effort (ignored where the socket option is unsupported). *)
+
 val roundtrip : t -> string -> (string list, string) result
 (** Send one request line and collect its response frames up to and
     including the [final] one, in order.  Only valid when no other
@@ -27,3 +32,50 @@ val run_batch : t -> string list -> (string list, string) result
 val is_final : string -> bool
 (** Whether a response line is a [final] frame (malformed lines count
     as final, so a broken stream cannot hang a collector). *)
+
+type retry_policy = {
+  max_attempts : int;
+      (** Maximum sends per request (first attempt included). *)
+  base_delay_s : float;  (** First backoff step; doubles per round. *)
+  max_delay_s : float;  (** Cap on any single sleep. *)
+  seed : int;  (** Seeds the jitter stream — fixed seed, fixed schedule. *)
+}
+
+val default_policy : retry_policy
+(** 4 attempts, 50ms base, 2s cap, seed 0. *)
+
+type batch_outcome = {
+  lines : string list;
+      (** Response frames grouped per request, requests in submission
+          order, each request's frames in arrival order.  A request
+          that gave up keeps its last [overloaded] frame. *)
+  retries : int;  (** Total resends (shed retries + replays). *)
+  reconnects : int;  (** Connections re-established after a drop. *)
+  gave_up_overloaded : string list;
+      (** Serialized ids still shed after [max_attempts] sends. *)
+}
+
+val run_resilient :
+  socket_path:string ->
+  ?policy:retry_policy ->
+  string list ->
+  (batch_outcome, string) result
+(** Like {!run_batch}, but owns the connection and survives faults:
+
+    - requests sent without an [id] get one injected ([q<index>]) so
+      responses can be demultiplexed and replayed deterministically;
+    - an [overloaded] reply is retried up to [max_attempts] times,
+      sleeping the larger of the server's [retry_after_ms] hint and
+      the exponential backoff, scaled by seeded jitter in
+      [0.75, 1.25); resends carry a [retry: n] envelope field (the
+      server's [client_retries] counter);
+    - a dropped connection (EOF, server restart) is re-established
+      and every still-unanswered request replayed; partial frames of
+      the aborted attempt are discarded so each request's frames come
+      from a single complete attempt.
+
+    [Error] is transport failure only: the socket could not be
+    (re)connected, or a request's connection kept dropping through
+    [max_attempts] sends.  Requests the server answered with an
+    [error] or [deadline_exceeded] frame are [Ok] — the frame is in
+    [lines] for the caller to classify. *)

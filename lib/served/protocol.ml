@@ -1,7 +1,9 @@
 open Wmm_model
 open Wmm_isa
 
-let schema_version = 1
+(* v2 added the optional per-request "deadline_ms" and "retry"
+   envelope fields and the "deadline_exceeded" response status. *)
+let schema_version = 2
 
 type litmus_mode = Exhaustive | Random of int
 
@@ -19,7 +21,12 @@ type request =
   | Ping
   | Shutdown
 
-type envelope = { req_id : Json.t; request : request }
+type envelope = {
+  req_id : Json.t;
+  request : request;
+  deadline_ms : int option;
+  retry : int;
+}
 
 let model_wire_name = function
   | Axiomatic.Sc -> "sc"
@@ -127,7 +134,19 @@ let parse_request v =
         | Some "shutdown" -> Ok Shutdown
         | Some op -> Error (Printf.sprintf "unknown op %S" op)
       in
-      Ok { req_id; request }
+      (* Envelope-only fields: they shape delivery, not the answer, so
+         neither participates in the canonical key. *)
+      let* deadline_ms =
+        match Json.member "deadline_ms" v with
+        | None | Some Json.Null -> Ok None
+        | Some (Json.Num f) ->
+            let d = int_of_float (Float.round f) in
+            if d <= 0 then Error "field \"deadline_ms\" must be positive"
+            else Ok (Some d)
+        | Some _ -> Error "field \"deadline_ms\" must be a number"
+      in
+      let* retry = int_field v "retry" 0 in
+      Ok { req_id; request; deadline_ms; retry }
   | _ -> Error "request must be a JSON object"
 
 let cacheable = function
@@ -194,3 +213,10 @@ let error_response ~id ~op msg =
 let overloaded_response ~id ~op ~retry_after_ms =
   response ~id ~op ~seq:0 ~final:true ~status:"overloaded"
     [ ("retry_after_ms", Json.of_int retry_after_ms) ]
+
+let deadline_exceeded_response ~id ~op ~deadline_ms ~elapsed_ms =
+  response ~id ~op ~seq:0 ~final:true ~status:"deadline_exceeded"
+    [
+      ("deadline_ms", Json.of_int deadline_ms);
+      ("elapsed_ms", Json.of_int elapsed_ms);
+    ]

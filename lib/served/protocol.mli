@@ -38,6 +38,15 @@ type request =
 type envelope = {
   req_id : Json.t;  (** Echoed verbatim; [Null] when the client sent none. *)
   request : request;
+  deadline_ms : int option;
+      (** Per-request deadline.  A request still unanswered this many
+          milliseconds after admission is answered with a
+          [deadline_exceeded] frame and its computation cancelled.
+          Delivery-only: not part of the canonical key. *)
+  retry : int;
+      (** Client-side retry count (0 = first send).  Delivery-only
+          bookkeeping surfaced in the server's [client_retries]
+          telemetry counter; not part of the canonical key. *)
 }
 
 val parse_request : Json.t -> (envelope, string) result
@@ -88,3 +97,11 @@ val error_response : id:Json.t -> op:string -> string -> string
 val overloaded_response : id:Json.t -> op:string -> retry_after_ms:int -> string
 (** The structured shed reply: [status: "overloaded"] plus a
     [retry_after_ms] hint; no computation was queued. *)
+
+val deadline_exceeded_response :
+  id:Json.t -> op:string -> deadline_ms:int -> elapsed_ms:int -> string
+(** The watchdog's reply for a request that overran its
+    [deadline_ms]: [status: "deadline_exceeded"] plus the configured
+    deadline and the elapsed time at detection.  The underlying
+    computation has been cancelled (or its executor quarantined); the
+    result, if one ever materialises, is discarded. *)

@@ -1,0 +1,59 @@
+type t = {
+  flag : string option Atomic.t;
+  deadline : float option;
+  parent : t option;
+}
+
+exception Cancelled of string
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled reason -> Some ("Cancel.Cancelled(" ^ reason ^ ")")
+    | _ -> None)
+
+let never = { flag = Atomic.make None; deadline = None; parent = None }
+
+let create ?deadline ?parent () = { flag = Atomic.make None; deadline; parent }
+
+let cancel t ~reason =
+  if t == never then invalid_arg "Cancel.cancel: never token";
+  ignore (Atomic.compare_and_set t.flag None (Some reason))
+
+let rec cancelled t =
+  match Atomic.get t.flag with
+  | Some _ as r -> r
+  | None -> (
+      match t.deadline with
+      | Some d when Unix.gettimeofday () > d ->
+          (* Latch, so the reason is stable and later checks are a
+             single atomic load. *)
+          ignore (Atomic.compare_and_set t.flag None (Some "deadline"));
+          Atomic.get t.flag
+      | _ -> ( match t.parent with None -> None | Some p -> cancelled p))
+
+let check t =
+  match cancelled t with None -> () | Some reason -> raise (Cancelled reason)
+
+let deadline t =
+  let rec go acc t =
+    let acc =
+      match (acc, t.deadline) with
+      | None, d -> d
+      | acc, None -> acc
+      | Some a, Some b -> Some (Float.min a b)
+    in
+    match t.parent with None -> acc | Some p -> go acc p
+  in
+  go None t
+
+(* Ambient token, per-domain.  The engine routes every task through a
+   workqueue worker domain (one task at a time per domain), so DLS is
+   a safe stand-in for the thread-local storage the stdlib lacks. *)
+let ambient : t Domain.DLS.key = Domain.DLS.new_key (fun () -> never)
+
+let with_ambient t f =
+  let prev = Domain.DLS.get ambient in
+  Domain.DLS.set ambient t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient prev) f
+
+let check_ambient () = check (Domain.DLS.get ambient)

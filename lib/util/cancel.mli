@@ -1,0 +1,57 @@
+(** Cooperative cancellation tokens.
+
+    A token is a cheap, shareable flag plus an optional absolute
+    deadline; long-running loops poll it ({!check}) at points where
+    abandoning work is safe.  Tokens chain: cancelling a parent
+    cancels every descendant.  Nothing here preempts — a task that
+    never polls is never interrupted — which is exactly the contract
+    the deterministic engine needs (a cancelled task publishes no
+    result at all rather than a partial one).
+
+    An {e ambient} token can be installed for the current domain so
+    that deep library code (the explorer's backtracking loop, the
+    operational machine's iteration loop) can poll without threading
+    a token through every signature.  Ambient storage is per-domain
+    ({!Domain.DLS}), so installers must ensure one logical task per
+    domain at a time — the engine's workqueue guarantees this. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by {!check} / {!check_ambient} once a token is cancelled.
+    Carries the reason.  Deliberately not an I/O-style exception so
+    retry layers treat it as permanent. *)
+
+val never : t
+(** A token that can never fire.  The default everywhere. *)
+
+val create : ?deadline:float -> ?parent:t -> unit -> t
+(** [create ?deadline ?parent ()] makes a fresh token.  [deadline] is
+    an absolute time ({!Unix.gettimeofday} scale); once passed, the
+    token reads as cancelled with reason ["deadline"].  [parent]
+    chains: this token is cancelled whenever [parent] is. *)
+
+val cancel : t -> reason:string -> unit
+(** Fire the token.  Idempotent; first reason wins. *)
+
+val cancelled : t -> string option
+(** [Some reason] once fired (explicitly, via deadline expiry, or via
+    an ancestor), [None] otherwise. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} if the token has fired.  O(chain depth); cheap
+    enough for masked polling in hot loops. *)
+
+val deadline : t -> float option
+(** The effective absolute deadline: the earliest along the parent
+    chain, if any. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** [with_ambient t f] installs [t] as the current domain's ambient
+    token for the duration of [f], restoring the previous one after
+    (also on exception). *)
+
+val check_ambient : unit -> unit
+(** {!check} on the installed ambient token; no-op when none is
+    installed.  This is the call hot loops embed behind a counter
+    mask. *)

@@ -119,7 +119,7 @@ let test_task_rng_deterministic () =
     <> List.init 8 (fun _ -> Wmm_util.Rng.int64 c))
 
 let test_telemetry_json () =
-  Alcotest.(check int) "telemetry schema version" 4 Telemetry.schema_version;
+  Alcotest.(check int) "telemetry schema version" 5 Telemetry.schema_version;
   let engine = Engine.create ~jobs:1 () in
   ignore (Engine.run_all engine [| Task.pure ~key:"t" (fun () -> ()) |]);
   Engine.set_exploration engine
@@ -318,6 +318,150 @@ let test_journal_skips_failed_and_torn_entries () =
         (Journal.replay reopened ~key:"good");
       Alcotest.(check (option int)) "failed entry never replays" None
         (Journal.replay reopened ~key:"bad"))
+
+let test_journal_append_two_concurrent_writers () =
+  with_temp_dir (fun dir ->
+      (* Two long-lived writers (the served daemon's shape: one
+         Append-mode handle per incarnation, O_APPEND fd, one write
+         per record) interleave appends into the same run's journal.
+         Every record must survive whole - no interleaved or torn
+         lines. *)
+      let n = 100 in
+      let writer tag =
+        let j = Journal.open_ ~dir ~mode:Journal.Append ~run_id:"two writers" () in
+        for i = 0 to n - 1 do
+          Journal.record_ok j ~key:(Printf.sprintf "%s-%d" tag i) (i * 2);
+          if i mod 7 = 0 then Thread.yield ()
+        done;
+        Journal.close j
+      in
+      let ta = Thread.create writer "a" and tb = Thread.create writer "b" in
+      Thread.join ta;
+      Thread.join tb;
+      let reopened = Journal.open_ ~dir ~run_id:"two writers" () in
+      Alcotest.(check int) "every record from both writers replayable" (2 * n)
+        (Journal.loaded reopened);
+      Alcotest.(check int) "no torn or interleaved lines" 0 (Journal.dropped reopened);
+      Alcotest.(check (option int)) "writer a's payloads intact" (Some 66)
+        (Journal.replay reopened ~key:"a-33");
+      Alcotest.(check (option int)) "writer b's payloads intact" (Some 198)
+        (Journal.replay reopened ~key:(Printf.sprintf "b-%d" (n - 1)));
+      (* fsck agrees: nothing torn, nothing to compact. *)
+      let r = Journal.fsck ~dir ~run_id:"two writers" () in
+      Alcotest.(check int) "fsck sees every line" (2 * n) r.Journal.j_lines;
+      Alcotest.(check int) "fsck finds no torn lines" 0 r.Journal.j_torn;
+      Alcotest.(check bool) "fsck compacts nothing" false r.Journal.j_compacted)
+
+let test_journal_fsck_compacts_damage () =
+  with_temp_dir (fun dir ->
+      let j = Journal.open_ ~dir ~mode:Journal.Append ~run_id:"fsck" () in
+      Journal.record_ok j ~key:"dup" 1;
+      Journal.record_failed j ~key:"orphan" ~msg:"transient crash";
+      Journal.record_ok j ~key:"dup" 2;
+      (* duplicate: the rerun recomputed *)
+      Journal.record_ok j ~key:"orphan" 3;
+      (* supersedes the failure *)
+      Journal.record_failed j ~key:"dead" ~msg:"permanent";
+      Journal.close j;
+      (* A crash mid-append tears the final line. *)
+      let oc = open_out_gen [ Open_append ] 0o644 (Journal.path j) in
+      output_string oc {|{"key": "torn|};
+      close_out oc;
+      let r = Journal.fsck ~dir ~run_id:"fsck" () in
+      Alcotest.(check int) "all physical lines scanned" 6 r.Journal.j_lines;
+      Alcotest.(check int) "ok records counted" 3 r.Journal.j_ok;
+      Alcotest.(check int) "failed records counted" 2 r.Journal.j_failed;
+      Alcotest.(check int) "torn line found" 1 r.Journal.j_torn;
+      Alcotest.(check int) "duplicate found" 1 r.Journal.j_duplicates;
+      Alcotest.(check int) "orphaned failure found" 1 r.Journal.j_orphans;
+      Alcotest.(check int) "compacted to last-ok per key + live failures" 3
+        r.Journal.j_kept;
+      Alcotest.(check bool) "file rewritten" true r.Journal.j_compacted;
+      (* The compacted journal loads clean and keeps the right records. *)
+      let reopened = Journal.open_ ~dir ~run_id:"fsck" () in
+      Alcotest.(check int) "two replayable entries" 2 (Journal.loaded reopened);
+      Alcotest.(check int) "nothing dropped after compaction" 0
+        (Journal.dropped reopened);
+      Alcotest.(check (option int)) "duplicate resolved to the last record" (Some 2)
+        (Journal.replay reopened ~key:"dup");
+      Alcotest.(check (option int)) "superseding ok replays" (Some 3)
+        (Journal.replay reopened ~key:"orphan");
+      Alcotest.(check (option int)) "failure still never replays" None
+        (Journal.replay reopened ~key:"dead");
+      (* Idempotent: a second pass finds a clean file. *)
+      let r2 = Journal.fsck ~dir ~run_id:"fsck" () in
+      Alcotest.(check bool) "second fsck compacts nothing" false
+        r2.Journal.j_compacted;
+      Alcotest.(check int) "second fsck keeps the same lines" 3 r2.Journal.j_lines)
+
+let count_corrupt_files dir =
+  let rec go d =
+    Array.to_list (Sys.readdir d)
+    |> List.fold_left
+         (fun acc f ->
+           let p = Filename.concat d f in
+           if Sys.is_directory p then acc + go p
+           else if Filename.check_suffix f ".corrupt" then acc + 1
+           else acc)
+         0
+  in
+  go dir
+
+let test_cache_verify_quarantine () =
+  with_temp_dir (fun dir ->
+      let cache = Cache.create ~dir () in
+      Cache.store cache ~key:"fragile" 1234;
+      Alcotest.(check (option int)) "clean entry hits" (Some 1234)
+        (Cache.find cache ~key:"fragile");
+      Alcotest.(check bool) "fault injection garbles the entry" true
+        (Cache.corrupt cache ~key:"fragile");
+      (* The damaged read is a miss, counted, and the evidence kept. *)
+      Alcotest.(check (option int)) "corrupt entry misses" None
+        (Cache.find cache ~key:"fragile");
+      let s = Cache.stats cache in
+      Alcotest.(check int) "verify failure counted" 1 s.Cache.verify_failures;
+      Alcotest.(check bool) "also counted as a cache error" true (s.Cache.errors >= 1);
+      Alcotest.(check int) "damaged file quarantined as .corrupt" 1
+        (count_corrupt_files dir);
+      (* A re-store repopulates cleanly without touching the evidence. *)
+      Cache.store cache ~key:"fragile" 1234;
+      Alcotest.(check (option int)) "re-store repopulates" (Some 1234)
+        (Cache.find cache ~key:"fragile");
+      Alcotest.(check int) "quarantined evidence survives the re-store" 1
+        (count_corrupt_files dir);
+      (* fsck walks the repopulated cache and finds it clean. *)
+      let r = Cache.fsck cache in
+      Alcotest.(check int) "fsck verifies the clean entry" 1 r.Cache.f_ok;
+      Alcotest.(check int) "fsck quarantines nothing further" 0 r.Cache.f_quarantined;
+      Alcotest.(check bool) "corrupting a missing key reports false" false
+        (Cache.corrupt cache ~key:"never-stored"))
+
+let test_soft_deadline_cancels_mid_task () =
+  (* A task that never returns on its own but polls the ambient
+     cancellation token the way the explorer's backtracking loop does:
+     the engine's soft deadline must stop it cooperatively, within
+     milliseconds of the deadline rather than at task completion. *)
+  let engine = Engine.create ~jobs:1 ~soft_deadline_s:0.05 () in
+  let t0 = Unix.gettimeofday () in
+  let polls = ref 0 in
+  (match
+     Engine.run engine
+       (Task.pure ~key:"cooperative-spin" (fun () ->
+            while Unix.gettimeofday () -. t0 < 10. do
+              incr polls;
+              Wmm_util.Cancel.check_ambient ()
+            done;
+            Alcotest.fail "cancellation never fired"))
+   with
+  | Engine.Failed msg ->
+      Alcotest.(check bool) "failure carries a reason" true (String.length msg > 0)
+  | _ -> Alcotest.fail "deadline-doomed task should settle as Failed");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "died mid-task, not at the 10s escape hatch" true
+    (elapsed < 5.);
+  Alcotest.(check bool) "the loop actually polled" true (!polls > 0);
+  Alcotest.(check int) "cancelled task counted as failed" 1
+    (Engine.summary engine).Telemetry.failed
 
 let test_corrupted_cache_entry_recomputed () =
   with_temp_dir (fun dir ->
@@ -623,6 +767,14 @@ let suite =
       test_journal_resume_recomputes_only_missing;
     Alcotest.test_case "journal skips failed and torn entries" `Quick
       test_journal_skips_failed_and_torn_entries;
+    Alcotest.test_case "journal append: two concurrent writers" `Quick
+      test_journal_append_two_concurrent_writers;
+    Alcotest.test_case "journal fsck compacts damage" `Quick
+      test_journal_fsck_compacts_damage;
+    Alcotest.test_case "cache verify quarantines and repopulates" `Quick
+      test_cache_verify_quarantine;
+    Alcotest.test_case "soft deadline cancels mid-task" `Quick
+      test_soft_deadline_cancels_mid_task;
     Alcotest.test_case "corrupted cache entry recomputed" `Quick
       test_corrupted_cache_entry_recomputed;
     Alcotest.test_case "cache prune and clear" `Quick test_cache_prune_and_clear;

@@ -22,6 +22,7 @@ let () =
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
       ("served", Test_served.suite);
+      ("chaos", Test_chaos.suite);
       ("litmus", Test_litmus.suite);
       ("fuzz", Test_fuzz.suite);
       ("litmus-parse", Test_parse.suite);

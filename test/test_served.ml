@@ -329,6 +329,110 @@ let test_server_overload_sheds () =
               Client.close sc;
               Client.close c))
 
+let test_server_deadline_exceeded () =
+  with_temp_dir (fun dir ->
+      let socket = Filename.concat dir "s.sock" in
+      let cfg = quiet_cfg dir socket in
+      with_server cfg (fun _ ->
+          (* A doomed request: random-mode exploration sized to run for
+             tens of seconds, with a 250ms deadline.  The cooperative
+             cancellation token must kill it mid-task and the reply
+             must be a structured deadline_exceeded frame - while a
+             bystander on another connection keeps getting answers. *)
+          let doomed =
+            {|{"op": "litmus", "tests": ["SB"], "mode": "random", "iterations": 50000000, "deadline_ms": 250, "id": "doomed"}|}
+          in
+          let c = connect cfg in
+          Client.send_line c doomed;
+          (* Bystander: connects, works and disconnects while the
+             doomed request is still dying. *)
+          let b = connect cfg in
+          let frames = roundtrip_ok b {|{"op": "ping"}|} in
+          Alcotest.(check (list string)) "bystander ping answered" [ "ok" ]
+            (statuses frames);
+          let frames = roundtrip_ok b {|{"op": "litmus", "tests": ["SB"]}|} in
+          Alcotest.(check bool) "bystander query completes" true
+            (List.for_all (fun s -> s = "ok") (statuses frames) && statuses frames <> []);
+          Client.close b;
+          (* Now the doomed request's own reply. *)
+          let rec drain acc =
+            match Client.recv_line c with
+            | None -> List.rev acc
+            | Some line ->
+                if Client.is_final line then List.rev (line :: acc)
+                else drain (line :: acc)
+          in
+          (match drain [] with
+          | [ line ] ->
+              let v = parse_ok line in
+              Alcotest.(check (option string)) "structured deadline frame"
+                (Some "deadline_exceeded") (Json.str_member "status" v);
+              Alcotest.(check (option string)) "deadline frame keeps the id"
+                (Some "doomed") (Json.str_member "id" v)
+          | other ->
+              Alcotest.failf "doomed request: expected one final frame, got %d"
+                (List.length other));
+          let stats = roundtrip_ok c {|{"op": "stats"}|} in
+          Alcotest.(check bool) "deadline death counted" true
+            (int_stat stats "deadline_exceeded" >= 1);
+          Client.close c))
+
+let test_resilient_client_retries_through_shed () =
+  with_temp_dir (fun dir ->
+      let socket = Filename.concat dir "s.sock" in
+      (* Same shedding setup as the overload test: queue bound 1, no
+         cache.  The plain client surfaces the overloaded frame; the
+         resilient client must absorb it - honour the retry hint, back
+         off, resend - and eventually deliver both answers. *)
+      let cfg =
+        {
+          (Server.default_config ~socket_path:socket) with
+          Server.jobs = 2;
+          cache_dir = None;
+          queue_bound = 1;
+        }
+      in
+      with_server cfg (fun _ ->
+          let policy =
+            { Client.default_policy with Client.max_attempts = 10; seed = 11 }
+          in
+          match
+            Client.run_resilient ~socket_path:socket ~policy
+              [
+                {|{"op": "litmus", "id": "big", "tests": ["SB", "MP", "LB"]}|};
+                {|{"op": "litmus", "id": "shed", "tests": ["SB"]}|};
+              ]
+          with
+          | Error e -> Alcotest.failf "resilient batch: %s" e
+          | Ok out ->
+              Alcotest.(check (list string)) "nothing gave up" []
+                out.Client.gave_up_overloaded;
+              Alcotest.(check bool) "the shed request needed at least one resend"
+                true (out.Client.retries >= 1);
+              let frames = List.map parse_ok out.Client.lines in
+              let finals_of id =
+                List.filter
+                  (fun v ->
+                    Json.str_member "id" v = Some id
+                    && Json.str_member "status" v <> None)
+                  frames
+              in
+              List.iter
+                (fun id ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "request %s answered ok after retries" id)
+                    true
+                    (statuses (finals_of id) <> []
+                    && List.for_all (fun s -> s = "ok") (statuses (finals_of id))))
+                [ "big"; "shed" ];
+              (* The server saw the resends: retry-tagged requests are
+                 counted. *)
+              let sc = connect cfg in
+              let stats = roundtrip_ok sc {|{"op": "stats"}|} in
+              Alcotest.(check bool) "server counted client retries" true
+                (int_stat stats "client_retries" >= 1);
+              Client.close sc))
+
 let test_server_restart_resumes_from_journal () =
   with_temp_dir (fun dir ->
       let socket = Filename.concat dir "s.sock" in
@@ -369,6 +473,10 @@ let suite =
       test_server_dedup_and_stats;
     Alcotest.test_case "server sheds load when saturated" `Quick
       test_server_overload_sheds;
+    Alcotest.test_case "deadline_ms kills a slow task, others live" `Quick
+      test_server_deadline_exceeded;
+    Alcotest.test_case "resilient client retries through shedding" `Quick
+      test_resilient_client_retries_through_shed;
     Alcotest.test_case "server restart resumes from journal" `Quick
       test_server_restart_resumes_from_journal;
   ]
