@@ -62,6 +62,7 @@ let litmus_summary () =
                 | Axiomatic.Sc -> Wmm_machine.Relaxed.sc_config
                 | Axiomatic.Tso -> Wmm_machine.Relaxed.tso_config
                 | Axiomatic.Arm | Axiomatic.Power -> Wmm_machine.Relaxed.relaxed_config
+                | Axiomatic.Rc11 -> Wmm_machine.Relaxed.sc_config
               in
               let v =
                 if Exp_common.fast () then Check.run_random ~iterations:200 model config test
@@ -202,6 +203,34 @@ let conform_summary ~engine () =
   Buffer.contents buffer
 
 (* ------------------------------------------------------------------ *)
+(* Language tier: compilation containment plus the lock-suite          *)
+(* fencing-sensitivity ranking.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lang_summary ~engine () =
+  let open Wmm_lang in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    (Exp_common.header "Language tier (RC11, compilation schemes, lock suite)");
+  Buffer.add_char buffer '\n';
+  let battery =
+    if Exp_common.fast () then
+      List.map Locks.test_of Locks.all
+      @ List.filter_map
+          (fun n -> Option.map C11.lift_test (Wmm_litmus.Library.by_name n))
+          [ "SB"; "MP"; "LB"; "IRIW"; "MP+rel+acq"; "SB+dmbs" ]
+    else
+      List.map C11.lift_test Wmm_litmus.Library.all @ List.map Locks.test_of Locks.all
+  in
+  let report = Contain.run ~engine battery in
+  Buffer.add_string buffer (Contain.render report);
+  Buffer.add_char buffer '\n';
+  let locks = if Exp_common.fast () then [ Locks.dekker; Locks.cas_lock ] else Locks.all in
+  let rows = Rank.run ~locks ~engine () in
+  Buffer.add_string buffer (Rank.render rows);
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
 (* Command line: optional section filter plus engine flags.            *)
 (* ------------------------------------------------------------------ *)
 
@@ -224,7 +253,7 @@ let usage () =
   prerr_endline
     "--jobs N: worker domains (0 = auto-detect via Domain.recommended_domain_count;";
   prerr_endline "          1 = sequential, the default)";
-  prerr_endline "sections: litmus analysis conform fig1 fig2_3 fig4 fig5 fig6";
+  prerr_endline "sections: litmus analysis conform lang fig1 fig2_3 fig4 fig5 fig6";
   prerr_endline "          jvm_tables rankings rbd counters optimizer bechamel";
   exit 2
 
@@ -305,6 +334,7 @@ let () =
       ("litmus", fun () -> section "litmus" litmus_summary);
       ("analysis", fun () -> section "analysis" (analysis_summary ~engine));
       ("conform", fun () -> section "conform" (conform_summary ~engine));
+      ("lang", fun () -> section "lang" (lang_summary ~engine));
       ("fig1", fun () -> section "fig1" Fig1.report);
       ("fig2_3", fun () -> section "fig2_3" Fig2_3.report);
       ("fig4", fun () -> section "fig4" Fig4.report);

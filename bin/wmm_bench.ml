@@ -74,10 +74,17 @@ let list_cmd =
       (fun (t : Wmm_litmus.Test.t) ->
         Printf.printf "  %-24s %s\n" t.Wmm_litmus.Test.name t.Wmm_litmus.Test.description)
       Wmm_litmus.Library.all;
+    print_endline "Memory models:";
+    List.iter (Printf.printf "  %s\n") (Wmm_registry.Registry.model_table ());
+    print_endline "Lock workloads (see `lang`):";
+    List.iter
+      (fun (l : Wmm_lang.Locks.t) ->
+        Printf.printf "  %-24s %s\n" l.Wmm_lang.Locks.name l.Wmm_lang.Locks.description)
+      Wmm_lang.Locks.all;
     print_endline "Experiments (see `figure`):";
     List.iter (Printf.printf "  %s\n") experiment_ids
   in
-  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, litmus tests and experiments")
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, litmus tests, models and experiments")
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
@@ -136,6 +143,7 @@ let litmus_cmd =
                   | Axiomatic.Sc -> Wmm_machine.Relaxed.sc_config
                   | Axiomatic.Tso -> Wmm_machine.Relaxed.tso_config
                   | Axiomatic.Arm | Axiomatic.Power -> Wmm_machine.Relaxed.relaxed_config
+                  | Axiomatic.Rc11 -> Wmm_machine.Relaxed.sc_config
                 in
                 let v =
                   if exhaustive then Check.run_exhaustive model config test
@@ -566,7 +574,7 @@ let analyze_cmd =
       | s -> (
           match Wmm_isa.Arch.of_string s with
           | Some a -> [ a ]
-          | None -> die "unknown architecture %S (arm | power | both)" s)
+          | None -> die "unknown architecture %S; %s (or both)" s Wmm_registry.Registry.valid_arches_sentence)
     in
     let tests =
       if all || names = [] then Wmm_litmus.Library.all
@@ -708,7 +716,7 @@ let conform_cmd =
       | s -> (
           match Wmm_isa.Arch.of_string s with
           | Some a -> [ a ]
-          | None -> die "unknown architecture %S (arm | power | both)" s)
+          | None -> die "unknown architecture %S; %s (or both)" s Wmm_registry.Registry.valid_arches_sentence)
     in
     if max_edges < 2 then die "--max-edges must be at least 2";
     let cache =
@@ -777,6 +785,219 @@ let conform_cmd =
           inference; disagreements are shrunk to minimal failing tests")
     Term.(
       const run $ arch_arg $ max_edges_arg $ limit_arg $ infer_limit_arg $ jobs_arg
+      $ no_cache_arg $ cache_dir_arg $ telemetry_arg $ retries_arg $ resume_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lang                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lang_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"explore, conform, or rank")
+  in
+  let tests_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "test" ] ~docv:"NAME"
+          ~doc:
+            "Lock-suite or litmus-library name (repeatable); default is the lock \
+             suite (plus the lifted library for conform)")
+  in
+  let schemes_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "Compilation scheme (repeatable): arm-native, arm-fenced, power-sync; \
+             default is every scheme (conform) or the canonical per-arch pair (rank)")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N" ~doc:"Battery cap (0 = the whole battery)")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the execution engine (0 = auto-detect)")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string Wmm_engine.Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory")
+  in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE" ~doc:"Dump run telemetry as JSON to $(docv)")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retries (with capped exponential backoff) for transient task failures")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"RUN-ID"
+          ~doc:
+            "Journal run id to resume; without this flag a run id is derived from the \
+             request, so rerunning an interrupted identical invocation resumes \
+             automatically.")
+  in
+  let run action test_names scheme_names limit jobs no_cache cache_dir telemetry_out
+      retries resume =
+    let open Wmm_lang in
+    if not (List.mem action [ "explore"; "conform"; "rank" ]) then
+      die "unknown lang action %S; valid actions: explore conform rank" action;
+    let schemes ~default =
+      match scheme_names with
+      | [] -> default
+      | names ->
+          List.map
+            (fun name ->
+              match Compile.scheme_of_string name with
+              | Some s -> s
+              | None ->
+                  die "unknown compilation scheme %S; valid schemes: %s" name
+                    (String.concat " " (List.map Compile.scheme_name Compile.all_schemes)))
+            names
+    in
+    let resolve_tests ~default =
+      match test_names with
+      | [] -> default ()
+      | names ->
+          List.map
+            (fun name ->
+              let base =
+                if Filename.check_suffix name "+c11" then Filename.chop_suffix name "+c11"
+                else name
+              in
+              match Locks.by_name name with
+              | Some l -> Locks.test_of l
+              | None -> (
+                  match Wmm_litmus.Library.by_name base with
+                  | Some t -> C11.lift_test t
+                  | None ->
+                      die "unknown lang test %S (a lock name or a litmus-library name)"
+                        name))
+            names
+    in
+    let cap tests = List.filteri (fun i _ -> limit = 0 || i < limit) tests in
+    let cache =
+      if no_cache then Wmm_engine.Cache.disabled
+      else Wmm_engine.Cache.create ~dir:cache_dir ()
+    in
+    let journal =
+      let run_id =
+        match resume with
+        | Some id -> Some id
+        | None when no_cache -> None
+        | None ->
+            Some
+              (Wmm_engine.Journal.derived_run_id ~tag:"lang"
+                 ([
+                    Wmm_engine.Cache.code_version ();
+                    action;
+                    string_of_int limit;
+                  ]
+                 @ List.sort compare test_names
+                 @ List.sort compare scheme_names))
+      in
+      Option.map
+        (fun run_id ->
+          let dir = Filename.concat cache_dir "journal" in
+          let j = Wmm_engine.Journal.open_ ~dir ~run_id () in
+          Printf.eprintf "journal: run id %s (%d completed tasks on file)\n%!" run_id
+            (Wmm_engine.Journal.loaded j);
+          j)
+        run_id
+    in
+    let engine = Wmm_engine.Engine.create ~jobs ~cache ~retries ?journal () in
+    let failed = ref false in
+    (match action with
+    | "explore" ->
+        let battery =
+          cap (resolve_tests ~default:(fun () -> List.map Locks.test_of Locks.all))
+        in
+        List.iter
+          (fun (t : Wmm_litmus.Test.t) ->
+            let outcomes =
+              Wmm_model.Enumerate.allowed_outcomes Wmm_model.Axiomatic.Rc11
+                t.Wmm_litmus.Test.program
+            in
+            let witness =
+              Wmm_model.Enumerate.outcome_allowed Wmm_model.Axiomatic.Rc11
+                t.Wmm_litmus.Test.program
+                {
+                  Wmm_model.Enumerate.registers = t.Wmm_litmus.Test.condition;
+                  memory = t.Wmm_litmus.Test.mem_condition;
+                }
+            in
+            Printf.printf "explore|%s|outcomes=%d|witness=%s\n"
+              t.Wmm_litmus.Test.name (List.length outcomes)
+              (if witness then "allow" else "forbid"))
+          battery
+    | "conform" ->
+        let battery =
+          cap
+            (resolve_tests ~default:(fun () ->
+                 List.map C11.lift_test Wmm_litmus.Library.all
+                 @ List.map Locks.test_of Locks.all))
+        in
+        let report =
+          Contain.run ~schemes:(schemes ~default:Compile.all_schemes) ~engine battery
+        in
+        print_string (Contain.render report);
+        if report.Contain.disagreements <> [] then failed := true
+    | _rank ->
+        let locks =
+          match test_names with
+          | [] -> Locks.all
+          | names ->
+              List.map
+                (fun name ->
+                  match Locks.by_name name with
+                  | Some l -> l
+                  | None ->
+                      die "unknown lock %S; valid locks: %s" name
+                        (String.concat " "
+                           (List.map (fun (l : Locks.t) -> l.Locks.name) Locks.all)))
+                names
+        in
+        let schemes = schemes ~default:Rank.default_schemes in
+        let rows = Rank.run ~schemes ~locks ~engine () in
+        print_string (Rank.render ~schemes rows);
+        List.iter (fun r -> print_endline (Rank.row_line r)) rows);
+    record_exploration engine;
+    prerr_endline (Wmm_engine.Engine.render_summary engine);
+    Option.iter
+      (fun path ->
+        try Wmm_engine.Engine.write_telemetry engine path
+        with Sys_error msg -> Printf.eprintf "warning: cannot write telemetry: %s\n" msg)
+      telemetry_out;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lang"
+       ~doc:
+         "The C11/RC11 language tier: explore RC11-allowed outcomes, check \
+          compilation containment (hardware outcomes of the compiled program \
+          must stay within the RC11-allowed set), or rank the lock suite by \
+          fencing sensitivity under one-step memory-order weakenings")
+    Term.(
+      const run $ action_arg $ tests_arg $ schemes_arg $ limit_arg $ jobs_arg
       $ no_cache_arg $ cache_dir_arg $ telemetry_arg $ retries_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -917,7 +1138,7 @@ let query_cmd =
       value
       & opt (some string) None
       & info [ "model" ] ~docv:"MODEL"
-          ~doc:"Restrict litmus checking to one model (sc, tso, arm, power)")
+          ~doc:"Restrict litmus checking to one model (see `wmm_bench list` models)")
   in
   let random_arg =
     Arg.(
@@ -979,9 +1200,25 @@ let query_cmd =
             "Per-request deadline: an unanswered request is cut off with a \
              'deadline_exceeded' frame after $(docv) milliseconds")
   in
+  let action_arg =
+    Arg.(
+      value & opt string "conform"
+      & info [ "action" ] ~docv:"ACTION"
+          ~doc:"Lang action: explore, conform, or rank (lang)")
+  in
+  let schemes_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Compilation scheme (repeatable; lang)")
+  in
   let run socket op stdin_mode tests file model random iterations arch_s cost
-      max_edges limit infer_limit retries retry_seed deadline_ms =
+      max_edges limit infer_limit action schemes retries retry_seed deadline_ms =
     if retries < 0 then die "--retries must be non-negative";
+    Option.iter
+      (fun m ->
+        if Wmm_registry.Registry.model_of_string m = None then
+          die "unknown model %S; %s" m Wmm_registry.Registry.valid_models_sentence)
+      model;
     let request_lines =
       if stdin_mode then begin
         let lines = ref [] in
@@ -1024,6 +1261,11 @@ let query_cmd =
                 ("limit", of_int limit);
                 ("infer_limit", of_int infer_limit);
               ]
+          | "lang" ->
+              [ ("action", Str action) ]
+              @ (if tests = [] then [] else [ ("tests", str_list tests) ])
+              @ (if schemes = [] then [] else [ ("schemes", str_list schemes) ])
+              @ [ ("limit", of_int 0) ]
           | _ -> []
         in
         let fields =
@@ -1079,7 +1321,8 @@ let query_cmd =
     Term.(
       const run $ socket_arg $ op_arg $ stdin_arg $ tests_arg $ file_arg $ model_arg
       $ random_arg $ iterations_arg $ arch_s_arg $ cost_arg $ max_edges_arg
-      $ limit_arg $ infer_limit_arg $ retries_arg $ retry_seed_arg $ deadline_arg)
+      $ limit_arg $ infer_limit_arg $ action_arg $ schemes_arg $ retries_arg
+      $ retry_seed_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1305,6 +1548,7 @@ let () =
             figure_cmd;
             analyze_cmd;
             conform_cmd;
+            lang_cmd;
             serve_cmd;
             query_cmd;
             cache_cmd;

@@ -20,6 +20,7 @@ let show_test name =
         | Axiomatic.Sc -> Relaxed.sc_config
         | Axiomatic.Tso -> Relaxed.tso_config
         | Axiomatic.Arm | Axiomatic.Power -> Relaxed.relaxed_config
+        | Axiomatic.Rc11 -> Relaxed.sc_config
       in
       let v = Check.run_random ~iterations:1000 model config test in
       Printf.printf "  %-6s %-9s observed %4d/%d times\n"
@@ -52,6 +53,7 @@ let () =
               | Axiomatic.Sc -> Relaxed.sc_config
               | Axiomatic.Tso -> Relaxed.tso_config
               | Axiomatic.Arm | Axiomatic.Power -> Relaxed.relaxed_config
+              | Axiomatic.Rc11 -> Relaxed.sc_config
             in
             let v = Check.run_exhaustive model config test in
             incr total;

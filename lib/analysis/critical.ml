@@ -36,6 +36,18 @@ let preserved model (e : po_edge) =
       || (has Instr.Eieio e && kind = Wmm_platform.Barrier.Store_store)
       || e.addr_dep || dep_to_write
       || (e.ctrl_dep && List.mem Instr.Isync e.ctrl_pipeline)
+  | Axiomatic.Rc11 ->
+      (* Language tier: an edge is ordered when a strong-enough C11
+         fence intervenes or the endpoint modes synchronise. *)
+      let acq = function Instr.Acquire | Instr.Acq_rel | Instr.Sc -> true | _ -> false in
+      let rel = function Instr.Release | Instr.Acq_rel | Instr.Sc -> true | _ -> false in
+      has Instr.Fence_sc e
+      || (has Instr.Fence_acq_rel e && kind <> Wmm_platform.Barrier.Store_load)
+      || (has Instr.Fence_acq e && not e.src.is_write)
+      || (has Instr.Fence_rel e && e.dst.is_write)
+      || (acq e.src.order && not e.src.is_write)
+      || (rel e.dst.order && e.dst.is_write)
+      || (e.src.order = Instr.Sc && e.dst.order = Instr.Sc)
 
 let max_cycle_len = 8
 

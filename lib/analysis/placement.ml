@@ -7,7 +7,11 @@ type site = { tid : int; at : int; barrier : Instr.barrier }
 type strategy = site list
 
 let full_fence_for b =
-  match Instr.barrier_arch b with Arch.Armv8 -> Instr.Dmb_ish | Arch.Power7 -> Instr.Sync
+  if Instr.is_language_barrier b then Instr.Fence_sc
+  else
+    match Instr.barrier_arch b with
+    | Arch.Armv8 -> Instr.Dmb_ish
+    | Arch.Power7 -> Instr.Sync
 
 (* a subsumes b: inserting a everywhere b was needed still works. *)
 let subsumes a b =
@@ -17,6 +21,8 @@ let subsumes a b =
   | Instr.Dmb_ish, (Instr.Dmb_ishld | Instr.Dmb_ishst) -> true
   | Instr.Sync, (Instr.Lwsync | Instr.Eieio) -> true
   | Instr.Lwsync, Instr.Eieio -> true
+  | Instr.Fence_sc, (Instr.Fence_acq | Instr.Fence_rel | Instr.Fence_acq_rel) -> true
+  | Instr.Fence_acq_rel, (Instr.Fence_acq | Instr.Fence_rel) -> true
   | _ -> false
 
 let join a b =
@@ -46,13 +52,17 @@ let ladder model kind =
       [ Instr.Eieio; Instr.Lwsync; Instr.Sync ]
   | Axiomatic.Power, Wmm_platform.Barrier.Store_load -> [ Instr.Sync ]
   | Axiomatic.Tso, Wmm_platform.Barrier.Store_load -> [ Instr.Dmb_ish ]
+  | Axiomatic.Rc11, (Wmm_platform.Barrier.Load_load | Wmm_platform.Barrier.Load_store) ->
+      [ Instr.Fence_acq; Instr.Fence_sc ]
+  | Axiomatic.Rc11, Wmm_platform.Barrier.Store_store -> [ Instr.Fence_rel; Instr.Fence_sc ]
+  | Axiomatic.Rc11, Wmm_platform.Barrier.Store_load -> [ Instr.Fence_sc ]
   | (Axiomatic.Sc | Axiomatic.Tso), _ -> []
 
 let barrier_uop = function
-  | Instr.Dmb_ish | Instr.Sync -> Uop.Fence_full
-  | Instr.Dmb_ishld -> Uop.Fence_load
+  | Instr.Dmb_ish | Instr.Sync | Instr.Fence_sc -> Uop.Fence_full
+  | Instr.Dmb_ishld | Instr.Fence_acq -> Uop.Fence_load
   | Instr.Dmb_ishst | Instr.Eieio -> Uop.Fence_store
-  | Instr.Lwsync -> Uop.Fence_lw
+  | Instr.Lwsync | Instr.Fence_rel | Instr.Fence_acq_rel -> Uop.Fence_lw
   | Instr.Isb | Instr.Isync -> Uop.Fence_pipeline
 
 let cost_table : (Arch.t * Instr.barrier, float) Hashtbl.t = Hashtbl.create 16
@@ -69,9 +79,9 @@ let micro_cost_ns arch strategy =
   List.fold_left (fun acc s -> acc +. barrier_cost_ns arch s.barrier) 0. strategy
 
 let barrier_strength = function
-  | Instr.Dmb_ish | Instr.Sync -> 3
-  | Instr.Lwsync -> 2
-  | Instr.Dmb_ishld | Instr.Dmb_ishst | Instr.Eieio -> 1
+  | Instr.Dmb_ish | Instr.Sync | Instr.Fence_sc -> 3
+  | Instr.Lwsync | Instr.Fence_rel | Instr.Fence_acq_rel -> 2
+  | Instr.Dmb_ishld | Instr.Dmb_ishst | Instr.Eieio | Instr.Fence_acq -> 1
   | Instr.Isb | Instr.Isync -> 1
 
 let strength strategy =

@@ -16,25 +16,45 @@ let instr_named arch names i =
   match (arch, i) with
   | Arch.Armv8, Instr.Load { dst; addr; order } ->
       let mnemonic =
-        match order with Instr.Plain -> "ldr" | Instr.Acquire -> "ldar" | Instr.Release -> "ldr"
+        match order with
+        | Instr.Plain | Instr.Release -> "ldr"
+        | Instr.Acquire | Instr.Acq_rel | Instr.Sc -> "ldar"
       in
       Printf.sprintf "%s %s, %s" mnemonic (reg dst) (address arch names addr)
   | Arch.Armv8, Instr.Store { src; addr; order } ->
       let mnemonic =
-        match order with Instr.Plain -> "str" | Instr.Release -> "stlr" | Instr.Acquire -> "str"
+        match order with
+        | Instr.Plain | Instr.Acquire -> "str"
+        | Instr.Release | Instr.Acq_rel | Instr.Sc -> "stlr"
       in
       Printf.sprintf "%s %s, %s" mnemonic (operand arch src) (address arch names addr)
   | Arch.Power7, Instr.Load { dst; addr; order } ->
-      let suffix = match order with Instr.Acquire -> " ; cmp; bc; isync" | _ -> "" in
+      let suffix =
+        match order with
+        | Instr.Acquire | Instr.Acq_rel | Instr.Sc -> " ; cmp; bc; isync"
+        | _ -> ""
+      in
       Printf.sprintf "ld %s, %s%s" (reg dst) (address arch names addr) suffix
   | Arch.Power7, Instr.Store { src; addr; order } ->
-      let prefix = match order with Instr.Release -> "lwsync ; " | _ -> "" in
+      let prefix =
+        match order with
+        | Instr.Release | Instr.Acq_rel | Instr.Sc -> "lwsync ; "
+        | _ -> ""
+      in
       Printf.sprintf "%sstd %s, %s" prefix (operand arch src) (address arch names addr)
   | Arch.Armv8, Instr.Load_exclusive { dst; addr; order } ->
-      let mnemonic = match order with Instr.Acquire -> "ldaxr" | _ -> "ldxr" in
+      let mnemonic =
+        match order with
+        | Instr.Acquire | Instr.Acq_rel | Instr.Sc -> "ldaxr"
+        | _ -> "ldxr"
+      in
       Printf.sprintf "%s %s, %s" mnemonic (reg dst) (address arch names addr)
   | Arch.Armv8, Instr.Store_exclusive { status; src; addr; order } ->
-      let mnemonic = match order with Instr.Release -> "stlxr" | _ -> "stxr" in
+      let mnemonic =
+        match order with
+        | Instr.Release | Instr.Acq_rel | Instr.Sc -> "stlxr"
+        | _ -> "stxr"
+      in
       Printf.sprintf "%s %s, %s, %s" mnemonic (reg status) (operand arch src)
         (address arch names addr)
   | Arch.Power7, Instr.Load_exclusive { dst; addr; _ } ->

@@ -2,7 +2,19 @@ type reg = int
 type loc = int
 type value = int
 
-type barrier = Dmb_ish | Dmb_ishld | Dmb_ishst | Isb | Sync | Lwsync | Isync | Eieio
+type barrier =
+  | Dmb_ish
+  | Dmb_ishld
+  | Dmb_ishst
+  | Isb
+  | Sync
+  | Lwsync
+  | Isync
+  | Eieio
+  | Fence_acq
+  | Fence_rel
+  | Fence_acq_rel
+  | Fence_sc
 
 let barrier_mnemonic = function
   | Dmb_ish -> "dmb ish"
@@ -13,12 +25,22 @@ let barrier_mnemonic = function
   | Lwsync -> "lwsync"
   | Isync -> "isync"
   | Eieio -> "eieio"
+  | Fence_acq -> "fence.acq"
+  | Fence_rel -> "fence.rel"
+  | Fence_acq_rel -> "fence.acqrel"
+  | Fence_sc -> "fence.sc"
+
+let is_language_barrier = function
+  | Fence_acq | Fence_rel | Fence_acq_rel | Fence_sc -> true
+  | Dmb_ish | Dmb_ishld | Dmb_ishst | Isb | Sync | Lwsync | Isync | Eieio -> false
 
 let barrier_arch = function
   | Dmb_ish | Dmb_ishld | Dmb_ishst | Isb -> Arch.Armv8
   | Sync | Lwsync | Isync | Eieio -> Arch.Power7
+  | (Fence_acq | Fence_rel | Fence_acq_rel | Fence_sc) as b ->
+      invalid_arg ("Instr.barrier_arch: language-level fence " ^ barrier_mnemonic b)
 
-type order = Plain | Acquire | Release
+type order = Plain | Acquire | Release | Acq_rel | Sc
 
 type operand = Imm of value | Reg of reg
 

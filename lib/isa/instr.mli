@@ -25,16 +25,27 @@ type barrier =
   | Lwsync  (** POWER lightweight sync: all but W->R. *)
   | Isync  (** POWER instruction sync. *)
   | Eieio  (** POWER store ordering for cacheable memory (W->W). *)
+  | Fence_acq  (** C11 [atomic_thread_fence(memory_order_acquire)]. *)
+  | Fence_rel  (** C11 [atomic_thread_fence(memory_order_release)]. *)
+  | Fence_acq_rel  (** C11 [atomic_thread_fence(memory_order_acq_rel)]. *)
+  | Fence_sc  (** C11 [atomic_thread_fence(memory_order_seq_cst)]. *)
 
 val barrier_mnemonic : barrier -> string
 
+val is_language_barrier : barrier -> bool
+(** True for the C11 fences, which belong to the language tier and
+    must be compiled away before reaching a hardware model. *)
+
 val barrier_arch : barrier -> Arch.t
-(** The architecture a barrier instruction belongs to. *)
+(** The architecture a hardware barrier instruction belongs to.
+    Raises [Invalid_argument] on a language-level (C11) fence. *)
 
 type order =
   | Plain
-  | Acquire  (** ARMv8 [ldar]. *)
-  | Release  (** ARMv8 [stlr]. *)
+  | Acquire  (** ARMv8 [ldar]; C11 [memory_order_acquire] at the language tier. *)
+  | Release  (** ARMv8 [stlr]; C11 [memory_order_release]. *)
+  | Acq_rel  (** C11 [memory_order_acq_rel] (language tier; RMWs). *)
+  | Sc  (** C11 [memory_order_seq_cst] (language tier). *)
 
 type operand = Imm of value | Reg of reg
 

@@ -1,0 +1,28 @@
+open Wmm_litmus
+
+(** Compilation containment — the language tier's soundness check:
+    the outcomes of a compiled program under its target hardware
+    model must be a subset of the RC11-allowed outcomes of the source
+    program.  Violations are shrunk with {!Wmm_synth.Conform.shrink}
+    and reported as [Containment]-layer disagreements. *)
+
+val hw_model : Compile.scheme -> Wmm_model.Axiomatic.model
+(** The target hardware model of a scheme's architecture. *)
+
+type check = C_ok of int * int | C_skip of string | C_fail of string
+
+val contain_task : Compile.scheme -> Test.t -> check Wmm_engine.Task.t
+(** Keyed ["lang/contain/v1|scheme|digest"]. *)
+
+type report = {
+  schemes : Compile.scheme list;
+  tests : int;
+  checks : int;
+  skipped : int;
+  disagreements : Wmm_synth.Conform.disagreement list;
+}
+
+val run :
+  ?schemes:Compile.scheme list -> engine:Wmm_engine.Engine.t -> Test.t list -> report
+
+val render : report -> string

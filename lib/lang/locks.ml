@@ -1,0 +1,334 @@
+open Wmm_isa
+open Wmm_litmus
+
+(* Dat3M-style concurrent-algorithm workloads, expressed as bounded
+   two-thread try-lock litmus tests.  Every algorithm follows the same
+   shape: attempt the entry protocol once (forward branches only, so
+   the enumerator's fuel bound is never at risk), and on success set an
+   "entered" witness register and run a tiny critical section that
+   increments a shared counter with relaxed accesses:
+
+      rE := 1 ; rC := [c] ; rT := rC + 1 ; [c] := rT
+
+   The uniform mutual-exclusion violation is then machine-checkable as
+   a final-state condition: both threads entered AND both counter
+   reads returned 0 — i.e. neither critical section saw the other, an
+   overlap witness.  (The sense-reversal barrier uses an analogous
+   data-visibility witness instead.)
+
+   Each algorithm exposes its synchronisation [sites] — the accesses
+   whose C11 order matters — together with per-site defaults strong
+   enough that RC11 forbids the violation.  [build] instantiates the
+   test at any order assignment, which is what the fencing-sensitivity
+   ranking sweeps over. *)
+
+type site_kind = Load_site | Store_site
+
+type t = {
+  name : string;
+  description : string;
+  sites : (string * site_kind) array;
+      (** Synchronisation access labels, in program order. *)
+  defaults : Instr.order array;  (** One order per site. *)
+  build : Instr.order array -> Test.t;
+}
+
+(* Witness registers shared by every lock. *)
+let rE = 0 (* entered *)
+let rC = 1 (* critical-section counter read *)
+let rT = 2 (* counter + 1 *)
+
+let enter = Instr.Mov { dst = rE; src = Instr.Imm 1 }
+
+let critical ~counter =
+  [
+    enter;
+    C11.load ~mode:C11.rlx ~dst:rC ~loc:counter;
+    Instr.Op { op = Instr.Add; dst = rT; a = Instr.Reg rC; b = Instr.Imm 1 };
+    C11.store_reg ~mode:C11.rlx ~src:rT ~loc:counter;
+  ]
+
+let mutex_violation = [ ((0, rE), 1); ((1, rE), 1); ((0, rC), 0); ((1, rC), 0) ]
+
+let check_sites sites orders =
+  if Array.length orders <> Array.length sites then
+    invalid_arg "Locks.build: one order per site required"
+
+let make_lock ~name ~description ~sites ~defaults ~threads ?(condition = mutex_violation)
+    ~locations () =
+  check_sites sites defaults;
+  {
+    name;
+    description;
+    sites;
+    defaults;
+    build =
+      (fun orders ->
+        check_sites sites orders;
+        Test.make ~name ~description ~locations ~threads:(threads orders) ~condition
+          ~expected:[] ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dekker (try-lock core): store own flag, enter unless the other's
+   flag is up.  The store/load pair is the store-buffering shape, so
+   both sites default to sc.                                           *)
+
+let rF = 3
+
+let dekker =
+  let f i = i (* f0 = 0, f1 = 1 *) and c = 2 in
+  let thread i orders =
+    let j = 1 - i in
+    Array.of_list
+      ([
+         C11.store ~mode:orders.(0) ~value:1 ~loc:(f i);
+         C11.load ~mode:orders.(1) ~dst:rF ~loc:(f j);
+         Instr.Cbnz { src = rF; offset = 4 };
+       ]
+      @ critical ~counter:c)
+  in
+  make_lock ~name:"dekker"
+    ~description:"Dekker try-lock core: flag store vs. opposing flag load (SB shape)"
+    ~sites:[| ("flag-store", Store_site); ("flag-load", Load_site) |]
+    ~defaults:[| C11.sc; C11.sc |]
+    ~locations:[| "f0"; "f1"; "c" |]
+    ~threads:(fun orders -> [ thread 0 orders; thread 1 orders ]) ()
+
+(* ------------------------------------------------------------------ *)
+(* Peterson: flags plus a turn variable; enter if the other's flag is
+   down OR the turn is ours.                                           *)
+
+let rTu = 4
+let rD = 5
+
+let peterson =
+  let f i = i and turn = 2 and c = 3 in
+  let thread i orders =
+    let j = 1 - i in
+    Array.of_list
+      ([
+         C11.store ~mode:orders.(0) ~value:1 ~loc:(f i);
+         C11.store ~mode:orders.(1) ~value:j ~loc:turn;
+         C11.load ~mode:orders.(2) ~dst:rF ~loc:(f j);
+         C11.load ~mode:orders.(3) ~dst:rTu ~loc:turn;
+         (* enter if rF = 0 or rTu = i *)
+         Instr.Cbz { src = rF; offset = 2 };
+         Instr.Op { op = Instr.Sub; dst = rD; a = Instr.Reg rTu; b = Instr.Imm i };
+         Instr.Cbnz { src = rD; offset = 4 };
+       ]
+      @ critical ~counter:c)
+  in
+  make_lock ~name:"peterson"
+    ~description:"Peterson's algorithm (bounded): flags and a turn variable"
+    ~sites:
+      [|
+        ("flag-store", Store_site);
+        ("turn-store", Store_site);
+        ("flag-load", Load_site);
+        ("turn-load", Load_site);
+      |]
+    ~defaults:[| C11.sc; C11.sc; C11.sc; C11.sc |]
+    ~locations:[| "f0"; "f1"; "turn"; "c" |]
+    ~threads:(fun orders -> [ thread 0 orders; thread 1 orders ]) ()
+
+(* ------------------------------------------------------------------ *)
+(* Compare-and-swap lock: CAS(l, 0 -> 1) guards the critical section;
+   a plain release store unlocks.  Mutual exclusion leans on RMW
+   atomicity plus the release/acquire edge through the lock word.      *)
+
+let r_status = 6
+let rL = 7
+
+let cas_lock =
+  let l = 0 and c = 1 in
+  let thread _i orders =
+    Array.of_list
+      ([
+         Instr.Mov { dst = r_status; src = Instr.Imm 1 };
+         Instr.Load_exclusive { dst = rL; addr = Instr.Imm l; order = orders.(0) };
+         Instr.Cbnz { src = rL; offset = 7 };
+         Instr.Store_exclusive
+           { status = r_status; src = Instr.Imm 1; addr = Instr.Imm l; order = orders.(1) };
+         Instr.Cbnz { src = r_status; offset = 5 };
+       ]
+      @ critical ~counter:c
+      @ [ C11.store ~mode:orders.(2) ~value:0 ~loc:l ])
+  in
+  make_lock ~name:"cas-lock"
+    ~description:"Try-lock via CAS(l, 0 -> 1); release store unlocks"
+    ~sites:
+      [| ("cas-read", Load_site); ("cas-write", Store_site); ("unlock", Store_site) |]
+    ~defaults:[| C11.acq; C11.rlx; C11.rel |]
+    ~locations:[| "l"; "c" |]
+    ~threads:(fun orders -> [ thread 0 orders; thread 1 orders ]) ()
+
+(* ------------------------------------------------------------------ *)
+(* Atomic-exchange (test-and-set) lock: unconditionally swap 1 into
+   the lock word; enter if the old value was 0.                        *)
+
+let exchange =
+  let l = 0 and c = 1 in
+  let thread _i orders =
+    Array.of_list
+      ([
+         Instr.Mov { dst = r_status; src = Instr.Imm 1 };
+         Instr.Load_exclusive { dst = rL; addr = Instr.Imm l; order = orders.(0) };
+         Instr.Store_exclusive
+           { status = r_status; src = Instr.Imm 1; addr = Instr.Imm l; order = orders.(1) };
+         Instr.Cbnz { src = r_status; offset = 6 };
+         Instr.Cbnz { src = rL; offset = 5 };
+       ]
+      @ critical ~counter:c
+      @ [ C11.store ~mode:orders.(2) ~value:0 ~loc:l ])
+  in
+  make_lock ~name:"exchange"
+    ~description:"Test-and-set lock via atomic exchange; enter on old value 0"
+    ~sites:
+      [| ("xchg-read", Load_site); ("xchg-write", Store_site); ("unlock", Store_site) |]
+    ~defaults:[| C11.acq; C11.rlx; C11.rel |]
+    ~locations:[| "l"; "c" |]
+    ~threads:(fun orders -> [ thread 0 orders; thread 1 orders ]) ()
+
+(* ------------------------------------------------------------------ *)
+(* Bakery doorway (bounded, two threads): announce choosing, take a
+   ticket one above the other's number (a data-dependent store), then
+   enter only if the other is neither choosing nor holding a ticket.   *)
+
+let rN = 3
+let rTk = 4
+let rCh = 5
+let rN2 = 6
+
+let bakery =
+  let ch i = i (* ch0 = 0, ch1 = 1 *) and n i = 2 + i and c = 4 in
+  let thread i orders =
+    let j = 1 - i in
+    Array.of_list
+      ([
+         C11.store ~mode:orders.(0) ~value:1 ~loc:(ch i);
+         C11.load ~mode:orders.(1) ~dst:rN ~loc:(n j);
+         Instr.Op { op = Instr.Add; dst = rTk; a = Instr.Reg rN; b = Instr.Imm 1 };
+         C11.store_reg ~mode:orders.(2) ~src:rTk ~loc:(n i);
+         C11.store ~mode:orders.(3) ~value:0 ~loc:(ch i);
+         C11.load ~mode:orders.(4) ~dst:rCh ~loc:(ch j);
+         Instr.Cbnz { src = rCh; offset = 6 };
+         C11.load ~mode:orders.(5) ~dst:rN2 ~loc:(n j);
+         Instr.Cbnz { src = rN2; offset = 4 };
+       ]
+      @ critical ~counter:c)
+  in
+  make_lock ~name:"bakery"
+    ~description:"Lamport bakery doorway (bounded): choosing flags and ticket numbers"
+    ~sites:
+      [|
+        ("choosing-store", Store_site);
+        ("number-read", Load_site);
+        ("number-store", Store_site);
+        ("choosing-clear", Store_site);
+        ("choosing-read", Load_site);
+        ("number-recheck", Load_site);
+      |]
+    ~defaults:[| C11.sc; C11.sc; C11.sc; C11.sc; C11.sc; C11.sc |]
+    ~locations:[| "ch0"; "ch1"; "n0"; "n1"; "c" |]
+    ~threads:(fun orders -> [ thread 0 orders; thread 1 orders ]) ()
+
+(* ------------------------------------------------------------------ *)
+(* Filter lock (two threads, one level): raise own level, volunteer as
+   victim, enter if the other's level is down OR we are not the
+   victim.                                                             *)
+
+let rV = 4
+
+let filter =
+  let lv i = i and v = 2 and c = 3 in
+  let thread i orders =
+    let j = 1 - i in
+    Array.of_list
+      ([
+         C11.store ~mode:orders.(0) ~value:1 ~loc:(lv i);
+         C11.store ~mode:orders.(1) ~value:i ~loc:v;
+         C11.load ~mode:orders.(2) ~dst:rF ~loc:(lv j);
+         C11.load ~mode:orders.(3) ~dst:rV ~loc:v;
+         (* enter if rF = 0 or rV <> i *)
+         Instr.Cbz { src = rF; offset = 2 };
+         Instr.Op { op = Instr.Sub; dst = rD; a = Instr.Reg rV; b = Instr.Imm i };
+         Instr.Cbz { src = rD; offset = 4 };
+       ]
+      @ critical ~counter:c)
+  in
+  make_lock ~name:"filter"
+    ~description:"Filter lock, single level: level flags and a victim variable"
+    ~sites:
+      [|
+        ("level-store", Store_site);
+        ("victim-store", Store_site);
+        ("level-load", Load_site);
+        ("victim-load", Load_site);
+      |]
+    ~defaults:[| C11.sc; C11.sc; C11.sc; C11.sc |]
+    ~locations:[| "lv0"; "lv1"; "v"; "c" |]
+    ~threads:(fun orders -> [ thread 0 orders; thread 1 orders ]) ()
+
+(* ------------------------------------------------------------------ *)
+(* Sense-reversal barrier (one episode, bounded): publish data, fetch-
+   add the arrival count; the last arriver flips the sense, earlier
+   arrivers sample it once.  The witness is data visibility: both
+   threads passing while one misses the other's published datum.       *)
+
+let r_one = 3
+let rArr = 4
+let rNew = 5
+let rS = 7
+let rDt = 8
+
+let barrier =
+  let d i = i (* d0 = 0, d1 = 1 *) and count = 2 and sense = 3 in
+  let thread i orders =
+    let j = 1 - i in
+    [|
+      (* 0 *) C11.store ~mode:C11.rlx ~value:1 ~loc:(d i);
+      (* 1 *) Instr.Mov { dst = r_one; src = Instr.Imm 1 };
+      (* 2 *) Instr.Mov { dst = r_status; src = Instr.Imm 1 };
+      (* 3 *)
+      Instr.Load_exclusive { dst = rArr; addr = Instr.Imm count; order = orders.(0) };
+      (* 4 *) Instr.Op { op = Instr.Add; dst = rNew; a = Instr.Reg rArr; b = Instr.Imm 1 };
+      (* 5 *)
+      Instr.Store_exclusive
+        { status = r_status; src = Instr.Reg rNew; addr = Instr.Imm count;
+          order = orders.(1) };
+      (* 6 *) Instr.Cbnz { src = r_status; offset = 7 } (* fetch-add failed: give up *);
+      (* 7 *) Instr.Cbnz { src = rArr; offset = 3 } (* last arriver: open the gate *);
+      (* 8 *) C11.load ~mode:orders.(3) ~dst:rS ~loc:sense;
+      (* 9 *) Instr.Cbz { src = rS; offset = 4 } (* gate closed: give up *);
+      (* 10 *) Instr.Cbnz { src = r_one; offset = 1 } (* skip the gate-open store *);
+      (* 11 *) C11.store ~mode:orders.(2) ~value:1 ~loc:sense;
+      (* 12 *) enter;
+      (* 13 *) C11.load ~mode:C11.rlx ~dst:rDt ~loc:(d j);
+    |]
+  in
+  make_lock ~name:"barrier"
+    ~description:
+      "Sense-reversal barrier episode: fetch-add arrival count, last arriver flips the \
+       sense"
+    ~sites:
+      [|
+        ("count-read", Load_site);
+        ("count-write", Store_site);
+        ("sense-store", Store_site);
+        ("sense-load", Load_site);
+      |]
+    ~defaults:[| C11.acq; C11.rel; C11.rel; C11.acq |]
+    ~condition:[ ((0, rE), 1); ((1, rE), 1); ((1, rDt), 0) ]
+    ~locations:[| "d0"; "d1"; "count"; "sense" |]
+    ~threads:(fun orders -> [ thread 0 orders; thread 1 orders ]) ()
+
+(* ------------------------------------------------------------------ *)
+
+let all = [ dekker; peterson; cas_lock; exchange; bakery; filter; barrier ]
+
+let by_name name = List.find_opt (fun l -> l.name = name) all
+
+let test_of l = l.build l.defaults
+
+let violation l = (test_of l).Test.condition

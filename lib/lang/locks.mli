@@ -1,0 +1,37 @@
+open Wmm_isa
+open Wmm_litmus
+
+(** Concurrent-algorithm workloads: bounded two-thread try-lock litmus
+    tests with a machine-checkable mutual-exclusion violation (both
+    threads entered AND both critical-section counter reads saw 0).
+    Each lock exposes its synchronisation sites and per-site default
+    C11 orders; [build] instantiates the test at any assignment, which
+    the fencing-sensitivity ranking sweeps over. *)
+
+type site_kind = Load_site | Store_site
+
+type t = {
+  name : string;
+  description : string;
+  sites : (string * site_kind) array;
+  defaults : Instr.order array;
+  build : Instr.order array -> Test.t;
+}
+
+val dekker : t
+val peterson : t
+val cas_lock : t
+val exchange : t
+val bakery : t
+val filter : t
+val barrier : t
+
+val all : t list
+val by_name : string -> t option
+
+val test_of : t -> Test.t
+(** The lock at its default (correct) orders. *)
+
+val violation : t -> Test.condition
+(** The mutual-exclusion (or, for the barrier, data-visibility)
+    violation condition. *)

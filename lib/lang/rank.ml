@@ -1,0 +1,182 @@
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+module Task = Wmm_engine.Task
+module Engine = Wmm_engine.Engine
+module Verify = Wmm_analysis.Verify
+
+(* Fencing-sensitivity ranking over the lock suite: for every lock
+   and compilation scheme, weaken each synchronisation site by one
+   step of the C11 strength ladder (loads: sc -> acq -> rlx, stores:
+   sc -> rel -> rlx) and ask whether the mutual-exclusion violation
+   becomes reachable — at the language level under RC11, and on the
+   target under the compiled hardware model.  A lock's sensitivity is
+   the fraction of one-step weakenings that break it on the target:
+   high sensitivity means every ordering annotation is load-bearing,
+   low sensitivity means the algorithm leaves ordering slack the
+   compiler's fences then pay for. *)
+
+(* Marshal-stable task result. *)
+type probe = R_broken | R_safe | R_skip of string
+
+type entry = {
+  site : string;
+  from_order : Instr.order;
+  to_order : Instr.order;
+  rc11 : probe;  (** Violation reachable under RC11 at the source. *)
+  hw : probe;  (** Violation reachable under the compiled target. *)
+}
+
+type row = {
+  lock : string;
+  scheme : Compile.scheme;
+  default_safe : bool;
+      (** At the default orders, the violation is unreachable both
+          under RC11 and on the compiled target. *)
+  entries : entry list;
+  broken : int;
+  total : int;
+}
+
+let sensitivity r = if r.total = 0 then 0.0 else float_of_int r.broken /. float_of_int r.total
+
+let weaker kind order =
+  match (kind, order) with
+  | _, Instr.Plain -> None
+  | Locks.Load_site, (Instr.Sc | Instr.Acq_rel | Instr.Release) -> Some Instr.Acquire
+  | Locks.Load_site, Instr.Acquire -> Some Instr.Plain
+  | Locks.Store_site, (Instr.Sc | Instr.Acq_rel | Instr.Acquire) -> Some Instr.Release
+  | Locks.Store_site, Instr.Release -> Some Instr.Plain
+
+let violation_outcome (t : Test.t) =
+  { Enumerate.registers = t.Test.condition; memory = t.Test.mem_condition }
+
+let probe_task ~model_id model (t : Test.t) =
+  let key = Printf.sprintf "lang/rank/v1|%s|%s" model_id (Verify.test_digest t) in
+  let label = Printf.sprintf "rank %s %s" model_id t.Test.name in
+  Task.pure ~key ~label (fun () ->
+      match
+        Enumerate.outcome_allowed model t.Test.program (violation_outcome t)
+      with
+      | true -> R_broken
+      | false -> R_safe
+      | exception Failure msg -> R_skip msg)
+
+let rc11_probe t = probe_task ~model_id:"rc11" Axiomatic.Rc11 t
+
+let hw_probe scheme t =
+  probe_task ~model_id:(Compile.scheme_name scheme) (Contain.hw_model scheme)
+    (Compile.compile_test scheme t)
+
+let default_schemes = [ Compile.Arm_native; Compile.Power_sync ]
+
+let weakenings (lock : Locks.t) =
+  List.concat
+    (List.mapi
+       (fun i (label, kind) ->
+         match weaker kind lock.Locks.defaults.(i) with
+         | None -> []
+         | Some to_order ->
+             let orders = Array.copy lock.Locks.defaults in
+             orders.(i) <- to_order;
+             [ (label, lock.Locks.defaults.(i), to_order, orders) ])
+       (Array.to_list lock.Locks.sites))
+
+let run ?(schemes = default_schemes) ?(locks = Locks.all) ~engine () =
+  let batch = Engine.Batch.create () in
+  let cells =
+    List.concat_map
+      (fun (lock : Locks.t) ->
+        let base = Locks.test_of lock in
+        let weak = weakenings lock in
+        List.map
+          (fun scheme ->
+            let base_rc11 = Engine.Batch.add batch (rc11_probe base) in
+            let base_hw = Engine.Batch.add batch (hw_probe scheme base) in
+            let probes =
+              List.map
+                (fun (site, from_order, to_order, orders) ->
+                  let t = lock.Locks.build orders in
+                  ( site,
+                    from_order,
+                    to_order,
+                    Engine.Batch.add batch (rc11_probe t),
+                    Engine.Batch.add batch (hw_probe scheme t) ))
+                weak
+            in
+            (lock, scheme, base_rc11, base_hw, probes))
+          schemes)
+      locks
+  in
+  Engine.Batch.run engine batch;
+  let get p = match Engine.get (p ()) with
+    | r -> r
+    | exception Failure msg -> R_skip ("task failed: " ^ msg)
+  in
+  List.map
+    (fun ((lock : Locks.t), scheme, base_rc11, base_hw, probes) ->
+      let entries =
+        List.map
+          (fun (site, from_order, to_order, rc11, hw) ->
+            { site; from_order; to_order; rc11 = get rc11; hw = get hw })
+          probes
+      in
+      let broken = List.length (List.filter (fun e -> e.hw = R_broken) entries) in
+      {
+        lock = lock.Locks.name;
+        scheme;
+        default_safe = get base_rc11 = R_safe && get base_hw = R_safe;
+        entries;
+        broken;
+        total = List.length entries;
+      })
+    cells
+
+(* One machine-greppable line per row; the one-shot CLI prints these
+   and the served daemon embeds the identical string in its JSON
+   payload, so round-trip tests can diff them verbatim. *)
+let row_line r =
+  Printf.sprintf "rank|%s|%s|%d/%d|%.3f|%s" (Compile.scheme_name r.scheme) r.lock
+    r.broken r.total (sensitivity r)
+    (if r.default_safe then "defaults-safe" else "defaults-unsafe")
+
+(* Deterministic: sensitivity descending, then lock name, within each
+   scheme block in [schemes] order. *)
+let render ?(schemes = default_schemes) rows =
+  let b = Buffer.create 1024 in
+  let probe_mark = function
+    | R_broken -> "broken"
+    | R_safe -> "safe"
+    | R_skip _ -> "skip"
+  in
+  List.iter
+    (fun scheme ->
+      let block =
+        List.filter (fun r -> r.scheme = scheme) rows
+        |> List.sort (fun a b ->
+               match compare (sensitivity b) (sensitivity a) with
+               | 0 -> compare a.lock b.lock
+               | c -> c)
+      in
+      if block <> [] then (
+        Printf.bprintf b "fencing sensitivity [%s -> %s]:\n"
+          (Compile.scheme_name scheme)
+          (Arch.name (Compile.scheme_arch scheme));
+        List.iteri
+          (fun i r ->
+            Printf.bprintf b "  %d. %-10s %d/%d weakenings break it (%.2f)%s\n" (i + 1)
+              r.lock r.broken r.total (sensitivity r)
+              (if r.default_safe then "" else "  [DEFAULTS UNSAFE]"))
+          block;
+        List.iter
+          (fun r ->
+            List.iter
+              (fun e ->
+                Printf.bprintf b "     %s.%s: %s -> %s  rc11=%s hw=%s\n" r.lock e.site
+                  (C11.mode_name e.from_order) (C11.mode_name e.to_order)
+                  (probe_mark e.rc11) (probe_mark e.hw))
+              r.entries)
+          block;
+        Buffer.add_char b '\n'))
+    schemes;
+  Buffer.contents b

@@ -1,0 +1,54 @@
+open Wmm_isa
+open Wmm_litmus
+
+(** Fencing-sensitivity ranking: weaken each lock's synchronisation
+    sites one C11 strength step at a time and measure how many
+    weakenings make the mutual-exclusion violation reachable on each
+    compiled target.  All probes run as cached engine tasks. *)
+
+type probe = R_broken | R_safe | R_skip of string
+
+type entry = {
+  site : string;
+  from_order : Instr.order;
+  to_order : Instr.order;
+  rc11 : probe;
+  hw : probe;
+}
+
+type row = {
+  lock : string;
+  scheme : Compile.scheme;
+  default_safe : bool;
+  entries : entry list;
+  broken : int;
+  total : int;
+}
+
+val sensitivity : row -> float
+
+val weaker : Locks.site_kind -> Instr.order -> Instr.order option
+(** One step down the ladder; [None] at the bottom ([rlx]). *)
+
+val default_schemes : Compile.scheme list
+(** The canonical scheme per architecture:
+    [[Arm_native; Power_sync]]. *)
+
+val probe_task :
+  model_id:string -> Wmm_model.Axiomatic.model -> Test.t -> probe Wmm_engine.Task.t
+
+val run :
+  ?schemes:Compile.scheme list ->
+  ?locks:Locks.t list ->
+  engine:Wmm_engine.Engine.t ->
+  unit ->
+  row list
+
+val row_line : row -> string
+(** ["rank|scheme|lock|broken/total|sensitivity|defaults-safe"]: the
+    stable line both the CLI and the served daemon emit, so
+    round-trips diff verbatim. *)
+
+val render : ?schemes:Compile.scheme list -> row list -> string
+(** Per scheme: locks ranked by sensitivity (descending, name as
+    tie-break) followed by the per-site probe table. *)

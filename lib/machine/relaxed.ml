@@ -183,15 +183,20 @@ let source_values window e = List.map (fun s -> Option.get (source_value window 
 let older_entries window eid = List.filter (fun e -> e.eid < eid) window
 
 let is_full_barrier = function
-  | Instr.Barrier (Instr.Dmb_ish | Instr.Sync) -> true
+  | Instr.Barrier (Instr.Dmb_ish | Instr.Sync | Instr.Fence_sc) -> true
   | _ -> false
 
 let is_load_barrier = function
-  | Instr.Barrier (Instr.Dmb_ishld | Instr.Lwsync) -> true
+  | Instr.Barrier (Instr.Dmb_ishld | Instr.Lwsync | Instr.Fence_acq | Instr.Fence_acq_rel)
+    ->
+      true
   | _ -> false
 
 let is_store_marker_barrier = function
-  | Instr.Barrier (Instr.Dmb_ishst | Instr.Lwsync | Instr.Eieio) -> true
+  | Instr.Barrier
+      (Instr.Dmb_ishst | Instr.Lwsync | Instr.Eieio | Instr.Fence_rel | Instr.Fence_acq_rel)
+    ->
+      true
   | _ -> false
 
 let is_pipeline_barrier = function
@@ -206,15 +211,15 @@ let is_store e =
 
 let is_acquire_load e =
   match e.instr with
-  | Instr.Load { order = Instr.Acquire; _ } | Instr.Load_exclusive { order = Instr.Acquire; _ }
-    ->
+  | Instr.Load { order = Instr.Acquire | Instr.Acq_rel | Instr.Sc; _ }
+  | Instr.Load_exclusive { order = Instr.Acquire | Instr.Acq_rel | Instr.Sc; _ } ->
       true
   | _ -> false
 
 let is_release_store e =
   match e.instr with
-  | Instr.Store { order = Instr.Release; _ }
-  | Instr.Store_exclusive { order = Instr.Release; _ } ->
+  | Instr.Store { order = Instr.Release | Instr.Acq_rel | Instr.Sc; _ }
+  | Instr.Store_exclusive { order = Instr.Release | Instr.Acq_rel | Instr.Sc; _ } ->
       true
   | _ -> false
 
@@ -268,9 +273,11 @@ let can_execute config t buffer e =
     match e.instr with
     | Instr.Nop | Instr.Mov _ | Instr.Op _ -> true
     | Instr.Cbnz _ | Instr.Cbz _ -> true
-    | Instr.Barrier (Instr.Dmb_ish | Instr.Sync) -> older_all_done && buffer = []
-    | Instr.Barrier Instr.Dmb_ishld -> older_loads_done
-    | Instr.Barrier Instr.Lwsync -> older_loads_done && older_stores_done
+    | Instr.Barrier (Instr.Dmb_ish | Instr.Sync | Instr.Fence_sc) ->
+        older_all_done && buffer = []
+    | Instr.Barrier (Instr.Dmb_ishld | Instr.Fence_acq) -> older_loads_done
+    | Instr.Barrier (Instr.Lwsync | Instr.Fence_rel | Instr.Fence_acq_rel) ->
+        older_loads_done && older_stores_done
     | Instr.Barrier (Instr.Dmb_ishst | Instr.Eieio) -> older_stores_done
     | Instr.Barrier (Instr.Isb | Instr.Isync) -> older_all_done
     | Instr.Store { order; _ } | Instr.Store_exclusive { order; _ } ->
@@ -286,7 +293,8 @@ let can_execute config t buffer e =
                || o.executed)
              older
         && (match order with
-           | Instr.Release -> older_loads_done && older_all_done
+           | Instr.Release | Instr.Acq_rel | Instr.Sc ->
+               older_loads_done && older_all_done
            | Instr.Plain | Instr.Acquire -> true)
         &&
         (* A store-exclusive writes through: it may not overtake an
@@ -344,7 +352,7 @@ let can_execute config t buffer e =
         barrier_clear && load_order_ok && store_hazard_clear
         &&
         match order with
-        | Instr.Acquire ->
+        | Instr.Acquire | Instr.Acq_rel | Instr.Sc ->
             (* RCsc: a load-acquire is ordered after every older
                store-release, whether still in the window or in the
                buffer. *)
@@ -442,12 +450,15 @@ let execute_entry config (program : Program.thread) state tid eid =
   | Instr.Barrier b ->
       let t = mark_executed t eid ~result:0 ~resolved_loc:(-1) in
       (match b with
-      | Instr.Dmb_ishst | Instr.Lwsync | Instr.Eieio ->
+      | Instr.Dmb_ishst | Instr.Lwsync | Instr.Eieio | Instr.Fence_rel
+      | Instr.Fence_acq_rel ->
           (* Normalise: a marker with nothing before it orders
              nothing (and would wedge full barriers waiting on an
              empty buffer). *)
           buffers.(tid) <- normalise_buffer (buffers.(tid) @ [ Bmarker ])
-      | Instr.Dmb_ish | Instr.Dmb_ishld | Instr.Isb | Instr.Sync | Instr.Isync -> ());
+      | Instr.Dmb_ish | Instr.Dmb_ishld | Instr.Isb | Instr.Sync | Instr.Isync
+      | Instr.Fence_acq | Instr.Fence_sc ->
+          ());
       finish t
   | Instr.Store { src; addr; order } ->
       let value, loc =

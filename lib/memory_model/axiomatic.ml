@@ -1,10 +1,17 @@
 open Wmm_isa
 
-type model = Sc | Tso | Arm | Power
+type model = Sc | Tso | Arm | Power | Rc11
 
-let all_models = [ Sc; Tso; Arm; Power ]
+let all_models = [ Sc; Tso; Arm; Power; Rc11 ]
 
-let model_name = function Sc -> "SC" | Tso -> "TSO" | Arm -> "ARMv8" | Power -> "POWER"
+let model_name = function
+  | Sc -> "SC"
+  | Tso -> "TSO"
+  | Arm -> "ARMv8"
+  | Power -> "POWER"
+  | Rc11 -> "RC11"
+
+let hardware_models = [ Sc; Tso; Arm; Power ]
 
 let model_for_arch = function Arch.Armv8 -> Arm | Arch.Power7 -> Power
 
@@ -42,6 +49,7 @@ type static = {
   fence_empty : bool;
       (** no fence edges: POWER's prop relation is empty, making
           observation vacuous and propagation just acyclic(co) *)
+  rc11 : Rc11.ctx option;  (** language-tier context, [Some] iff model = Rc11 *)
 }
 
 let prepare model (x : Execution.t) =
@@ -88,8 +96,9 @@ let prepare model (x : Execution.t) =
   in
   let fence =
     match model with
-    | Sc ->
-        (* Fences add nothing on top of full program order. *)
+    | Sc | Rc11 ->
+        (* SC: fences add nothing on top of full program order.
+           RC11: fences act through sw/psc, computed in {!Rc11}. *)
         B.create n
     | Tso ->
         (* Any full fence restores the relaxed write->read pairs. *)
@@ -124,7 +133,7 @@ let prepare model (x : Execution.t) =
   let mem_po = B.restrict po ~domain:mem_m ~range:mem_m in
   let ppo_static =
     match model with
-    | Sc -> mem_po
+    | Sc | Rc11 -> mem_po
     | Tso ->
         (* Drop write->read pairs: stores may be delayed in the store
            buffer past later reads. *)
@@ -136,7 +145,7 @@ let prepare model (x : Execution.t) =
           match model with
           | Arm -> ctrl_isync [ Instr.Isb ]
           | Power -> ctrl_isync [ Instr.Isync ]
-          | Sc | Tso -> B.create n
+          | Sc | Tso | Rc11 -> B.create n
         in
         let acq_rel =
           match model with
@@ -149,12 +158,14 @@ let prepare model (x : Execution.t) =
                   B.restrict po ~domain:mem_m ~range:rel_m;
                   B.restrict po ~domain:rel_m ~range:acq_m;
                 ]
-          | Sc | Tso | Power -> B.create n
+          | Sc | Tso | Power | Rc11 -> B.create n
         in
         B.union_all n [ addr; data; ctrl_w; addr_po_w; restored; acq_rel ]
   in
   let prune_core =
-    match model with Sc -> po | Tso | Arm | Power -> B.union ppo_static fence
+    match model with
+    | Sc | Rc11 -> po
+    | Tso | Arm | Power -> B.union ppo_static fence
   in
   let ext =
     let r = B.create n in
@@ -185,6 +196,7 @@ let prepare model (x : Execution.t) =
     rmw_empty = B.is_empty rmw;
     deps_empty = B.is_empty addr_data;
     fence_empty = B.is_empty fence;
+    rc11 = (if model = Rc11 then Some (Rc11.prepare x) else None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -223,6 +235,7 @@ let axiom_checks st ~rf ~co =
   ::
   (match st.model with
   | Sc -> [ ("sc", fun () -> B.is_acyclic (B.union st.po (Lazy.force com))) ]
+  | Rc11 -> Rc11.checks (Option.get st.rc11) ~rf ~co
   | Tso ->
       [
         ( "sc-per-location",
@@ -310,7 +323,13 @@ let consistent_static st ~rf ~co =
    sc-per-location and no-thin-air; observation and propagation remain
    to be checked.  The golden tests against the reference enumerator
    guard this correspondence - update both sides together. *)
-let residual_axioms = function Sc | Tso | Arm -> [] | Power -> [ "observation"; "propagation" ]
+let residual_axioms = function
+  | Sc | Tso | Arm -> []
+  | Power -> [ "observation"; "propagation" ]
+  | Rc11 ->
+      (* The monotone core covers atomicity, sc-per-location and
+         po U rf acyclicity; coherence's sw part and psc remain. *)
+      [ "coherence"; "sc" ]
 
 let residual_consistent st ~rf ~co =
   match residual_axioms st.model with
@@ -340,7 +359,7 @@ let prune_possible st =
   || (not (B.is_empty st.po_loc))
   ||
   match st.model with
-  | Sc -> not (B.is_empty st.po)
+  | Sc | Rc11 -> not (B.is_empty st.po)
   | Tso | Arm | Power -> not (B.is_empty st.prune_core && st.deps_empty)
 
 let prune_viable st ~rf ~co =
@@ -354,6 +373,12 @@ let prune_viable st ~rf ~co =
   &&
   match st.model with
   | Sc -> B.is_acyclic (B.union_all n [ st.prune_core; rf; co; fr ])
+  | Rc11 ->
+      (* Sound necessary conditions, all monotone in rf/co: coherence
+         implies SC-per-location (hb contains po, eco contains the
+         com edges), and no-thin-air is exactly acyclic(po U rf). *)
+      B.is_acyclic (B.union_all n [ st.po_loc; rf; co; fr ])
+      && B.is_acyclic (B.union st.po rf)
   | Tso ->
       B.is_acyclic (B.union_all n [ st.po_loc; rf; co; fr ])
       && B.is_acyclic (B.union_all n [ st.prune_core; external_part st rf; co; fr ])
@@ -397,7 +422,7 @@ let fence_order model x = B.to_relation (prepare model x).fence
 let preserved_program_order model x =
   let st = prepare model x in
   match model with
-  | Sc | Tso -> B.to_relation st.ppo_static
+  | Sc | Tso | Rc11 -> B.to_relation st.ppo_static
   | Arm | Power ->
       let rf, _ = bit_rf_co x in
       let rfe = external_part st rf in
@@ -410,6 +435,7 @@ let happens_before model x =
   let rfe = external_part st rf in
   match model with
   | Sc -> B.to_relation (B.union st.po (B.union_all st.n [ rf; co; fr ]))
+  | Rc11 -> B.to_relation (Rc11.happens_before (Option.get st.rc11) ~rf ~co)
   | Tso -> B.to_relation (B.union_all st.n [ st.ppo_static; st.fence; rfe ])
   | Arm ->
       B.to_relation

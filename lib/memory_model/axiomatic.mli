@@ -1,7 +1,7 @@
 open Wmm_isa
 (** Axiomatic consistency predicates.
 
-    Four models are provided:
+    Five models are provided:
 
     - [Sc]: sequential consistency — acyclic(po U com).
     - [Tso]: total store order (x86-style) — SC-per-location plus
@@ -16,6 +16,10 @@ open Wmm_isa
       fre;prop;hb^* ), propagation (acyclic co U prop).  POWER is
       non-multi-copy-atomic: IRIW with address dependencies stays
       allowed, unlike ARMv8.
+    - [Rc11]: the C11/RC11 language-level model (see {!Rc11}) —
+      coherence (irreflexive hb;eco?), atomicity, SC (acyclic psc)
+      and no-thin-air as acyclicity of po U rf, over access modes
+      rlx/acq/rel/acq_rel/sc and C11 fences.
 
     Simplifications relative to the full published models are noted
     in DESIGN.md: preserved-program-order is dependency-based (addr,
@@ -23,9 +27,13 @@ open Wmm_isa
     rdw/detour refinements, and read-modify-write atomicity is not
     modelled (no rmw events are generated). *)
 
-type model = Sc | Tso | Arm | Power
+type model = Sc | Tso | Arm | Power | Rc11
 
 val all_models : model list
+
+val hardware_models : model list
+(** The models a machine can implement directly: everything but the
+    language-tier [Rc11]. *)
 
 val model_name : model -> string
 

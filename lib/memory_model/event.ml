@@ -13,9 +13,15 @@ let is_write e = match e.action with Write _ -> true | _ -> false
 let is_fence e = match e.action with Fence _ -> true | _ -> false
 let is_init e = e.tid = init_tid
 
-let is_acquire e = match e.action with Read { order = Instr.Acquire; _ } -> true | _ -> false
+let is_acquire e =
+  match e.action with
+  | Read { order = Instr.Acquire | Instr.Acq_rel | Instr.Sc; _ } -> true
+  | _ -> false
 
-let is_release e = match e.action with Write { order = Instr.Release; _ } -> true | _ -> false
+let is_release e =
+  match e.action with
+  | Write { order = Instr.Release | Instr.Acq_rel | Instr.Sc; _ } -> true
+  | _ -> false
 
 let is_fence_kind kind e = match e.action with Fence b -> b = kind | _ -> false
 
@@ -33,11 +39,19 @@ let pp fmt e =
     match e.action with
     | Read { loc; value; order } ->
         Printf.sprintf "R%s m%d=%d"
-          (match order with Instr.Acquire -> "acq" | _ -> "")
+          (match order with
+          | Instr.Acquire -> "acq"
+          | Instr.Acq_rel -> "ar"
+          | Instr.Sc -> "sc"
+          | Instr.Plain | Instr.Release -> "")
           loc value
     | Write { loc; value; order } ->
         Printf.sprintf "W%s m%d=%d"
-          (match order with Instr.Release -> "rel" | _ -> "")
+          (match order with
+          | Instr.Release -> "rel"
+          | Instr.Acq_rel -> "ar"
+          | Instr.Sc -> "sc"
+          | Instr.Plain | Instr.Acquire -> "")
           loc value
     | Fence b -> Printf.sprintf "F[%s]" (Instr.barrier_mnemonic b)
   in

@@ -12,6 +12,9 @@ let machine_config_for_model = function
   | Axiomatic.Sc -> Wmm_machine.Relaxed.sc_config
   | Axiomatic.Tso -> Wmm_machine.Relaxed.tso_config
   | Axiomatic.Arm | Axiomatic.Power -> Wmm_machine.Relaxed.relaxed_config
+  (* No machine implements the language tier; the SC machine's
+     outcomes are a sound subset of the RC11-allowed set. *)
+  | Axiomatic.Rc11 -> Wmm_machine.Relaxed.sc_config
 
 let resolve_litmus_tests ~tests ~program =
   match program with
@@ -180,6 +183,128 @@ let run_conform ~engine ~arch ~max_edges ~limit ~infer_limit =
   summary :: List.map disagreement report.disagreements
 
 (* ------------------------------------------------------------------ *)
+(* lang *)
+
+let resolve_schemes ~default = function
+  | [] -> default
+  | names ->
+      List.map
+        (fun name ->
+          match Wmm_lang.Compile.scheme_of_string name with
+          | Some s -> s
+          | None -> failwith (Printf.sprintf "unknown compilation scheme %S" name))
+        names
+
+(* A lang test name resolves against the lock suite first, then the
+   litmus library (lifted to C11 accesses). *)
+let resolve_lang_tests ~default names =
+  match names with
+  | [] -> default ()
+  | names ->
+      List.map
+        (fun name ->
+          let base =
+            if Filename.check_suffix name "+c11" then Filename.chop_suffix name "+c11"
+            else name
+          in
+          match Wmm_lang.Locks.by_name name with
+          | Some l -> Wmm_lang.Locks.test_of l
+          | None -> (
+              match Library.by_name base with
+              | Some t -> Wmm_lang.C11.lift_test t
+              | None -> failwith (Printf.sprintf "unknown lang test %S" name)))
+        names
+
+let cap limit tests = List.filteri (fun i _ -> limit = 0 || i < limit) tests
+
+let run_lang ~engine ~action ~tests ~schemes ~limit =
+  let open Wmm_lang in
+  match action with
+  | Protocol.L_explore ->
+      ignore engine;
+      let battery =
+        cap limit
+          (resolve_lang_tests ~default:(fun () -> List.map Locks.test_of Locks.all)
+             tests)
+      in
+      List.map
+        (fun (t : Test.t) ->
+          let outcomes =
+            Wmm_model.Enumerate.allowed_outcomes Wmm_model.Axiomatic.Rc11
+              t.Test.program
+          in
+          obj
+            [
+              ("test", Json.Str t.Test.name);
+              ("model", Json.Str "rc11");
+              ("outcomes", Json.of_int (List.length outcomes));
+              ( "witness_reachable",
+                Json.Bool
+                  (Wmm_model.Enumerate.outcome_allowed Wmm_model.Axiomatic.Rc11
+                     t.Test.program
+                     {
+                       Wmm_model.Enumerate.registers = t.Test.condition;
+                       memory = t.Test.mem_condition;
+                     }) );
+            ])
+        battery
+  | Protocol.L_conform ->
+      let schemes = resolve_schemes ~default:Compile.all_schemes schemes in
+      let battery =
+        cap limit
+          (resolve_lang_tests
+             ~default:(fun () ->
+               List.map C11.lift_test Library.all @ List.map Locks.test_of Locks.all)
+             tests)
+      in
+      let report = Contain.run ~schemes ~engine battery in
+      let summary =
+        obj
+          [
+            ("tests", Json.of_int report.Contain.tests);
+            ("checks", Json.of_int report.Contain.checks);
+            ("skipped", Json.of_int report.Contain.skipped);
+            ( "violations",
+              Json.of_int (List.length report.Contain.disagreements) );
+          ]
+      in
+      let disagreement (d : Wmm_synth.Conform.disagreement) =
+        obj
+          [
+            ("layer", Json.Str (Wmm_synth.Conform.layer_name d.Wmm_synth.Conform.layer));
+            ("test", Json.Str d.Wmm_synth.Conform.test.Test.name);
+            ("detail", Json.Str d.Wmm_synth.Conform.detail);
+          ]
+      in
+      summary :: List.map disagreement report.Contain.disagreements
+  | Protocol.L_rank ->
+      let schemes = resolve_schemes ~default:Rank.default_schemes schemes in
+      let locks =
+        match tests with
+        | [] -> Locks.all
+        | names ->
+            List.map
+              (fun name ->
+                match Locks.by_name name with
+                | Some l -> l
+                | None -> failwith (Printf.sprintf "unknown lock %S" name))
+              names
+      in
+      let rows = Rank.run ~schemes ~locks ~engine () in
+      List.map
+        (fun r ->
+          obj
+            [
+              ("scheme", Json.Str (Compile.scheme_name r.Rank.scheme));
+              ("lock", Json.Str r.Rank.lock);
+              ("broken", Json.of_int r.Rank.broken);
+              ("total", Json.of_int r.Rank.total);
+              ("default_safe", Json.Bool r.Rank.default_safe);
+              ("line", Json.Str (Rank.row_line r));
+            ])
+        rows
+
+(* ------------------------------------------------------------------ *)
 
 let compute ~engine = function
   | Protocol.Litmus { tests; program; model; mode } ->
@@ -187,4 +312,6 @@ let compute ~engine = function
   | Protocol.Analyze { tests; arch; cost } -> run_analyze ~engine ~tests ~arch ~cost
   | Protocol.Conform { arch; max_edges; limit; infer_limit } ->
       run_conform ~engine ~arch ~max_edges ~limit ~infer_limit
+  | Protocol.Lang { action; tests; schemes; limit } ->
+      run_lang ~engine ~action ~tests ~schemes ~limit
   | req -> invalid_arg ("Ops.compute: non-cacheable op " ^ Protocol.op_name req)

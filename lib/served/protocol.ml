@@ -7,6 +7,8 @@ let schema_version = 2
 
 type litmus_mode = Exhaustive | Random of int
 
+type lang_action = L_explore | L_conform | L_rank
+
 type request =
   | Litmus of {
       tests : string list;
@@ -16,6 +18,12 @@ type request =
     }
   | Analyze of { tests : string list; arch : Arch.t; cost : bool }
   | Conform of { arch : Arch.t; max_edges : int; limit : int; infer_limit : int }
+  | Lang of {
+      action : lang_action;
+      tests : string list;  (** Lock or litmus names; [] = default battery. *)
+      schemes : string list;  (** Compilation schemes; [] = defaults. *)
+      limit : int;
+    }
   | Cache_stats
   | Stats
   | Ping
@@ -28,19 +36,8 @@ type envelope = {
   retry : int;
 }
 
-let model_wire_name = function
-  | Axiomatic.Sc -> "sc"
-  | Axiomatic.Tso -> "tso"
-  | Axiomatic.Arm -> "arm"
-  | Axiomatic.Power -> "power"
-
-let model_of_string s =
-  match String.lowercase_ascii s with
-  | "sc" -> Some Axiomatic.Sc
-  | "tso" -> Some Axiomatic.Tso
-  | "arm" | "armv8" -> Some Axiomatic.Arm
-  | "power" -> Some Axiomatic.Power
-  | _ -> None
+let model_wire_name = Wmm_registry.Registry.model_wire_name
+let model_of_string = Wmm_registry.Registry.model_of_string
 
 let ( let* ) = Result.bind
 
@@ -118,6 +115,34 @@ let parse_conform v =
   else if limit < 1 then Error "field \"limit\" must be >= 1"
   else Ok (Conform { arch; max_edges; limit; infer_limit })
 
+let lang_action_name = function
+  | L_explore -> "explore"
+  | L_conform -> "conform"
+  | L_rank -> "rank"
+
+let parse_lang v =
+  let* action =
+    match Json.str_member "action" v with
+    | None | Some "conform" -> Ok L_conform
+    | Some "explore" -> Ok L_explore
+    | Some "rank" -> Ok L_rank
+    | Some a -> Error (Printf.sprintf "unknown lang action %S" a)
+  in
+  let* tests = tests_field v in
+  let* schemes =
+    match Json.member "schemes" v with
+    | None -> Ok []
+    | Some (Json.Arr _) -> (
+        match Json.list_member "schemes" v with
+        | Some ss -> Ok ss
+        | None -> Error "field \"schemes\" must be an array of strings")
+    | Some (Json.Str s) -> Ok [ s ]
+    | Some _ -> Error "field \"schemes\" must be an array of strings"
+  in
+  let* limit = int_field v "limit" 0 in
+  if limit < 0 then Error "field \"limit\" must be >= 0"
+  else Ok (Lang { action; tests; schemes; limit })
+
 let parse_request v =
   match v with
   | Json.Obj _ ->
@@ -128,6 +153,7 @@ let parse_request v =
         | Some "litmus" -> parse_litmus v
         | Some "analyze" -> parse_analyze v
         | Some "conform" -> parse_conform v
+        | Some "lang" -> parse_lang v
         | Some "cache-stats" -> Ok Cache_stats
         | Some "stats" -> Ok Stats
         | Some "ping" -> Ok Ping
@@ -150,13 +176,14 @@ let parse_request v =
   | _ -> Error "request must be a JSON object"
 
 let cacheable = function
-  | Litmus _ | Analyze _ | Conform _ -> true
+  | Litmus _ | Analyze _ | Conform _ | Lang _ -> true
   | Cache_stats | Stats | Ping | Shutdown -> false
 
 let op_name = function
   | Litmus _ -> "litmus"
   | Analyze _ -> "analyze"
   | Conform _ -> "conform"
+  | Lang _ -> "lang"
   | Cache_stats -> "cache-stats"
   | Stats -> "stats"
   | Ping -> "ping"
@@ -185,6 +212,10 @@ let canonical_key req =
   | Conform { arch; max_edges; limit; infer_limit } ->
       Printf.sprintf "served/v%d|conform|arch=%s|max_edges=%d|limit=%d|infer=%d"
         schema_version (Arch.name arch) max_edges limit infer_limit
+  | Lang { action; tests; schemes; limit } ->
+      Printf.sprintf "served/v%d|lang|action=%s|tests=%s|schemes=%s|limit=%d"
+        schema_version (lang_action_name action) (String.concat "," tests)
+        (String.concat "," schemes) limit
   | req -> invalid_arg ("Protocol.canonical_key: non-cacheable op " ^ op_name req)
 
 let response ~id ~op ~seq ~final ?(status = "ok") ?served_from ?wall_us payload =

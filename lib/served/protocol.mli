@@ -19,6 +19,8 @@ val schema_version : int
 
 type litmus_mode = Exhaustive | Random of int  (** iterations *)
 
+type lang_action = L_explore | L_conform | L_rank
+
 type request =
   | Litmus of {
       tests : string list;  (** Library names; [[]] = the whole library. *)
@@ -30,6 +32,15 @@ type request =
   | Analyze of { tests : string list; arch : Arch.t; cost : bool }
       (** [tests = []] analyses the whole library. *)
   | Conform of { arch : Arch.t; max_edges : int; limit : int; infer_limit : int }
+  | Lang of {
+      action : lang_action;
+      tests : string list;
+          (** Lock-suite or litmus-library names; [[]] = the default
+              battery (the lock suite, plus the lifted library for
+              [conform]). *)
+      schemes : string list;  (** Compilation schemes; [[]] = defaults. *)
+      limit : int;  (** Battery cap; [0] = unbounded. *)
+    }
   | Cache_stats
   | Stats
   | Ping
@@ -60,7 +71,8 @@ val op_name : request -> string
 
 val cacheable : request -> bool
 (** Whether responses may be cached / journaled / deduplicated:
-    [true] for the pure computations ([litmus]/[analyze]/[conform]),
+    [true] for the pure computations
+    ([litmus]/[analyze]/[conform]/[lang]),
     [false] for control and introspection ops. *)
 
 val canonical_key : request -> string

@@ -575,6 +575,11 @@ let stats_payload t =
     ("jobs", Json.of_int (Workqueue.jobs t.pool));
     ("pool_depth", Json.of_int (Workqueue.depth t.pool));
     ("pool_submitted", Json.of_int (Workqueue.submitted t.pool));
+    ( "models",
+      Json.Arr
+        (List.map
+           (fun s -> Json.Str s)
+           Wmm_registry.Registry.model_wire_names) );
   ]
 
 let request_shutdown t =
@@ -627,7 +632,7 @@ let handle_request t client envelope =
   | Protocol.Shutdown ->
       reply [ ("stopping", Json.Bool true) ];
       request_shutdown t
-  | Protocol.Litmus _ | Protocol.Analyze _ | Protocol.Conform _ ->
+  | Protocol.Litmus _ | Protocol.Analyze _ | Protocol.Conform _ | Protocol.Lang _ ->
       Mutex.lock t.s_lock;
       if t.stopping || t.pending >= t.cfg.queue_bound then begin
         let retry_after_ms = suggested_retry_after_ms t in

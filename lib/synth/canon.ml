@@ -20,6 +20,8 @@ let order_code = function
   | Instr.Plain -> ""
   | Instr.Acquire -> "A"
   | Instr.Release -> "Q"
+  | Instr.Acq_rel -> "AQ"
+  | Instr.Sc -> "S"
 
 let edge_code (e : EG.po_edge) =
   let fs = List.sort compare (List.map Instr.barrier_mnemonic e.fences) in

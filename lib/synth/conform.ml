@@ -7,12 +7,13 @@ module Relaxed = Wmm_machine.Relaxed
 module Infer = Wmm_analysis.Infer
 module Verify = Wmm_analysis.Verify
 
-type layer = Explore | Machine | Inference
+type layer = Explore | Machine | Inference | Containment
 
 let layer_name = function
   | Explore -> "explore-vs-oracle"
   | Machine -> "machine-within-model"
   | Inference -> "fence-inference"
+  | Containment -> "compilation-containment"
 
 type disagreement = {
   layer : layer;

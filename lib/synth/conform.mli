@@ -26,11 +26,17 @@ open Wmm_litmus
       out.  An [Unfixed] result or a failed witness is a
       disagreement.
 
+    A fourth layer, {b containment}, is produced by the language tier
+    ({!Wmm_lang.Contain}): outcomes of a compiled program under the
+    target hardware model must be a subset of the RC11-allowed
+    outcomes of the source program.  It reuses this module's
+    disagreement shape and shrinker.
+
     All model checks run as engine tasks with content-derived keys,
     so conformance runs fan out across domains and replay from
     cache/journal exactly like the analysis pipeline. *)
 
-type layer = Explore | Machine | Inference
+type layer = Explore | Machine | Inference | Containment
 
 val layer_name : layer -> string
 

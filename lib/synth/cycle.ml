@@ -127,6 +127,10 @@ let fence_short = function
   | Instr.Lwsync -> "lwsync"
   | Instr.Isync -> "isync"
   | Instr.Eieio -> "eieio"
+  | Instr.Fence_acq -> "fence.acq"
+  | Instr.Fence_rel -> "fence.rel"
+  | Instr.Fence_acq_rel -> "fence.acqrel"
+  | Instr.Fence_sc -> "fence.sc"
 
 let po_annot_name arch (p : po) =
   match p.kind with

@@ -1,0 +1,46 @@
+(* Regenerates test/data/lang_golden.txt: the language-tier verdict
+   table.  For every lock workload (at its default orders) and a
+   pinned set of lifted classic litmus tests, print whether the
+   interesting condition is reachable under RC11 at the source and
+   under the target hardware model for each canonical compilation
+   scheme.  CI regenerates this table and diffs it against the
+   checked-in copy. *)
+
+open Wmm_model
+open Wmm_litmus
+open Wmm_lang
+
+let schemes = [ Compile.Arm_native; Compile.Power_sync ]
+
+let verdict model (t : Test.t) =
+  let outcome =
+    { Enumerate.registers = t.Test.condition; memory = t.Test.mem_condition }
+  in
+  if Enumerate.outcome_allowed model t.Test.program outcome then "Allow" else "Forbid"
+
+let row (t : Test.t) =
+  let cells =
+    verdict Axiomatic.Rc11 t
+    :: List.map
+         (fun s -> verdict (Contain.hw_model s) (Compile.compile_test s t))
+         schemes
+  in
+  Printf.printf "%-28s %s\n" t.Test.name (String.concat " " (List.map (Printf.sprintf "%-6s") cells))
+
+let classic_names =
+  [ "SB"; "SB+dmbs"; "MP"; "MP+dmb"; "MP+rel+acq"; "LB"; "LB+datas"; "SB+rel+acq";
+    "IRIW"; "IRIW+dmbs"; "WRC"; "2+2W" ]
+
+let () =
+  Printf.printf "# lang golden: condition reachability at the language tier\n";
+  Printf.printf "# columns: test  rc11  %s\n"
+    (String.concat "  " (List.map Compile.scheme_name schemes));
+  Printf.printf "## locks (defaults)\n";
+  List.iter (fun l -> row (Locks.test_of l)) Locks.all;
+  Printf.printf "## lifted classics\n";
+  List.iter
+    (fun name ->
+      match Library.by_name name with
+      | None -> Printf.printf "%-28s missing\n" name
+      | Some t -> row (C11.lift_test t))
+    classic_names

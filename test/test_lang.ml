@@ -1,0 +1,295 @@
+(* The language tier: RC11 verdicts on hand-built classics, the
+   library lift, compilation branch-offset fixup, compilation
+   containment on a pinned subset, lock-suite mutual exclusion at
+   default and weakened orders, the fencing-sensitivity ranking, the
+   language-level CAS failure path, and the golden verdict table. *)
+
+open Wmm_isa
+open Wmm_model
+open Wmm_litmus
+open Wmm_lang
+
+let allowed model (t : Test.t) =
+  Enumerate.outcome_allowed model t.Test.program
+    { Enumerate.registers = t.Test.condition; memory = t.Test.mem_condition }
+
+(* Hand-built classics at chosen C11 orders ---------------------------- *)
+
+let mp ~mode_w ~mode_r =
+  Test.make ~name:"mp-c11" ~description:"message passing"
+    ~locations:[| "x"; "f" |]
+    ~threads:
+      [
+        [| C11.store ~mode:C11.rlx ~value:1 ~loc:0; C11.store ~mode:mode_w ~value:1 ~loc:1 |];
+        [| C11.load ~mode:mode_r ~dst:1 ~loc:1; C11.load ~mode:C11.rlx ~dst:2 ~loc:0 |];
+      ]
+    ~condition:[ ((1, 1), 1); ((1, 2), 0) ]
+    ~expected:[] ()
+
+let sb ~mode =
+  Test.make ~name:"sb-c11" ~description:"store buffering"
+    ~locations:[| "x"; "y" |]
+    ~threads:
+      [
+        [| C11.store ~mode ~value:1 ~loc:0; C11.load ~mode ~dst:1 ~loc:1 |];
+        [| C11.store ~mode ~value:1 ~loc:1; C11.load ~mode ~dst:1 ~loc:0 |];
+      ]
+    ~condition:[ ((0, 1), 0); ((1, 1), 0) ]
+    ~expected:[] ()
+
+let lb_rlx =
+  Test.make ~name:"lb-c11" ~description:"load buffering"
+    ~locations:[| "x"; "y" |]
+    ~threads:
+      [
+        [| C11.load ~mode:C11.rlx ~dst:1 ~loc:0; C11.store ~mode:C11.rlx ~value:1 ~loc:1 |];
+        [| C11.load ~mode:C11.rlx ~dst:1 ~loc:1; C11.store ~mode:C11.rlx ~value:1 ~loc:0 |];
+      ]
+    ~condition:[ ((0, 1), 1); ((1, 1), 1) ]
+    ~expected:[] ()
+
+let test_rc11_classics () =
+  Alcotest.(check bool) "MP+rel+acq forbidden" false
+    (allowed Axiomatic.Rc11 (mp ~mode_w:C11.rel ~mode_r:C11.acq));
+  Alcotest.(check bool) "MP all-rlx allowed" true
+    (allowed Axiomatic.Rc11 (mp ~mode_w:C11.rlx ~mode_r:C11.rlx));
+  Alcotest.(check bool) "SB+sc forbidden" false (allowed Axiomatic.Rc11 (sb ~mode:C11.sc));
+  Alcotest.(check bool) "SB rlx allowed" true (allowed Axiomatic.Rc11 (sb ~mode:C11.rlx));
+  (* No-thin-air: po U rf acyclicity forbids LB even fully relaxed. *)
+  Alcotest.(check bool) "LB rlx forbidden" false (allowed Axiomatic.Rc11 lb_rlx)
+
+let test_library_lift () =
+  let lifted = C11.lifted_library () in
+  Alcotest.(check int) "1:1 with the hardware library" (List.length Library.all)
+    (List.length lifted);
+  List.iter
+    (fun (t : Test.t) ->
+      Alcotest.(check bool) (t.Test.name ^ " suffixed") true
+        (Filename.check_suffix t.Test.name "+c11");
+      Alcotest.(check bool) (t.Test.name ^ " expected dropped") true
+        (t.Test.expected = []))
+    lifted
+
+(* Compilation --------------------------------------------------------- *)
+
+let test_compile_offsets () =
+  (* Dekker under the leading-sync scheme: the try-lock's forward
+     branch must still land exactly on the thread end after sync/
+     lwsync insertion, and compiled relaxed loads must carry the
+     degenerate cbnz +0 control dependency. *)
+  let t = Locks.test_of Locks.dekker in
+  let compiled = Compile.compile_test Compile.Power_sync t in
+  Array.iteri
+    (fun tid thread ->
+      let len = Array.length thread in
+      Array.iteri
+        (fun i instr ->
+          match instr with
+          | Instr.Cbnz { offset; _ } | Instr.Cbz { offset; _ } ->
+              let target = i + 1 + offset in
+              Alcotest.(check bool)
+                (Printf.sprintf "thread %d pc %d branch in range" tid i)
+                true
+                (target >= 0 && target <= len)
+          | _ -> ())
+        thread)
+    compiled.Test.program.Program.threads;
+  let thread0 = compiled.Test.program.Program.threads.(0) in
+  let escapes =
+    Array.to_list thread0
+    |> List.mapi (fun i instr -> (i, instr))
+    |> List.filter_map (function
+         | i, Instr.Cbnz { offset; _ } when offset <> 0 -> Some (i + 1 + offset)
+         | _ -> None)
+  in
+  Alcotest.(check (list int)) "try-lock escape branch retargeted to thread end"
+    [ Array.length thread0 ] escapes;
+  let fake_ctrl =
+    Array.to_list thread0
+    |> List.filter (function Instr.Cbnz { offset = 0; _ } -> true | _ -> false)
+  in
+  Alcotest.(check bool) "relaxed load carries cbnz +0" true (fake_ctrl <> [])
+
+let test_compile_no_language_residue () =
+  (* Compiled programs must be pure target ISA: no Acq_rel/Sc access
+     orders, no language-tier fences. *)
+  List.iter
+    (fun scheme ->
+      let t = Compile.compile_test scheme (C11.lift_test (Option.get (Library.by_name "SB+dmbs"))) in
+      Array.iter
+        (fun thread ->
+          Array.iter
+            (fun instr ->
+              (match instr with
+              | Instr.Load { order; _ }
+              | Instr.Store { order; _ }
+              | Instr.Load_exclusive { order; _ }
+              | Instr.Store_exclusive { order; _ } ->
+                  Alcotest.(check bool)
+                    (Compile.scheme_name scheme ^ " no language order") false
+                    (order = Instr.Acq_rel || order = Instr.Sc)
+              | _ -> ());
+              match instr with
+              | Instr.Barrier b ->
+                  Alcotest.(check bool)
+                    (Compile.scheme_name scheme ^ " no language fence") false
+                    (Instr.is_language_barrier b)
+              | _ -> ())
+            thread)
+        t.Test.program.Program.threads)
+    Compile.all_schemes
+
+let test_containment_subset () =
+  let engine = Wmm_engine.Engine.create ~jobs:0 () in
+  let tests =
+    [
+      C11.lift_test (Option.get (Library.by_name "SB"));
+      C11.lift_test (Option.get (Library.by_name "MP+rel+acq"));
+      Locks.test_of Locks.cas_lock;
+    ]
+  in
+  let report = Contain.run ~engine tests in
+  Alcotest.(check int) "3 tests x 3 schemes" 9 report.Contain.checks;
+  Alcotest.(check int) "nothing skipped" 0 report.Contain.skipped;
+  Alcotest.(check int) "no containment violations" 0
+    (List.length report.Contain.disagreements)
+
+(* Locks --------------------------------------------------------------- *)
+
+let test_locks_default_safe () =
+  List.iter
+    (fun (l : Locks.t) ->
+      Alcotest.(check bool) (l.Locks.name ^ " defaults forbid the violation") false
+        (allowed Axiomatic.Rc11 (Locks.test_of l)))
+    Locks.all
+
+let test_dekker_relaxed_unsafe () =
+  let weakened =
+    Locks.dekker.Locks.build (Array.map (fun _ -> C11.rlx) Locks.dekker.Locks.defaults)
+  in
+  Alcotest.(check bool) "all-rlx dekker admits the violation" true
+    (allowed Axiomatic.Rc11 weakened)
+
+let test_rank_cas_lock () =
+  let engine = Wmm_engine.Engine.create ~jobs:0 () in
+  let rows =
+    Rank.run ~schemes:[ Compile.Arm_native ] ~locks:[ Locks.cas_lock ] ~engine ()
+  in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check string) "stable row line"
+        "rank|arm-native|cas-lock|2/2|1.000|defaults-safe" (Rank.row_line row);
+      (* Containment must persist at weakened orders: any weakening
+         that breaks the compiled target also breaks RC11. *)
+      List.iter
+        (fun (e : Rank.entry) ->
+          if e.Rank.hw = Rank.R_broken then
+            Alcotest.(check bool) (e.Rank.site ^ " hw-broken implies rc11-broken") true
+              (e.Rank.rc11 = Rank.R_broken))
+        row.Rank.entries
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+(* Language-level CAS -------------------------------------------------- *)
+
+let test_cas_failure_path () =
+  let cas_thread ~expected =
+    Array.of_list
+      (C11.cas ~status:3 ~old:1 ~tmp:2 ~expected ~desired:9 ~loc:0 ~mode_r:C11.acq
+         ~mode_w:C11.rel)
+  in
+  let test ~expected =
+    Test.make ~name:"cas-c11" ~description:"single-thread CAS" ~locations:[| "x" |]
+      ~threads:[ cas_thread ~expected ] ~condition:[] ~expected:[] ()
+  in
+  (* Value mismatch: the failure path is the only path — status 1 and
+     memory untouched in every RC11-consistent outcome. *)
+  let miss = test ~expected:5 in
+  List.iter
+    (fun (o : Enumerate.outcome) ->
+      Alcotest.(check int) "status 1 on mismatch" 1 (List.assoc (0, 3) o.Enumerate.registers);
+      Alcotest.(check int) "memory untouched" 0 (List.assoc 0 o.Enumerate.memory))
+    (Enumerate.allowed_outcomes Axiomatic.Rc11 miss.Test.program);
+  (* Value match: the success outcome must be reachable. *)
+  let hit = test ~expected:0 in
+  Alcotest.(check bool) "swap reachable on match" true
+    (Enumerate.outcome_allowed Axiomatic.Rc11 hit.Test.program
+       { Enumerate.registers = [ ((0, 3), 0) ]; memory = [ (0, 9) ] })
+
+(* Golden table -------------------------------------------------------- *)
+
+let golden_schemes = [ Compile.Arm_native; Compile.Power_sync ]
+
+let golden_table () =
+  let b = Buffer.create 2048 in
+  let verdict model (t : Test.t) =
+    let outcome =
+      { Enumerate.registers = t.Test.condition; memory = t.Test.mem_condition }
+    in
+    if Enumerate.outcome_allowed model t.Test.program outcome then "Allow" else "Forbid"
+  in
+  let row (t : Test.t) =
+    let cells =
+      verdict Axiomatic.Rc11 t
+      :: List.map
+           (fun s -> verdict (Contain.hw_model s) (Compile.compile_test s t))
+           golden_schemes
+    in
+    Printf.bprintf b "%-28s %s\n" t.Test.name
+      (String.concat " " (List.map (Printf.sprintf "%-6s") cells))
+  in
+  Printf.bprintf b "# lang golden: condition reachability at the language tier\n";
+  Printf.bprintf b "# columns: test  rc11  %s\n"
+    (String.concat "  " (List.map Compile.scheme_name golden_schemes));
+  Printf.bprintf b "## locks (defaults)\n";
+  List.iter (fun l -> row (Locks.test_of l)) Locks.all;
+  Printf.bprintf b "## lifted classics\n";
+  List.iter
+    (fun name ->
+      match Library.by_name name with
+      | None -> Printf.bprintf b "%-28s missing\n" name
+      | Some t -> row (C11.lift_test t))
+    [ "SB"; "SB+dmbs"; "MP"; "MP+dmb"; "MP+rel+acq"; "LB"; "LB+datas"; "SB+rel+acq";
+      "IRIW"; "IRIW+dmbs"; "WRC"; "2+2W" ];
+  Buffer.contents b
+
+let test_golden () =
+  let path =
+    if Sys.file_exists "data/lang_golden.txt" then "data/lang_golden.txt"
+    else "test/data/lang_golden.txt"
+  in
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let expected = really_input_string ic n in
+  close_in ic;
+  let got = golden_table () in
+  if got <> expected then begin
+    let gl = String.split_on_char '\n' got
+    and el = String.split_on_char '\n' expected in
+    let rec first_diff i = function
+      | g :: gs, e :: es -> if g = e then first_diff (i + 1) (gs, es) else (i, g, e)
+      | g :: _, [] -> (i, g, "<end of golden file>")
+      | [], e :: _ -> (i, "<end of generated table>", e)
+      | [], [] -> (i, "", "")
+    in
+    let i, g, e = first_diff 1 (gl, el) in
+    Alcotest.failf
+      "golden verdict table drifted at line %d:\n  generated: %s\n  golden:    %s\n\
+       Regenerate with `dune exec test/gen_lang_golden.exe > test/data/lang_golden.txt` \
+       after a deliberate model or compiler change."
+      i g e
+  end
+
+let suite =
+  [
+    Alcotest.test_case "rc11 classics" `Quick test_rc11_classics;
+    Alcotest.test_case "library lift" `Quick test_library_lift;
+    Alcotest.test_case "compile offsets" `Quick test_compile_offsets;
+    Alcotest.test_case "compile leaves no language residue" `Quick
+      test_compile_no_language_residue;
+    Alcotest.test_case "containment subset" `Quick test_containment_subset;
+    Alcotest.test_case "locks default-safe" `Quick test_locks_default_safe;
+    Alcotest.test_case "dekker all-rlx unsafe" `Quick test_dekker_relaxed_unsafe;
+    Alcotest.test_case "rank cas-lock" `Quick test_rank_cas_lock;
+    Alcotest.test_case "cas failure path" `Quick test_cas_failure_path;
+    Alcotest.test_case "golden verdict table" `Quick test_golden;
+  ]

@@ -7,6 +7,7 @@ let config_for model =
   | Axiomatic.Sc -> Relaxed.sc_config
   | Axiomatic.Tso -> Relaxed.tso_config
   | Axiomatic.Arm | Axiomatic.Power -> Relaxed.relaxed_config
+  | Axiomatic.Rc11 -> Relaxed.sc_config
 
 let test_library_programs_valid () =
   List.iter

@@ -31,6 +31,7 @@ let () =
       ("conform", Test_conform.suite);
       ("optimizer+counters", Test_optimizer.suite);
       ("rmw", Test_rmw.suite);
+      ("lang", Test_lang.suite);
       ("experiments", Test_experiments.suite);
       ("experiments-slow", Test_experiments.slow_suite);
     ]

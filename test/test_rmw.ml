@@ -148,6 +148,78 @@ let test_atomicity_axiom_direct () =
   Alcotest.(check bool) "fine without the rmw pair" true
     (Axiomatic.consistent Axiomatic.Sc without_rmw)
 
+(* Store-conditional failure path -------------------------------------- *)
+
+(* T0 runs a single-attempt increment; T1's plain store can revoke the
+   monitor.  Built at any exclusive-access order so both the plain
+   (ldxr/stxr) and ordered (ldaxr/stlxr) flavours are covered. *)
+let stx_failure_program order =
+  Program.make ~name:"stx-fail" ~location_names:[| "x" |]
+    [
+      [|
+        Instr.Load_exclusive { dst = 1; addr = Instr.Imm 0; order };
+        Instr.Op { op = Instr.Add; dst = 2; a = Instr.Reg 1; b = Instr.Imm 1 };
+        Instr.Store_exclusive { status = 3; src = Instr.Reg 2; addr = Instr.Imm 0; order };
+      |];
+      [| Instr.Store { src = Instr.Imm 7; addr = Instr.Imm 0; order = Instr.Plain } |];
+    ]
+
+let hw_models = [ Axiomatic.Arm; Axiomatic.Power ]
+
+let test_stx_failure_axiomatic () =
+  List.iter
+    (fun order ->
+      let p = stx_failure_program order in
+      List.iter
+        (fun model ->
+          let name fmt = Printf.sprintf fmt (Axiomatic.model_name model) in
+          (* The failure path: T1's write lands co-between the
+             exclusive pair, the store-conditional reports 1. *)
+          Alcotest.(check bool) (name "%s: failure outcome reachable") true
+            (Enumerate.outcome_allowed model p
+               { Enumerate.registers = [ ((0, 3), 1) ]; memory = [ (0, 7) ] });
+          (* A failed store-conditional must not have written: status 1
+             with the increment in memory is an atomicity violation. *)
+          Alcotest.(check bool) (name "%s: failed stx writes nothing") false
+            (Enumerate.outcome_allowed model p
+               { Enumerate.registers = [ ((0, 3), 1) ]; memory = [ (0, 1) ] });
+          (* The success path still exists. *)
+          Alcotest.(check bool) (name "%s: success outcome reachable") true
+            (Enumerate.outcome_allowed model p
+               { Enumerate.registers = [ ((0, 1), 0); ((0, 3), 0) ]; memory = [] }))
+        hw_models)
+    [ Instr.Plain; Instr.Acquire ]
+
+let test_stx_failure_machine () =
+  List.iter
+    (fun order ->
+      let p = stx_failure_program order in
+      let outcomes = Relaxed.enumerate Relaxed.relaxed_config p in
+      let failures =
+        List.filter (fun (o : Relaxed.outcome) -> List.assoc (0, 3) o.Relaxed.registers = 1)
+          outcomes
+      in
+      Alcotest.(check bool) "machine reaches the failure path" true (failures <> []);
+      List.iter
+        (fun (o : Relaxed.outcome) ->
+          (* Failure means T1's store won the location. *)
+          Alcotest.(check int) "failed stx leaves the racing store" 7
+            (List.assoc 0 o.Relaxed.memory))
+        failures;
+      (* Machine containment on the failure path: every operational
+         outcome is axiomatically allowed on both architectures. *)
+      List.iter
+        (fun (o : Relaxed.outcome) ->
+          List.iter
+            (fun model ->
+              Alcotest.(check bool)
+                (Axiomatic.model_name model ^ " allows machine outcome") true
+                (Enumerate.outcome_allowed model p
+                   { Enumerate.registers = o.Relaxed.registers; memory = o.Relaxed.memory }))
+            hw_models)
+        outcomes)
+    [ Instr.Plain; Instr.Acquire ]
+
 let suite =
   [
     Alcotest.test_case "classification" `Quick test_classification;
@@ -160,4 +232,6 @@ let suite =
     Alcotest.test_case "monitor revoked by plain store" `Quick
       test_monitor_revoked_by_plain_store;
     Alcotest.test_case "atomicity axiom direct" `Quick test_atomicity_axiom_direct;
+    Alcotest.test_case "stx failure path axiomatic" `Quick test_stx_failure_axiomatic;
+    Alcotest.test_case "stx failure path machine" `Quick test_stx_failure_machine;
   ]

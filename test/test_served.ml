@@ -203,6 +203,7 @@ let one_shot_describes name =
           | Wmm_model.Axiomatic.Tso -> Wmm_machine.Relaxed.tso_config
           | Wmm_model.Axiomatic.Arm | Wmm_model.Axiomatic.Power ->
               Wmm_machine.Relaxed.relaxed_config
+          | Wmm_model.Axiomatic.Rc11 -> Wmm_machine.Relaxed.sc_config
         in
         Some (Check.describe (Check.run_exhaustive m config test)))
     Wmm_model.Axiomatic.all_models
