@@ -35,6 +35,10 @@ let record_exploration engine =
       pruned = s.Wmm_model.Enumerate.pruned;
       well_formed = s.Wmm_model.Enumerate.well_formed;
       consistent = s.Wmm_model.Enumerate.consistent;
+      graph_executions = s.Wmm_model.Enumerate.graph_executions;
+      revisits = s.Wmm_model.Enumerate.revisits;
+      symmetry_skips = s.Wmm_model.Enumerate.symmetry_skips;
+      cutover_small = s.Wmm_model.Enumerate.cutover_small;
       explore_wall_s = s.Wmm_model.Enumerate.wall_s;
     }
 
@@ -54,6 +58,37 @@ let arch_conv =
 
 let arch_arg =
   Arg.(value & opt arch_conv Wmm_isa.Arch.Armv8 & info [ "arch" ] ~doc:"arm or power")
+
+let engine_conv =
+  let parse s =
+    match Wmm_model.Enumerate.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown engine %S (%s)" s
+                (String.concat " | "
+                   (List.map Wmm_model.Enumerate.engine_name
+                      Wmm_model.Enumerate.all_engines))))
+  in
+  let print fmt e = Format.pp_print_string fmt (Wmm_model.Enumerate.engine_name e) in
+  Arg.conv (parse, print)
+
+(* Every exploration-backed subcommand takes --engine; applying it
+   sets the ambient default before any worker domain spawns, so the
+   whole pipeline (Check, Conform, Infer, Contain, served ops)
+   inherits the choice. *)
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Wmm_model.Enumerate.Auto
+    & info [ "engine" ]
+        ~doc:
+          "Exploration engine: graph (incremental execution graphs), pruned \
+           (backtracking search), reference (generate-and-filter oracle) or auto \
+           (cutover: pruned for tiny tests, graph otherwise)")
+
+let apply_engine e = Wmm_model.Enumerate.set_default_engine e
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
@@ -109,7 +144,8 @@ let litmus_cmd =
   let iterations_arg =
     Arg.(value & opt int 2000 & info [ "iterations" ] ~doc:"Random-run count")
   in
-  let run test_name file exhaustive iterations =
+  let run engine test_name file exhaustive iterations =
+    apply_engine engine;
     let tests =
       match (test_name, file) with
       | _, Some path -> (
@@ -166,7 +202,7 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Run litmus tests on the operational machine and the models")
-    Term.(const run $ test_arg $ file_arg $ exhaustive_arg $ iterations_arg)
+    Term.(const run $ engine_arg $ test_arg $ file_arg $ exhaustive_arg $ iterations_arg)
 
 (* ------------------------------------------------------------------ *)
 (* litmus-table                                                        *)
@@ -566,8 +602,9 @@ let analyze_cmd =
       & info [ "detail" ]
           ~doc:"Per-test breakdown: cost-ranked alternatives and minimality witnesses")
   in
-  let run names all arch_s jobs no_cache cache_dir telemetry_out retries resume no_cost
-      detail =
+  let run engine names all arch_s jobs no_cache cache_dir telemetry_out retries resume
+      no_cost detail =
+    apply_engine engine;
     let archs =
       match arch_s with
       | "both" -> [ Wmm_isa.Arch.Armv8; Wmm_isa.Arch.Power7 ]
@@ -638,8 +675,9 @@ let analyze_cmd =
          "Infer fence placements for litmus tests: critical cycles, verified-minimal \
           insertion, cost-ranked alternatives")
     Term.(
-      const run $ tests_arg $ all_arg $ arch_arg $ jobs_arg $ no_cache_arg $ cache_dir_arg
-      $ telemetry_arg $ retries_arg $ resume_arg $ no_cost_arg $ detail_arg)
+      const run $ engine_arg $ tests_arg $ all_arg $ arch_arg $ jobs_arg $ no_cache_arg
+      $ cache_dir_arg $ telemetry_arg $ retries_arg $ resume_arg $ no_cost_arg
+      $ detail_arg)
 
 (* ------------------------------------------------------------------ *)
 (* conform                                                             *)
@@ -708,8 +746,9 @@ let conform_cmd =
              request, so rerunning an interrupted identical invocation resumes \
              automatically.")
   in
-  let run arch_s max_edges limit infer_limit jobs no_cache cache_dir telemetry_out
-      retries resume =
+  let run explorer arch_s max_edges limit infer_limit jobs no_cache cache_dir
+      telemetry_out retries resume =
+    apply_engine explorer;
     let archs =
       match arch_s with
       | "both" -> [ Wmm_isa.Arch.Armv8; Wmm_isa.Arch.Power7 ]
@@ -737,6 +776,7 @@ let conform_cmd =
                    string_of_int max_edges;
                    string_of_int limit;
                    string_of_int infer_limit;
+                   Wmm_model.Enumerate.engine_name explorer;
                  ])
       in
       Option.map
@@ -760,7 +800,7 @@ let conform_cmd =
         in
         let report =
           Wmm_synth.Conform.run
-            ~config:{ Wmm_synth.Conform.default_config with infer_limit }
+            ~config:{ Wmm_synth.Conform.default_config with infer_limit; explorer }
             ~engine ~arch tests
         in
         disagreements :=
@@ -784,8 +824,9 @@ let conform_cmd =
           reference enumeration, operational machine vs axiomatic models, fence \
           inference; disagreements are shrunk to minimal failing tests")
     Term.(
-      const run $ arch_arg $ max_edges_arg $ limit_arg $ infer_limit_arg $ jobs_arg
-      $ no_cache_arg $ cache_dir_arg $ telemetry_arg $ retries_arg $ resume_arg)
+      const run $ engine_arg $ arch_arg $ max_edges_arg $ limit_arg $ infer_limit_arg
+      $ jobs_arg $ no_cache_arg $ cache_dir_arg $ telemetry_arg $ retries_arg
+      $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lang                                                                *)
@@ -856,8 +897,9 @@ let lang_cmd =
              request, so rerunning an interrupted identical invocation resumes \
              automatically.")
   in
-  let run action test_names scheme_names limit jobs no_cache cache_dir telemetry_out
-      retries resume =
+  let run engine action test_names scheme_names limit jobs no_cache cache_dir
+      telemetry_out retries resume =
+    apply_engine engine;
     let open Wmm_lang in
     if not (List.mem action [ "explore"; "conform"; "rank" ]) then
       die "unknown lang action %S; valid actions: explore conform rank" action;
@@ -997,8 +1039,9 @@ let lang_cmd =
           must stay within the RC11-allowed set), or rank the lock suite by \
           fencing sensitivity under one-step memory-order weakenings")
     Term.(
-      const run $ action_arg $ tests_arg $ schemes_arg $ limit_arg $ jobs_arg
-      $ no_cache_arg $ cache_dir_arg $ telemetry_arg $ retries_arg $ resume_arg)
+      const run $ engine_arg $ action_arg $ tests_arg $ schemes_arg $ limit_arg
+      $ jobs_arg $ no_cache_arg $ cache_dir_arg $ telemetry_arg $ retries_arg
+      $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache                                                               *)
@@ -1176,6 +1219,12 @@ let query_cmd =
       value & opt int 16
       & info [ "infer-limit" ] ~docv:"N" ~doc:"Inference-layer cap (conform)")
   in
+  let engine_s_arg =
+    Arg.(
+      value & opt string "auto"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Exploration engine: pruned, graph, reference, or auto (conform)")
+  in
   let retries_arg =
     Arg.(
       value & opt int 3
@@ -1212,8 +1261,13 @@ let query_cmd =
       & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Compilation scheme (repeatable; lang)")
   in
   let run socket op stdin_mode tests file model random iterations arch_s cost
-      max_edges limit infer_limit action schemes retries retry_seed deadline_ms =
+      max_edges limit infer_limit engine_s action schemes retries retry_seed
+      deadline_ms =
     if retries < 0 then die "--retries must be non-negative";
+    if Wmm_model.Enumerate.engine_of_string engine_s = None then
+      die "unknown engine %S; valid engines: %s" engine_s
+        (String.concat " "
+           (List.map Wmm_model.Enumerate.engine_name Wmm_model.Enumerate.all_engines));
     Option.iter
       (fun m ->
         if Wmm_registry.Registry.model_of_string m = None then
@@ -1260,6 +1314,7 @@ let query_cmd =
                 ("max_edges", of_int max_edges);
                 ("limit", of_int limit);
                 ("infer_limit", of_int infer_limit);
+                ("engine", Str engine_s);
               ]
           | "lang" ->
               [ ("action", Str action) ]
@@ -1321,8 +1376,8 @@ let query_cmd =
     Term.(
       const run $ socket_arg $ op_arg $ stdin_arg $ tests_arg $ file_arg $ model_arg
       $ random_arg $ iterations_arg $ arch_s_arg $ cost_arg $ max_edges_arg
-      $ limit_arg $ infer_limit_arg $ action_arg $ schemes_arg $ retries_arg
-      $ retry_seed_arg $ deadline_arg)
+      $ limit_arg $ infer_limit_arg $ engine_s_arg $ action_arg $ schemes_arg
+      $ retries_arg $ retry_seed_arg $ deadline_arg)
 
 (* ------------------------------------------------------------------ *)
 

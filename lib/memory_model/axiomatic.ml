@@ -52,7 +52,42 @@ type static = {
   rc11 : Rc11.ctx option;  (** language-tier context, [Some] iff model = Rc11 *)
 }
 
-let prepare model (x : Execution.t) =
+(* Everything a [static] needs that does not depend on the model: the
+   masks, program order, dependency and rmw relations, the per-kind
+   fence projections and the isb/isync control restorations.  Built
+   once per candidate shape; [of_base] then assembles a [static] for
+   each model with cheap unions/restrictions, so checking the same
+   test under all five models no longer recomputes the fence scans
+   and dependency relations per model. *)
+type base = {
+  b_exec : Execution.t;  (** rf/co-free; kept for {!Rc11.prepare} *)
+  b_n : int;
+  b_tids : int array;
+  b_read_m : B.Mask.m;
+  b_write_m : B.Mask.m;
+  b_mem_m : B.Mask.m;
+  b_po : B.t;
+  b_po_loc : B.t;
+  b_mem_po : B.t;  (** [M]; po; [M] *)
+  b_addr : B.t;
+  b_data : B.t;
+  b_addr_data : B.t;
+  b_rmw : B.t;
+  b_ctrl_w : B.t;  (** [R]; ctrl; [W] *)
+  b_addr_po_w : B.t;  (** [R]; addr; po; [W] *)
+  b_acq_rel : B.t;  (** ARM barrier-ordered-before acquire/release part *)
+  b_f_dmb : B.t;  (** through-fence projections, one per fence kind *)
+  b_f_sync : B.t;
+  b_f_ishld : B.t;
+  b_f_ishst : B.t;
+  b_f_lwsync : B.t;
+  b_f_eieio : B.t;
+  b_isb_restore : B.t;  (** ctrl+isb restoration (ARM) *)
+  b_isync_restore : B.t;  (** ctrl+isync restoration (POWER) *)
+  b_ext : B.t;
+}
+
+let prepare_base (x : Execution.t) =
   let ev = x.Execution.events in
   let n = Array.length ev in
   let tids = Array.map (fun (e : Event.t) -> e.Event.tid) ev in
@@ -94,78 +129,18 @@ let prepare model (x : Execution.t) =
       (fence_ids (fun e -> List.exists (fun k -> Event.is_fence_kind k e) kinds));
     acc
   in
-  let fence =
-    match model with
-    | Sc | Rc11 ->
-        (* SC: fences add nothing on top of full program order.
-           RC11: fences act through sw/psc, computed in {!Rc11}. *)
-        B.create n
-    | Tso ->
-        (* Any full fence restores the relaxed write->read pairs. *)
-        through_fence (fun e ->
-            Event.is_fence_kind Instr.Dmb_ish e || Event.is_fence_kind Instr.Sync e)
-    | Arm ->
-        let full = through_fence (Event.is_fence_kind Instr.Dmb_ish) in
-        let ld =
-          B.restrict (through_fence (Event.is_fence_kind Instr.Dmb_ishld)) ~domain:read_m
-            ~range:mem_m
-        in
-        let st =
-          B.restrict (through_fence (Event.is_fence_kind Instr.Dmb_ishst)) ~domain:write_m
-            ~range:write_m
-        in
-        B.union_all n [ full; ld; st ]
-    | Power ->
-        let sync = through_fence (Event.is_fence_kind Instr.Sync) in
-        let lw = through_fence (Event.is_fence_kind Instr.Lwsync) in
-        (* lwsync orders everything except write->read. *)
-        let lw_rm = B.restrict lw ~domain:read_m ~range:mem_m in
-        let lw_ww = B.restrict lw ~domain:write_m ~range:write_m in
-        let eieio =
-          B.restrict (through_fence (Event.is_fence_kind Instr.Eieio)) ~domain:write_m
-            ~range:write_m
-        in
-        B.union_all n [ sync; lw_rm; lw_ww; eieio ]
-  in
-  let sync =
-    match model with Power -> through_fence (Event.is_fence_kind Instr.Sync) | _ -> B.create n
-  in
   let mem_po = B.restrict po ~domain:mem_m ~range:mem_m in
-  let ppo_static =
-    match model with
-    | Sc | Rc11 -> mem_po
-    | Tso ->
-        (* Drop write->read pairs: stores may be delayed in the store
-           buffer past later reads. *)
-        B.filter (fun a b -> not (B.Mask.mem write_m a && B.Mask.mem read_m b)) mem_po
-    | Arm | Power ->
-        let ctrl_w = B.restrict ctrl ~domain:read_m ~range:write_m in
-        let addr_po_w = B.restrict (B.compose addr po) ~domain:read_m ~range:write_m in
-        let restored =
-          match model with
-          | Arm -> ctrl_isync [ Instr.Isb ]
-          | Power -> ctrl_isync [ Instr.Isync ]
-          | Sc | Tso | Rc11 -> B.create n
-        in
-        let acq_rel =
-          match model with
-          | Arm ->
-              (* Barrier-ordered-before contributions of load-acquire /
-                 store-release: [A]; po; [M], [M]; po; [L], [L]; po; [A]. *)
-              B.union_all n
-                [
-                  B.restrict po ~domain:acq_m ~range:mem_m;
-                  B.restrict po ~domain:mem_m ~range:rel_m;
-                  B.restrict po ~domain:rel_m ~range:acq_m;
-                ]
-          | Sc | Tso | Power | Rc11 -> B.create n
-        in
-        B.union_all n [ addr; data; ctrl_w; addr_po_w; restored; acq_rel ]
-  in
-  let prune_core =
-    match model with
-    | Sc | Rc11 -> po
-    | Tso | Arm | Power -> B.union ppo_static fence
+  let ctrl_w = B.restrict ctrl ~domain:read_m ~range:write_m in
+  let addr_po_w = B.restrict (B.compose addr po) ~domain:read_m ~range:write_m in
+  (* Barrier-ordered-before contributions of load-acquire /
+     store-release: [A]; po; [M], [M]; po; [L], [L]; po; [A]. *)
+  let acq_rel =
+    B.union_all n
+      [
+        B.restrict po ~domain:acq_m ~range:mem_m;
+        B.restrict po ~domain:mem_m ~range:rel_m;
+        B.restrict po ~domain:rel_m ~range:acq_m;
+      ]
   in
   let ext =
     let r = B.create n in
@@ -177,27 +152,101 @@ let prepare model (x : Execution.t) =
     r
   in
   {
+    b_exec = x;
+    b_n = n;
+    b_tids = tids;
+    b_read_m = read_m;
+    b_write_m = write_m;
+    b_mem_m = mem_m;
+    b_po = po;
+    b_po_loc = po_loc;
+    b_mem_po = mem_po;
+    b_addr = addr;
+    b_data = data;
+    b_addr_data = addr_data;
+    b_rmw = rmw;
+    b_ctrl_w = ctrl_w;
+    b_addr_po_w = addr_po_w;
+    b_acq_rel = acq_rel;
+    b_f_dmb = through_fence (Event.is_fence_kind Instr.Dmb_ish);
+    b_f_sync = through_fence (Event.is_fence_kind Instr.Sync);
+    b_f_ishld = through_fence (Event.is_fence_kind Instr.Dmb_ishld);
+    b_f_ishst = through_fence (Event.is_fence_kind Instr.Dmb_ishst);
+    b_f_lwsync = through_fence (Event.is_fence_kind Instr.Lwsync);
+    b_f_eieio = through_fence (Event.is_fence_kind Instr.Eieio);
+    b_isb_restore = ctrl_isync [ Instr.Isb ];
+    b_isync_restore = ctrl_isync [ Instr.Isync ];
+    b_ext = ext;
+  }
+
+let of_base model (b : base) =
+  let n = b.b_n in
+  let fence =
+    match model with
+    | Sc | Rc11 ->
+        (* SC: fences add nothing on top of full program order.
+           RC11: fences act through sw/psc, computed in {!Rc11}. *)
+        B.create n
+    | Tso ->
+        (* Any full fence restores the relaxed write->read pairs. *)
+        B.union b.b_f_dmb b.b_f_sync
+    | Arm ->
+        let ld = B.restrict b.b_f_ishld ~domain:b.b_read_m ~range:b.b_mem_m in
+        let st = B.restrict b.b_f_ishst ~domain:b.b_write_m ~range:b.b_write_m in
+        B.union_all n [ b.b_f_dmb; ld; st ]
+    | Power ->
+        (* lwsync orders everything except write->read. *)
+        let lw_rm = B.restrict b.b_f_lwsync ~domain:b.b_read_m ~range:b.b_mem_m in
+        let lw_ww = B.restrict b.b_f_lwsync ~domain:b.b_write_m ~range:b.b_write_m in
+        let eieio = B.restrict b.b_f_eieio ~domain:b.b_write_m ~range:b.b_write_m in
+        B.union_all n [ b.b_f_sync; lw_rm; lw_ww; eieio ]
+  in
+  let sync = match model with Power -> b.b_f_sync | _ -> B.create n in
+  let ppo_static =
+    match model with
+    | Sc | Rc11 -> b.b_mem_po
+    | Tso ->
+        (* Drop write->read pairs: stores may be delayed in the store
+           buffer past later reads. *)
+        B.filter
+          (fun a b' -> not (B.Mask.mem b.b_write_m a && B.Mask.mem b.b_read_m b'))
+          b.b_mem_po
+    | Arm ->
+        B.union_all n
+          [ b.b_addr; b.b_data; b.b_ctrl_w; b.b_addr_po_w; b.b_isb_restore; b.b_acq_rel ]
+    | Power ->
+        B.union_all n
+          [ b.b_addr; b.b_data; b.b_ctrl_w; b.b_addr_po_w; b.b_isync_restore ]
+  in
+  let prune_core =
+    match model with
+    | Sc | Rc11 -> b.b_po
+    | Tso | Arm | Power -> B.union ppo_static fence
+  in
+  {
     model;
     n;
-    tids;
-    read_m;
-    write_m;
-    mem_m;
-    po;
-    po_loc;
-    addr_data;
-    rmw;
+    tids = b.b_tids;
+    read_m = b.b_read_m;
+    write_m = b.b_write_m;
+    mem_m = b.b_mem_m;
+    po = b.b_po;
+    po_loc = b.b_po_loc;
+    addr_data = b.b_addr_data;
+    rmw = b.b_rmw;
     ppo_static;
     fence;
     sync;
     prune_core;
-    ext;
+    ext = b.b_ext;
     empty_rel = B.create n;
-    rmw_empty = B.is_empty rmw;
-    deps_empty = B.is_empty addr_data;
+    rmw_empty = B.is_empty b.b_rmw;
+    deps_empty = B.is_empty b.b_addr_data;
     fence_empty = B.is_empty fence;
-    rc11 = (if model = Rc11 then Some (Rc11.prepare x) else None);
+    rc11 = (if model = Rc11 then Some (Rc11.prepare b.b_exec) else None);
   }
+
+let prepare model (x : Execution.t) = of_base model (prepare_base x)
 
 (* ------------------------------------------------------------------ *)
 (* Per-candidate (rf, co) checks.                                      *)

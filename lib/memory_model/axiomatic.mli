@@ -58,9 +58,25 @@ val violations : model -> Execution.t -> string list
 
 type static
 
-val prepare : model -> Execution.t -> static
-(** Precompute the rf/co-independent context.  The [rf] and [co]
+type base
+(** The model-independent slice of a [static]: event masks, program
+    order, dependency/rmw relations, per-kind fence projections and
+    control-fence restorations.  Built once per candidate shape and
+    shared by every model via {!of_base}, so checking one test under
+    all five models hoists the expensive scans out of the per-model
+    loop. *)
+
+val prepare_base : Execution.t -> base
+(** Precompute the model-independent context.  The [rf] and [co]
     fields of the execution are ignored. *)
+
+val of_base : model -> base -> static
+(** Assemble a model's [static] from a shared {!base} with cheap
+    unions/restrictions of the precomputed parts. *)
+
+val prepare : model -> Execution.t -> static
+(** [of_base model (prepare_base x)].  The [rf] and [co] fields of
+    the execution are ignored. *)
 
 val violations_static : static -> rf:Bitrel.t -> co:Bitrel.t -> string list
 (** [violations] with the static work hoisted; [rf]/[co] are dense

@@ -284,7 +284,9 @@ let skeleton_of_runs (p : Program.t) (runs : run array) =
         run.events)
     runs;
   let locations = LS.elements !locs in
-  (* Global events: init writes first, then thread events in order. *)
+  (* Global events: init writes first, then thread events in order, so
+     event ids extend program order (the graph engine adds events in
+     id order and relies on this). *)
   let events = ref [] in
   let next_id = ref 0 in
   let push tid po_index action =
@@ -398,6 +400,75 @@ let memory_of_chains skel chains =
          (l, Option.get (Event.value skel.all_events.(last))))
        chains)
 
+(* The rf/co-free execution a skeleton denotes, for static preparation
+   and for materializing complete candidates. *)
+let execution_of_skeleton skel ~rf ~co =
+  {
+    Execution.events = skel.all_events;
+    po = skel.sk_po;
+    rf;
+    co;
+    addr = skel.sk_addr;
+    data = skel.sk_data;
+    ctrl = skel.sk_ctrl;
+    rmw = skel.sk_rmw;
+  }
+
+let co_relation chains =
+  List.fold_left
+    (fun acc (_, chain) ->
+      let rec pairs = function
+        | [] | [ _ ] -> []
+        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+      in
+      List.fold_left (fun acc (a, b) -> Relation.add a b acc) acc (pairs chain))
+    Relation.empty chains
+
+(* ------------------------------------------------------------------ *)
+(* Exploration engines.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type engine_kind = Pruned | Graph | Reference | Auto
+
+let all_engines = [ Pruned; Graph; Reference; Auto ]
+
+let engine_name = function
+  | Pruned -> "pruned"
+  | Graph -> "graph"
+  | Reference -> "reference"
+  | Auto -> "auto"
+
+let engine_of_string = function
+  | "pruned" -> Some Pruned
+  | "graph" -> Some Graph
+  | "reference" -> Some Reference
+  | "auto" -> Some Auto
+  | _ -> None
+
+(* Ambient engine selection: CLIs set this once before spawning worker
+   domains, so every downstream consumer (Check, Conform, Infer, the
+   served ops) inherits the choice without threading a parameter
+   through each layer.  Per-call [?engine] arguments override it. *)
+let default_engine = ref Auto
+
+let set_default_engine e = default_engine := e
+
+let current_default_engine () = !default_engine
+
+(* Auto cutover: route programs whose estimated candidate count falls
+   below this threshold to the pruned engine - on tiny tests the graph
+   engine's per-step full consistency checks cost more than the
+   handful of wasted leaves they avoid.  The estimate is
+   sum over run combos of (prod over reads of #rf-candidates
+   x prod over locations of #non-init-writes!), i.e. the size of the
+   unpruned candidate space, which both engines shrink from. *)
+let default_cutover = 2048.
+
+let cutover_threshold () =
+  match Sys.getenv_opt "WMM_GRAPH_CUTOVER" with
+  | Some s -> ( try float_of_string (String.trim s) with _ -> default_cutover)
+  | None -> default_cutover
+
 (* ------------------------------------------------------------------ *)
 (* Exploration statistics.                                             *)
 (* ------------------------------------------------------------------ *)
@@ -407,25 +478,68 @@ type stats = {
   pruned : int;
   well_formed : int;
   consistent : int;
+  graph_executions : int;
+  revisits : int;
+  symmetry_skips : int;
+  cutover_small : int;
   wall_s : float;
 }
+
+let zero_stats =
+  {
+    generated = 0;
+    pruned = 0;
+    well_formed = 0;
+    consistent = 0;
+    graph_executions = 0;
+    revisits = 0;
+    symmetry_skips = 0;
+    cutover_small = 0;
+    wall_s = 0.;
+  }
 
 type counters = {
   mutable c_generated : int;
   mutable c_pruned : int;
   mutable c_well_formed : int;
   mutable c_consistent : int;
+  mutable c_graph_executions : int;
+  mutable c_revisits : int;
+  mutable c_symmetry_skips : int;
+  mutable c_cutover_small : int;
 }
 
 let fresh_counters () =
-  { c_generated = 0; c_pruned = 0; c_well_formed = 0; c_consistent = 0 }
+  {
+    c_generated = 0;
+    c_pruned = 0;
+    c_well_formed = 0;
+    c_consistent = 0;
+    c_graph_executions = 0;
+    c_revisits = 0;
+    c_symmetry_skips = 0;
+    c_cutover_small = 0;
+  }
+
+let stats_of_counters c ~wall_s =
+  {
+    generated = c.c_generated;
+    pruned = c.c_pruned;
+    well_formed = c.c_well_formed;
+    consistent = c.c_consistent;
+    graph_executions = c.c_graph_executions;
+    revisits = c.c_revisits;
+    symmetry_skips = c.c_symmetry_skips;
+    cutover_small = c.c_cutover_small;
+    wall_s;
+  }
 
 (* Process-global accumulator, so long-running harnesses (engine
    worker domains included - this is a plain lock, safe across
    domains) can surface cumulative exploration work in telemetry. *)
 let global_lock = Mutex.create ()
 
-let global_acc = ref { generated = 0; pruned = 0; well_formed = 0; consistent = 0; wall_s = 0. }
+let global_acc = ref zero_stats
 
 let record_global s =
   Mutex.lock global_lock;
@@ -436,6 +550,10 @@ let record_global s =
       pruned = g.pruned + s.pruned;
       well_formed = g.well_formed + s.well_formed;
       consistent = g.consistent + s.consistent;
+      graph_executions = g.graph_executions + s.graph_executions;
+      revisits = g.revisits + s.revisits;
+      symmetry_skips = g.symmetry_skips + s.symmetry_skips;
+      cutover_small = g.cutover_small + s.cutover_small;
       wall_s = g.wall_s +. s.wall_s;
     };
   Mutex.unlock global_lock
@@ -448,11 +566,124 @@ let global_stats () =
 
 let reset_global_stats () =
   Mutex.lock global_lock;
-  global_acc := { generated = 0; pruned = 0; well_formed = 0; consistent = 0; wall_s = 0. };
+  global_acc := zero_stats;
   Mutex.unlock global_lock
 
 (* ------------------------------------------------------------------ *)
-(* Backtracking rf/co search.
+(* Memoized static contexts.
+
+   The static part of a consistency check depends only on the
+   candidate shape (events with their values erased, dependencies,
+   rmw pairs, locations) - not on which run combination or which test
+   instance produced it, and its model-independent slice not even on
+   the model.  Small tests dominated by setup cost (the library-44
+   regression) hit the same handful of shapes over and over, across
+   combos, across the five models, and across engine worker domains,
+   so both layers are memoized process-globally behind a lock.
+   Prepared contexts are immutable after construction, which makes
+   sharing them across domains safe.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let memo_lock = Mutex.create ()
+
+let base_memo : (string, Axiomatic.base) Hashtbl.t = Hashtbl.create 64
+
+let static_memo : (string, Axiomatic.static) Hashtbl.t = Hashtbl.create 64
+
+let memo_cap = 4096
+
+let memo_find tbl key =
+  Mutex.lock memo_lock;
+  let r = Hashtbl.find_opt tbl key in
+  Mutex.unlock memo_lock;
+  r
+
+let memo_store tbl key v =
+  Mutex.lock memo_lock;
+  if Hashtbl.length tbl >= memo_cap then Hashtbl.reset tbl;
+  if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v;
+  Mutex.unlock memo_lock
+
+let skeleton_norm skel =
+  let normalize (e : Event.t) =
+    let action =
+      match e.Event.action with
+      | Event.Read { loc; order; value = _ } -> Event.Read { loc; order; value = 0 }
+      | Event.Write { loc; order; value = _ } -> Event.Write { loc; order; value = 0 }
+      | Event.Fence _ as a -> a
+    in
+    (e.Event.tid, e.Event.po_index, action)
+  in
+  ( Array.map normalize skel.all_events,
+    Relation.to_list skel.sk_addr,
+    Relation.to_list skel.sk_data,
+    Relation.to_list skel.sk_ctrl,
+    Relation.to_list skel.sk_rmw,
+    skel.init_ids,
+    skel.sk_locations )
+
+(* One-entry fast path in front of the digest: consecutive run combos
+   of the same program almost always share a normalized shape (they
+   differ only in read/write values, which the normal form erases),
+   and a structural comparison of the small normal form is an order
+   of magnitude cheaper than marshalling and hashing it. *)
+let last_static :
+    (Axiomatic.model
+    * ((int * int * Event.action) array
+      * (int * int) list
+      * (int * int) list
+      * (int * int) list
+      * (int * int) list
+      * (Instr.loc * int) list
+      * Instr.loc list)
+    * Axiomatic.static)
+    option
+    ref =
+  ref None
+
+let static_for model skel =
+  let norm = skeleton_norm skel in
+  let fast =
+    Mutex.lock memo_lock;
+    let r =
+      match !last_static with
+      | Some (m, n, st) when m = model && n = norm -> Some st
+      | _ -> None
+    in
+    Mutex.unlock memo_lock;
+    r
+  in
+  match fast with
+  | Some st -> st
+  | None ->
+      let key = Digest.to_hex (Digest.string (Marshal.to_string norm [])) in
+      let skey = Axiomatic.model_name model ^ "|" ^ key in
+      let st =
+        match memo_find static_memo skey with
+        | Some st -> st
+        | None ->
+            let base =
+              match memo_find base_memo key with
+              | Some b -> b
+              | None ->
+                  let b =
+                    Axiomatic.prepare_base
+                      (execution_of_skeleton skel ~rf:Relation.empty ~co:Relation.empty)
+                  in
+                  memo_store base_memo key b;
+                  b
+            in
+            let st = Axiomatic.of_base model base in
+            memo_store static_memo skey st;
+            st
+      in
+      Mutex.lock memo_lock;
+      last_static := Some (model, norm, st);
+      Mutex.unlock memo_lock;
+      st
+
+(* ------------------------------------------------------------------ *)
+(* Pruned backtracking rf/co search.
 
    Candidates are built incrementally: first every read is assigned
    its rf source (fewest-candidates-first, so contradictions surface
@@ -547,29 +778,186 @@ let search ?static skel ~counters ~(emit : rf_pairs:(int * int) list ->
     assign_read 0
   end
 
-(* The rf/co-free execution a skeleton denotes, for static preparation
-   and for materializing complete candidates. *)
-let execution_of_skeleton skel ~rf ~co =
-  {
-    Execution.events = skel.all_events;
-    po = skel.sk_po;
-    rf;
-    co;
-    addr = skel.sk_addr;
-    data = skel.sk_data;
-    ctrl = skel.sk_ctrl;
-    rmw = skel.sk_rmw;
-  }
+(* ------------------------------------------------------------------ *)
+(* Graph engine: incremental execution-graph enumeration.
 
-let co_relation chains =
-  List.fold_left
-    (fun acc (_, chain) ->
-      let rec pairs = function
-        | [] | [ _ ] -> []
-        | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+   Events are added to the graph one at a time in event-id order -
+   init writes are pre-placed and thread events follow tid-major, so
+   id order extends program order and every thread grows in program
+   order.  A read extends the graph with one rf choice: an
+   already-placed write adds its edge immediately, while a write not
+   yet in the graph is *promised* (the revisit move, counted in
+   [revisits]): the search commits to the future rf edge now and
+   materializes it when the write is placed, which is how executions
+   whose reads observe po-later or other-thread-later writes are
+   reached exactly once instead of via re-exploration.  A write picks
+   an insertion point in its location's current coherence chain
+   (insertion order <-> final chain order is a bijection, so no
+   candidate repeats).
+
+   Every edge-adding step is screened by the model's full consistency
+   check - the monotone pruning core plus the residual axioms, all of
+   which only gain edges as rf/co grow, so a violation now persists in
+   every extension.  At a leaf the same conjunction is exactly
+   [consistent_static] (an invariant the test suite checks), so every
+   leaf reached is a consistent execution and none is wasted:
+   explored == consistent, the optimality the benchmark asserts.
+
+   Symmetry reduction: for each group of interchangeable threads
+   (Symmetry.detect), only canonical executions are enumerated - the
+   group members' first writes must sit in member order along their
+   shared coherence chain.  Each orbit under the group's permutations
+   contains exactly one canonical element (first-write positions are
+   distinct, so non-identity permutations fix nothing), cutting the
+   leaf count by |perms| and the subtrees below non-canonical
+   insertions with it ([symmetry_skips] counts skipped insertion
+   points).  The full outcome set is recovered by replaying every
+   permutation's value substitution over the canonical outcomes.       *)
+(* ------------------------------------------------------------------ *)
+
+let graph_search ~static ~(sym : Symmetry.t) skel ~counters
+    ~(emit : chains:(Instr.loc * int list) list -> unit) =
+  let ev = skel.all_events in
+  let n = Array.length ev in
+  let rf = Bitrel.create n and co = Bitrel.create n in
+  let rf_cands = Array.make n [] in
+  List.iter (fun r -> rf_cands.(r) <- rf_candidates skel r) skel.sk_reads;
+  if List.exists (fun r -> rf_cands.(r) = []) skel.sk_reads then ()
+  else begin
+    let chains = Hashtbl.create 8 in
+    List.iter (fun (l, init_id) -> Hashtbl.replace chains l [ init_id ]) skel.init_ids;
+    (* write id -> reads holding a promise on it *)
+    let promises = Array.make n [] in
+    (* first write of a group member -> first write of the previous
+       member (same location by construction: members share shape) *)
+    let sym_pred = Array.make n (-1) in
+    List.iter
+      (fun (g : Symmetry.group) ->
+        let first_write tid =
+          let rec find i =
+            if i >= n then -1
+            else if ev.(i).Event.tid = tid && Event.is_write ev.(i) then i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let fws = List.map first_write g.Symmetry.g_members in
+        ignore
+          (List.fold_left
+             (fun prev fw ->
+               if fw >= 0 && prev >= 0 then sym_pred.(fw) <- prev;
+               fw)
+             (-1) fws))
+      sym.Symmetry.s_groups;
+    let pp = Axiomatic.prune_possible static in
+    (* rf/co are complete once the last read or write is placed
+       (fences add no incremental edges), so the residual axioms -
+       which on a partial graph can only ever rule out prefixes whose
+       completions all fail anyway - are checked once, on the
+       completing placement, instead of at every node.  The monotone
+       core still screens every step. *)
+    let last_rw =
+      let r = ref (-1) in
+      Array.iteri
+        (fun i e ->
+          match e.Event.action with Event.Fence _ -> () | _ -> r := i)
+        ev;
+      !r
+    in
+    let viable i =
+      ((not pp) || Axiomatic.prune_viable static ~rf ~co)
+      && (i < last_rw || Axiomatic.residual_consistent static ~rf ~co)
+    in
+    let tick = ref 0 in
+    let poll () =
+      incr tick;
+      if !tick land 1023 = 0 then Wmm_util.Cancel.check_ambient ()
+    in
+    let start = List.length skel.init_ids in
+    let rec place i =
+      if i = n then leaf ()
+      else begin
+        poll ();
+        match ev.(i).Event.action with
+        | Event.Fence _ -> place (i + 1)
+        | Event.Read _ -> place_read i
+        | Event.Write _ -> place_write i
+      end
+    and place_read i =
+      List.iter
+        (fun w ->
+          if w < i then begin
+            Bitrel.add rf w i;
+            if viable i then place (i + 1)
+            else counters.c_pruned <- counters.c_pruned + 1;
+            Bitrel.remove rf w i
+          end
+          else begin
+            counters.c_revisits <- counters.c_revisits + 1;
+            promises.(w) <- i :: promises.(w);
+            place (i + 1);
+            promises.(w) <- List.tl promises.(w)
+          end)
+        rf_cands.(i)
+    and place_write i =
+      let l = Option.get (Event.loc ev.(i)) in
+      let chain = Hashtbl.find chains l in
+      let len = List.length chain in
+      (* Coherence extends per-location program order: insertion
+         points before the latest already-placed same-thread write
+         would fail sc-per-location, so skip them outright (counted
+         as pruned - the check would have cut them anyway). *)
+      let po_min =
+        let rec scan k best = function
+          | [] -> best
+          | w :: rest ->
+              scan (k + 1)
+                (if ev.(w).Event.tid = ev.(i).Event.tid then k + 1 else best)
+                rest
+        in
+        scan 0 1 chain
       in
-      List.fold_left (fun acc (a, b) -> Relation.add a b acc) acc (pairs chain))
-    Relation.empty chains
+      (* Canonicity: a group member's first write goes after the
+         previous member's first write in their shared chain. *)
+      let sym_min =
+        if sym_pred.(i) < 0 then 1
+        else
+          let rec idx k = function
+            | [] -> 1
+            | w :: rest -> if w = sym_pred.(i) then k + 1 else idx (k + 1) rest
+          in
+          idx 0 chain
+      in
+      counters.c_pruned <- counters.c_pruned + (po_min - 1);
+      let eff_min = max po_min sym_min in
+      if sym_min > po_min then
+        counters.c_symmetry_skips <- counters.c_symmetry_skips + (sym_min - po_min);
+      let promised = promises.(i) in
+      List.iter (fun r -> Bitrel.add rf i r) promised;
+      for pos = eff_min to len do
+        let before = List.filteri (fun k _ -> k < pos) chain in
+        let after = List.filteri (fun k _ -> k >= pos) chain in
+        List.iter (fun w -> Bitrel.add co w i) before;
+        List.iter (fun w -> Bitrel.add co i w) after;
+        Hashtbl.replace chains l (before @ (i :: after));
+        if viable i then place (i + 1) else counters.c_pruned <- counters.c_pruned + 1;
+        Hashtbl.replace chains l chain;
+        List.iter (fun w -> Bitrel.remove co w i) before;
+        List.iter (fun w -> Bitrel.remove co i w) after
+      done;
+      List.iter (fun r -> Bitrel.remove rf i r) promised
+    and leaf () =
+      counters.c_generated <- counters.c_generated + 1;
+      counters.c_well_formed <- counters.c_well_formed + 1;
+      counters.c_consistent <- counters.c_consistent + 1;
+      counters.c_graph_executions <- counters.c_graph_executions + 1;
+      let done_chains =
+        List.map (fun (l, _) -> (l, Hashtbl.find chains l)) skel.init_ids
+      in
+      emit ~chains:done_chains
+    in
+    place start
+  end
 
 let run_combos ~fuel (p : Program.t) =
   (match Program.validate p with Ok () -> () | Error msg -> invalid_arg msg);
@@ -598,81 +986,6 @@ let candidate_executions ?(fuel = 1024) (p : Program.t) =
           acc := (x, { registers; memory = memory_of_chains skel chains }) :: !acc))
     (run_combos ~fuel p);
   List.rev !acc
-
-let allowed_outcomes_stats ?(fuel = 1024) model (p : Program.t) =
-  let t0 = Unix.gettimeofday () in
-  let counters = fresh_counters () in
-  let acc = ref [] in
-  List.iter
-    (fun runs ->
-      let skel = skeleton_of_runs p runs in
-      let static =
-        Axiomatic.prepare model
-          (execution_of_skeleton skel ~rf:Relation.empty ~co:Relation.empty)
-      in
-      let registers = registers_of_runs runs in
-      search ~static skel ~counters ~emit:(fun ~rf_pairs:_ ~chains ~consistent ->
-          if consistent then
-            acc := { registers; memory = memory_of_chains skel chains } :: !acc))
-    (run_combos ~fuel p);
-  let stats =
-    {
-      generated = counters.c_generated;
-      pruned = counters.c_pruned;
-      well_formed = counters.c_well_formed;
-      consistent = counters.c_consistent;
-      wall_s = Unix.gettimeofday () -. t0;
-    }
-  in
-  record_global stats;
-  (List.sort_uniq compare_outcome !acc, stats)
-
-let allowed_outcomes model p = fst (allowed_outcomes_stats model p)
-
-exception Found
-
-let exists_outcome ?(fuel = 1024) model (p : Program.t) pred =
-  let t0 = Unix.gettimeofday () in
-  let counters = fresh_counters () in
-  let found =
-    try
-      List.iter
-        (fun runs ->
-          let skel = skeleton_of_runs p runs in
-          let static =
-            Axiomatic.prepare model
-              (execution_of_skeleton skel ~rf:Relation.empty ~co:Relation.empty)
-          in
-          let registers = registers_of_runs runs in
-          search ~static skel ~counters ~emit:(fun ~rf_pairs:_ ~chains ~consistent ->
-              if consistent && pred { registers; memory = memory_of_chains skel chains }
-              then raise Found))
-        (run_combos ~fuel p);
-      false
-    with Found -> true
-  in
-  record_global
-    {
-      generated = counters.c_generated;
-      pruned = counters.c_pruned;
-      well_formed = counters.c_well_formed;
-      consistent = counters.c_consistent;
-      wall_s = Unix.gettimeofday () -. t0;
-    };
-  found
-
-let outcome_allowed model p query =
-  let matches (full : outcome) =
-    List.for_all
-      (fun (key, v) ->
-        match List.assoc_opt key full.registers with Some v' -> v = v' | None -> false)
-      query.registers
-    && List.for_all
-         (fun (l, v) ->
-           match List.assoc_opt l full.memory with Some v' -> v = v' | None -> false)
-         query.memory
-  in
-  exists_outcome model p matches
 
 (* ------------------------------------------------------------------ *)
 (* Pre-rewrite reference path: materialize the full cartesian product
@@ -724,3 +1037,553 @@ module Reference = struct
     |> List.map snd
     |> List.sort_uniq compare_outcome
 end
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let float_fact n =
+  let r = ref 1. in
+  for k = 2 to n do
+    r := !r *. float_of_int k
+  done;
+  !r
+
+(* Size of the unpruned candidate space, the quantity the cutover
+   heuristic thresholds on.  Computed straight off the run combos
+   (same arithmetic as [rf_candidates] x per-location coherence
+   permutations) so dispatch needs no skeletons: the graph engine
+   skips skeleton construction for non-representative combos, and
+   building them here just to size the space would give that saving
+   back. *)
+let estimated_candidates ?(limit = infinity) p combos =
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let count tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+  let rec go acc = function
+    | [] -> acc
+    | _ when acc >= limit -> acc
+    | (runs : run array) :: rest ->
+        let wcount = Hashtbl.create 16 (* (loc, value) -> writes *) in
+        let lcount = Hashtbl.create 8 (* loc -> non-init writes *) in
+        let reads = ref [] in
+        List.iter
+          (fun l ->
+            bump wcount (l, Program.initial_value p l);
+            if not (Hashtbl.mem lcount l) then Hashtbl.replace lcount l 0)
+          (Program.locations p);
+        Array.iter
+          (fun run ->
+            List.iter
+              (fun e ->
+                match e.l_action with
+                | Event.Read { loc; value; _ } -> reads := (loc, value) :: !reads
+                | Event.Write { loc; value; _ } ->
+                    if not (Hashtbl.mem lcount loc) then begin
+                      Hashtbl.replace lcount loc 0;
+                      bump wcount (loc, Program.initial_value p loc)
+                    end;
+                    bump lcount loc;
+                    bump wcount (loc, value)
+                | Event.Fence _ -> ())
+              run.events)
+            runs;
+        (* Locations only ever read still contribute an init write as
+           the sole rf candidate (factor 1): only [wcount] needs them,
+           and a missing entry would under-count a read of the initial
+           value, so patch those in before multiplying. *)
+        List.iter
+          (fun (l, v) ->
+            if not (Hashtbl.mem lcount l) then begin
+              Hashtbl.replace lcount l 0;
+              bump wcount (l, Program.initial_value p l)
+            end;
+            ignore v)
+          !reads;
+        let rf_est =
+          List.fold_left
+            (fun pr lv -> pr *. float_of_int (count wcount lv))
+            1. !reads
+        in
+        let co_est =
+          Hashtbl.fold (fun _ k pr -> pr *. float_fact k) lcount 1.
+        in
+        go (acc +. (rf_est *. co_est)) rest
+  in
+  go 0. combos
+
+(* Resolve [Auto] for one program: below the cutover the pruned
+   engine's cheaper per-node screen wins; above it the graph engine's
+   zero-waste enumeration does. *)
+let resolve_engine ~counters engine est =
+  match engine with
+  | Pruned | Graph | Reference -> engine
+  | Auto ->
+      if Lazy.force est < cutover_threshold () then begin
+        counters.c_cutover_small <- counters.c_cutover_small + 1;
+        Pruned
+      end
+      else Graph
+
+(* The vector of values a combo's loads observe, in a fixed event
+   order: the signature the symmetry group acts on.  Permutations fix
+   every reading thread (only emitters are permuted), so a combo's
+   orbit is given by mapping this vector pointwise. *)
+let combo_reads (runs : run array) =
+  let vs = ref [] in
+  Array.iter
+    (fun run ->
+      List.iter
+        (fun e ->
+          match e.l_action with
+          | Event.Read { value; _ } -> vs := value :: !vs
+          | _ -> ())
+        run.events)
+    runs;
+  Array.of_list (List.rev !vs)
+
+(* Value tables of the non-identity substitutions, for the
+   representative test below: mapping through an array and comparing
+   element-wise beats allocating a mapped list per (combo,
+   permutation).  [None] when some substitution involves a negative
+   value and the tables don't apply. *)
+let combo_canon_tables (sym : Symmetry.t) =
+  let maxv = ref 0 and minv = ref 0 in
+  List.iter
+    (fun (perm : Symmetry.perm) ->
+      List.iter
+        (fun (a, b) ->
+          if a > !maxv then maxv := a;
+          if b > !maxv then maxv := b;
+          if a < !minv then minv := a;
+          if b < !minv then minv := b)
+        perm.Symmetry.p_value)
+    sym.Symmetry.s_perms;
+  if !minv < 0 then None
+  else
+    Some
+      (List.filter_map
+         (fun (perm : Symmetry.perm) ->
+           if perm.Symmetry.p_value = [] then None
+           else begin
+             let vmap = Array.init (!maxv + 1) Fun.id in
+             List.iter (fun (a, b) -> vmap.(a) <- b) perm.Symmetry.p_value;
+             Some vmap
+           end)
+         sym.Symmetry.s_perms)
+
+(* A combo is a representative iff its read vector is lex-least in
+   its orbit.  Two distinct combos never share the lex-least vector:
+   a permutation fixing the vector fixes every observed value, hence
+   maps each reading thread's run to itself. *)
+let canonical_combo (sym : Symmetry.t) tables (reads : int array) =
+  match tables with
+  | Some tables ->
+      List.for_all
+        (fun (vmap : int array) ->
+          let n = Array.length reads in
+          let rec go i =
+            if i >= n then true
+            else
+              let v = Array.unsafe_get reads i in
+              let v' = if v >= 0 && v < Array.length vmap then Array.unsafe_get vmap v else v in
+              if v < v' then true else if v > v' then false else go (i + 1)
+          in
+          go 0)
+        tables
+  | None ->
+      let reads = Array.to_list reads in
+      List.for_all
+        (fun (perm : Symmetry.perm) ->
+          perm.Symmetry.p_value = []
+          || reads <= List.map (Symmetry.map_value perm) reads)
+        sym.Symmetry.s_perms
+
+(* Expansion of canonical outcomes into the full set.
+
+   Generic path: apply every permutation's register/memory map to
+   every canonical outcome and dedup.  Used only as a fallback - the
+   common case goes through the packed fast path below. *)
+let expand_generic (sym : Symmetry.t) outcomes =
+  List.concat_map
+    (fun o ->
+      List.map
+        (fun perm ->
+          {
+            registers = Symmetry.map_registers perm o.registers;
+            memory = Symmetry.map_memory perm o.memory;
+          })
+        sym.Symmetry.s_perms)
+    (List.sort_uniq compare_outcome outcomes)
+  |> List.sort_uniq compare_outcome
+
+(* Fast path.  Permuted threads are emitters, which write no
+   registers, so thread permutations fix every register key
+   (tid, reg): an image differs from its canonical outcome only by
+   the value substitution applied pointwise to register and memory
+   values.  When additionally every canonical outcome shares one key
+   shape (run combos of a single program) and the values are small
+   non-negative ints, an outcome IS its value vector and the vector
+   packs into one OCaml int.  Images then cost a table lookup per
+   slot, dedup is an int sort, and the packed order coincides with
+   [compare_outcome] order (equal keys, value-lexicographic), so
+   decoding yields the sorted outcome list directly. *)
+let expand_symmetric (sym : Symmetry.t) outcomes =
+  if Symmetry.trivial sym then List.sort_uniq compare_outcome outcomes
+  else
+    match outcomes with
+    | [] -> []
+    | first :: _ ->
+        let rkeys = List.map fst first.registers in
+        let mkeys = List.map fst first.memory in
+        let same_shape o =
+          List.map fst o.registers = rkeys && List.map fst o.memory = mkeys
+        in
+        let tids_fixed =
+          List.for_all
+            (fun (t, _) ->
+              List.for_all
+                (fun p -> p.Symmetry.p_tid.(t) = t)
+                sym.Symmetry.s_perms)
+            rkeys
+        in
+        if not (tids_fixed && List.for_all same_shape outcomes) then
+          expand_generic sym outcomes
+        else begin
+          let vec_of o =
+            Array.of_list (List.map snd o.registers @ List.map snd o.memory)
+          in
+          let vecs = List.map vec_of outcomes in
+          let slots = List.length rkeys + List.length mkeys in
+          let maxv = ref 0 and minv = ref 0 in
+          List.iter
+            (Array.iter (fun v ->
+                 if v > !maxv then maxv := v;
+                 if v < !minv then minv := v))
+            vecs;
+          List.iter
+            (fun (p : Symmetry.perm) ->
+              List.iter
+                (fun (a, b) ->
+                  if b > !maxv then maxv := b;
+                  if a < 0 || b < 0 then minv := -1)
+                p.Symmetry.p_value)
+            sym.Symmetry.s_perms;
+          let bits =
+            let rec go b = if !maxv < 1 lsl b then b else go (b + 1) in
+            go 1
+          in
+          if !minv < 0 || slots = 0 || slots * bits > 62 then
+            expand_generic sym outcomes
+          else begin
+            let vmaps =
+              List.map
+                (fun (perm : Symmetry.perm) ->
+                  let vmap = Array.init (!maxv + 1) Fun.id in
+                  List.iter
+                    (fun (a, b) -> if a <= !maxv then vmap.(a) <- b)
+                    perm.Symmetry.p_value;
+                  vmap)
+                sym.Symmetry.s_perms
+            in
+            (* An image depends only on a substitution's restriction
+               to the values the vector actually contains, so per
+               used-value set keep one substitution per distinct
+               restriction: the images of one canonical outcome are
+               then produced without duplicates (its orbit exactly),
+               typically shrinking the image count by the average
+               stabilizer size. *)
+            let restrict =
+              if !maxv > 62 then fun _ -> vmaps
+              else begin
+                let cache = Hashtbl.create 8 in
+                fun (vec : int array) ->
+                  let mask =
+                    Array.fold_left (fun m v -> m lor (1 lsl v)) 0 vec
+                  in
+                  match Hashtbl.find_opt cache mask with
+                  | Some l -> l
+                  | None ->
+                      let seen = Hashtbl.create 16 in
+                      let keep =
+                        List.filter
+                          (fun (vmap : int array) ->
+                            let sg = ref [] in
+                            for v = !maxv downto 0 do
+                              if mask land (1 lsl v) <> 0 then
+                                sg := vmap.(v) :: !sg
+                            done;
+                            if Hashtbl.mem seen !sg then false
+                            else begin
+                              Hashtbl.add seen !sg ();
+                              true
+                            end)
+                          vmaps
+                      in
+                      Hashtbl.add cache mask keep;
+                      keep
+              end
+            in
+            let buf = ref (Array.make (max 16 (List.length vecs)) 0) in
+            let len = ref 0 in
+            let push k =
+              if !len = Array.length !buf then begin
+                let b = Array.make (2 * !len) 0 in
+                Array.blit !buf 0 b 0 !len;
+                buf := b
+              end;
+              !buf.(!len) <- k;
+              incr len
+            in
+            List.iter
+              (fun vec ->
+                List.iter
+                  (fun vmap ->
+                    let key = ref 0 in
+                    for j = 0 to slots - 1 do
+                      key :=
+                        (!key lsl bits)
+                        lor Array.unsafe_get vmap (Array.unsafe_get vec j)
+                    done;
+                    push !key)
+                  (restrict vec))
+              vecs;
+            let n = !len in
+            (* LSD radix sort: packed keys are bounded by
+               [slots * bits] bits, and closure-based [Array.sort] is
+               an order of magnitude slower on this volume. *)
+            let packed =
+              let a = ref (Array.sub !buf 0 n) in
+              let tmp = ref (Array.make n 0) in
+              let count = Array.make 257 0 in
+              let shift = ref 0 in
+              while !shift < slots * bits do
+                Array.fill count 0 257 0;
+                let src = !a and dst = !tmp in
+                for i = 0 to n - 1 do
+                  let d = (Array.unsafe_get src i lsr !shift) land 0xff in
+                  count.(d + 1) <- count.(d + 1) + 1
+                done;
+                for d = 1 to 256 do
+                  count.(d) <- count.(d) + count.(d - 1)
+                done;
+                for i = 0 to n - 1 do
+                  let v = Array.unsafe_get src i in
+                  let d = (v lsr !shift) land 0xff in
+                  Array.unsafe_set dst count.(d) v;
+                  count.(d) <- count.(d) + 1
+                done;
+                a := dst;
+                tmp := src;
+                shift := !shift + 8
+              done;
+              !a
+            in
+            let mask = (1 lsl bits) - 1 in
+            let rkeys_a = Array.of_list rkeys in
+            let mkeys_a = Array.of_list mkeys in
+            let nr = Array.length rkeys_a in
+            let nm = Array.length mkeys_a in
+            let decode key =
+              (* Low-order slots are memory, high-order registers:
+                 peel values off the key back to front, consing the
+                 lists in their original (sorted) order. *)
+              let k = ref key in
+              let memory = ref [] in
+              for j = nm - 1 downto 0 do
+                memory := (Array.unsafe_get mkeys_a j, !k land mask) :: !memory;
+                k := !k lsr bits
+              done;
+              let registers = ref [] in
+              for j = nr - 1 downto 0 do
+                registers := (Array.unsafe_get rkeys_a j, !k land mask) :: !registers;
+                k := !k lsr bits
+              done;
+              { registers = !registers; memory = !memory }
+            in
+            let out = ref [] in
+            for j = n - 1 downto 0 do
+              if j = n - 1 || packed.(j) <> packed.(j + 1) then
+                out := decode packed.(j) :: !out
+            done;
+            !out
+          end
+        end
+
+let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+(* Candidate count of one run combo, for the reference engine's
+   [generated] accounting (cheap: reference is only ever pointed at
+   small tests). *)
+let reference_generated skel =
+  let rf_n =
+    List.fold_left (fun acc r -> acc * List.length (rf_candidates skel r)) 1 skel.sk_reads
+  in
+  let co_n =
+    List.fold_left
+      (fun acc (_, _, others) -> acc * fact (List.length others))
+      1 (co_locations skel)
+  in
+  rf_n * co_n
+
+let allowed_outcomes_stats ?(fuel = 1024) ?engine model (p : Program.t) =
+  let t0 = Unix.gettimeofday () in
+  let counters = fresh_counters () in
+  let combos = run_combos ~fuel p in
+  let engine =
+    resolve_engine ~counters
+      (match engine with Some e -> e | None -> !default_engine)
+      (lazy (estimated_candidates ~limit:(cutover_threshold ()) p combos))
+  in
+  let outcomes =
+    match engine with
+    | Auto -> assert false
+    | Pruned ->
+        let acc = ref [] in
+        List.iter
+          (fun runs ->
+            let skel = skeleton_of_runs p runs in
+            let static = static_for model skel in
+            let registers = registers_of_runs runs in
+            search ~static skel ~counters ~emit:(fun ~rf_pairs:_ ~chains ~consistent ->
+                if consistent then
+                  acc := { registers; memory = memory_of_chains skel chains } :: !acc))
+          combos;
+        List.sort_uniq compare_outcome !acc
+    | Graph ->
+        let sym = Symmetry.detect p in
+        let tables = combo_canon_tables sym in
+        let acc = ref [] in
+        List.iter
+          (fun runs ->
+            let reads = combo_reads runs in
+            if not (canonical_combo sym tables reads) then
+              counters.c_symmetry_skips <- counters.c_symmetry_skips + 1
+            else begin
+              let skel = skeleton_of_runs p runs in
+              let static = static_for model skel in
+              let registers = registers_of_runs runs in
+              let rsym = Symmetry.refine p sym ~reads:(Array.to_list reads) in
+              graph_search ~static ~sym:rsym skel ~counters ~emit:(fun ~chains ->
+                  acc := { registers; memory = memory_of_chains skel chains } :: !acc)
+            end)
+          combos;
+        expand_symmetric sym !acc
+    | Reference ->
+        let acc = ref [] in
+        List.iter
+          (fun runs ->
+            let skel = skeleton_of_runs p runs in
+            counters.c_generated <- counters.c_generated + reference_generated skel;
+            let xs = Reference.executions_of_runs p runs in
+            counters.c_well_formed <- counters.c_well_formed + List.length xs;
+            List.iter
+              (fun x ->
+                if Axiomatic.consistent model x then begin
+                  counters.c_consistent <- counters.c_consistent + 1;
+                  acc := outcome_of p runs x :: !acc
+                end)
+              xs)
+          combos;
+        List.sort_uniq compare_outcome !acc
+  in
+  let stats = stats_of_counters counters ~wall_s:(Unix.gettimeofday () -. t0) in
+  record_global stats;
+  (outcomes, stats)
+
+let allowed_outcomes ?engine model p = fst (allowed_outcomes_stats ?engine model p)
+
+exception Found
+
+let exists_outcome ?(fuel = 1024) ?engine model (p : Program.t) pred =
+  let t0 = Unix.gettimeofday () in
+  let counters = fresh_counters () in
+  let skels =
+    run_combos ~fuel p
+  in
+  let engine =
+    resolve_engine ~counters
+      (match engine with Some e -> e | None -> !default_engine)
+      (lazy (estimated_candidates ~limit:(cutover_threshold ()) p skels))
+  in
+  let found =
+    try
+      (match engine with
+      | Auto -> assert false
+      | Pruned ->
+          List.iter
+            (fun runs ->
+              let skel = skeleton_of_runs p runs in
+              let static = static_for model skel in
+              let registers = registers_of_runs runs in
+              search ~static skel ~counters
+                ~emit:(fun ~rf_pairs:_ ~chains ~consistent ->
+                  if
+                    consistent
+                    && pred { registers; memory = memory_of_chains skel chains }
+                  then raise Found))
+            skels
+      | Graph ->
+          let sym = Symmetry.detect p in
+          let tables = combo_canon_tables sym in
+          List.iter
+            (fun runs ->
+              let reads = combo_reads runs in
+              if not (canonical_combo sym tables reads) then
+                counters.c_symmetry_skips <- counters.c_symmetry_skips + 1
+              else begin
+                let skel = skeleton_of_runs p runs in
+                let static = static_for model skel in
+                let registers = registers_of_runs runs in
+                let rsym = Symmetry.refine p sym ~reads:(Array.to_list reads) in
+                graph_search ~static ~sym:rsym skel ~counters ~emit:(fun ~chains ->
+                    let o = { registers; memory = memory_of_chains skel chains } in
+                    let hit =
+                      if Symmetry.trivial sym then pred o
+                      else
+                        List.exists
+                          (fun perm ->
+                            pred
+                              {
+                                registers = Symmetry.map_registers perm o.registers;
+                                memory = Symmetry.map_memory perm o.memory;
+                              })
+                          sym.Symmetry.s_perms
+                    in
+                    if hit then raise Found)
+              end)
+            skels
+      | Reference ->
+          List.iter
+            (fun runs ->
+              let skel = skeleton_of_runs p runs in
+              counters.c_generated <- counters.c_generated + reference_generated skel;
+              let xs = Reference.executions_of_runs p runs in
+              counters.c_well_formed <- counters.c_well_formed + List.length xs;
+              List.iter
+                (fun x ->
+                  if Axiomatic.consistent model x then begin
+                    counters.c_consistent <- counters.c_consistent + 1;
+                    if pred (outcome_of p runs x) then raise Found
+                  end)
+                xs)
+            skels);
+      false
+    with Found -> true
+  in
+  record_global (stats_of_counters counters ~wall_s:(Unix.gettimeofday () -. t0));
+  found
+
+let outcome_allowed ?engine model p query =
+  let matches (full : outcome) =
+    List.for_all
+      (fun (key, v) ->
+        match List.assoc_opt key full.registers with Some v' -> v = v' | None -> false)
+      query.registers
+    && List.for_all
+         (fun (l, v) ->
+           match List.assoc_opt l full.memory with Some v' -> v = v' | None -> false)
+         query.memory
+  in
+  exists_outcome ?engine model p matches

@@ -1,0 +1,306 @@
+open Wmm_isa
+
+(* Thread-permutation symmetry detection for the graph enumerator.
+
+   Two tiers of interchangeable threads are recognized, both
+   restricted to "emitter" threads: straight-line code whose only
+   instructions are immediate stores, barriers and nops.  Emitters
+   have exactly one run (no loads, no branches, no exclusives), write
+   no registers, and their event sequence is a fixed function of the
+   thread text - which is what makes permuting them sound:
+
+   - [`Identical]: byte-identical threads.  Swapping two of them maps
+     every execution to another execution with the same outcome, so
+     the quotient loses nothing and no outcome transformation is
+     needed.
+
+   - [`Renamed]: threads identical up to the stored immediates, where
+     each immediate is "private": nonzero, distinct, and appearing
+     nowhere else in the program (not in other instructions, not in
+     the initial memory).  Renaming the values along with the thread
+     permutation maps executions to executions; the guards below make
+     the induced outcome transformation a plain value substitution.
+     Because store-exclusive status flags materialize the values 0/1
+     outside any immediate, programs containing exclusives are
+     excluded from this tier.
+
+   The enumerator keeps only canonical representatives (first writes
+   of a group placed in thread order along their coherence chain) and
+   reconstructs the full outcome set by applying every group
+   permutation's value substitution to the canonical outcomes. *)
+
+type perm = {
+  p_tid : int array;  (** thread [t]'s role moves to [p_tid.(t)] *)
+  p_value : (Instr.value * Instr.value) list;  (** value substitution *)
+}
+
+type tier = Identical | Renamed
+
+type group = { g_members : int list; g_tier : tier }
+
+type t = { s_groups : group list; s_perms : perm list }
+
+let trivial s = s.s_groups = []
+
+let perm_count s = List.length s.s_perms
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_emitter_instr = function
+  | Instr.Store { src = Instr.Imm _; addr = Instr.Imm _; _ } -> true
+  | Instr.Barrier _ | Instr.Nop -> true
+  | _ -> false
+
+let is_imm_store = function
+  | Instr.Store { src = Instr.Imm _; addr = Instr.Imm _; _ } -> true
+  | _ -> false
+
+let is_emitter thread =
+  Array.for_all is_emitter_instr thread && Array.exists is_imm_store thread
+
+(* The thread with its stored immediates holed out: equal shapes are
+   the candidates for renaming. *)
+let shape thread =
+  Array.map
+    (function
+      | Instr.Store { src = Instr.Imm _; addr; order } ->
+          Instr.Store { src = Instr.Imm 0; addr; order }
+      | i -> i)
+    thread
+
+let holes thread =
+  Array.to_list thread
+  |> List.filter_map (function
+       | Instr.Store { src = Instr.Imm v; addr = Instr.Imm _; _ } -> Some v
+       | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Renamed-tier guards                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Instruction forms under which a private-value substitution maps
+   feasible runs to feasible runs and final states to final states:
+   values only flow from loads (substituted consistently), addresses
+   are constants, branches test only zero-ness (preserved: private
+   values are nonzero and 0 maps to 0), and no arithmetic can combine
+   or leak a private value.  Exclusives are out entirely - their
+   status registers materialize 0/1 without an immediate occurrence
+   the scan below could see. *)
+let sigma_safe_instr = function
+  | Instr.Store { src = Instr.Imm _; addr = Instr.Imm _; _ } -> true
+  | Instr.Load { addr = Instr.Imm _; _ } -> true
+  | Instr.Mov { src = Instr.Imm _; _ } -> true
+  | Instr.Barrier _ | Instr.Nop -> true
+  | Instr.Cbnz _ | Instr.Cbz _ -> true
+  | Instr.Load_exclusive _ | Instr.Store_exclusive _ -> false
+  | Instr.Store _ | Instr.Load _ | Instr.Mov _ | Instr.Op _ -> false
+
+(* Occurrences of each immediate in a value-producing position: store
+   sources (they become memory values, hence also load results) and
+   mov sources (they become register values).  Address immediates are
+   location indices - they never flow into a register or a memory
+   cell, so a hole value may freely coincide with one.  Op operands
+   are counted conservatively even though [sigma_safe_instr] already
+   rejects programs containing [Op]. *)
+let imm_occurrences (p : Program.t) =
+  let tbl = Hashtbl.create 16 in
+  let bump v = Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)) in
+  let operand = function Instr.Imm v -> bump v | Instr.Reg _ -> () in
+  Array.iter
+    (Array.iter (function
+      | Instr.Store { src; _ } | Instr.Store_exclusive { src; _ } -> operand src
+      | Instr.Mov { src; _ } -> operand src
+      | Instr.Op { a; b; _ } ->
+          operand a;
+          operand b
+      | Instr.Load _ | Instr.Load_exclusive _ | Instr.Barrier _ | Instr.Nop
+      | Instr.Cbnz _ | Instr.Cbz _ -> ()))
+    p.Program.threads;
+  tbl
+
+let renamed_ok (p : Program.t) members =
+  let sigma_safe =
+    Array.for_all (Array.for_all sigma_safe_instr) p.Program.threads
+  in
+  sigma_safe
+  &&
+  let occ = imm_occurrences p in
+  let init_values =
+    List.map (fun l -> Program.initial_value p l) (Program.locations p)
+  in
+  List.for_all
+    (fun t ->
+      List.for_all
+        (fun v ->
+          v <> 0
+          && (not (List.mem v init_values))
+          (* Appearing exactly once program-wide = its own hole: also
+             rules out repeats within a thread and across members. *)
+          && Hashtbl.find_opt occ v = Some 1)
+        (holes p.Program.threads.(t)))
+    members
+
+(* ------------------------------------------------------------------ *)
+(* Group detection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Cap the expansion work: the product of group factorials bounds the
+   number of outcome substitutions applied per canonical outcome. *)
+let max_perms = 720
+
+let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+let detect (p : Program.t) =
+  let threads = p.Program.threads in
+  let nt = Array.length threads in
+  let classes = Hashtbl.create 8 in
+  let order = ref [] in
+  for t = 0 to nt - 1 do
+    if is_emitter threads.(t) then begin
+      let key = shape threads.(t) in
+      (match Hashtbl.find_opt classes key with
+      | None ->
+          order := key :: !order;
+          Hashtbl.add classes key [ t ]
+      | Some ts -> Hashtbl.replace classes key (t :: ts))
+    end
+  done;
+  let groups =
+    List.rev !order
+    |> List.filter_map (fun key ->
+           let members = List.rev (Hashtbl.find classes key) in
+           if List.length members < 2 then None
+           else
+             let vals = List.map (fun t -> holes threads.(t)) members in
+             let all_identical =
+               List.for_all (fun v -> v = List.hd vals) (List.tl vals)
+             in
+             if all_identical then Some [ { g_members = members; g_tier = Identical } ]
+             else if renamed_ok p members then
+               Some [ { g_members = members; g_tier = Renamed } ]
+             else
+               (* Mixed class: fall back to subgroups of byte-identical
+                  members (always sound, no value renaming). *)
+               let by_text = Hashtbl.create 4 in
+               let sub_order = ref [] in
+               List.iter
+                 (fun t ->
+                   let k = threads.(t) in
+                   match Hashtbl.find_opt by_text k with
+                   | None ->
+                       sub_order := k :: !sub_order;
+                       Hashtbl.add by_text k [ t ]
+                   | Some ts -> Hashtbl.replace by_text k (t :: ts))
+                 members;
+               let subs =
+                 List.rev !sub_order
+                 |> List.filter_map (fun k ->
+                        match List.rev (Hashtbl.find by_text k) with
+                        | _ :: _ :: _ as ms ->
+                            Some { g_members = ms; g_tier = Identical }
+                        | _ -> None)
+               in
+               if subs = [] then None else Some subs)
+    |> List.concat
+  in
+  (* Keep groups while the permutation budget holds; dropped groups
+     simply go unquotiented (sound, just less reduction). *)
+  let groups, _ =
+    List.fold_left
+      (fun (kept, budget) g ->
+        let k = fact (List.length g.g_members) in
+        if budget * k <= max_perms then (g :: kept, budget * k) else (kept, budget))
+      ([], 1) groups
+  in
+  let groups = List.rev groups in
+  (* All member-permutations of every group, composed across groups. *)
+  let rec list_perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat
+          (List.mapi
+             (fun i x ->
+               let rest = List.filteri (fun j _ -> j <> i) l in
+               List.map (fun p -> x :: p) (list_perms rest))
+             l)
+  in
+  let group_assignments =
+    List.map
+      (fun g -> List.map (fun img -> (g, img)) (list_perms g.g_members))
+      groups
+  in
+  let rec cartesian = function
+    | [] -> [ [] ]
+    | choices :: rest ->
+        let tails = cartesian rest in
+        List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+  in
+  let perm_of assignment =
+    let p_tid = Array.init nt Fun.id in
+    let p_value = ref [] in
+    List.iter
+      (fun (g, img) ->
+        List.iter2
+          (fun t t' ->
+            p_tid.(t) <- t';
+            if g.g_tier = Renamed && t <> t' then
+              List.iter2
+                (fun v v' -> if v <> v' then p_value := (v, v') :: !p_value)
+                (holes threads.(t)) (holes threads.(t')))
+          g.g_members img)
+      assignment;
+    { p_tid; p_value = !p_value }
+  in
+  let perms = List.map perm_of (cartesian group_assignments) in
+  { s_groups = groups; s_perms = perms }
+
+(* ------------------------------------------------------------------ *)
+(* Per-combo refinement                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Restrict the groups to the stabilizer of one run combo, identified
+   by the multiset of values its loads observe.  A [Renamed] member
+   whose hole values are observed is pinned down by the combo (the
+   combo is not fixed under any permutation that moves it), so it
+   leaves its group; unobserved members stay interchangeable.
+   [Identical] members carry no distinguishing values and always
+   remain.  Used by the enumerator to search only representative
+   combos while keeping each rep's coherence orders canonical exactly
+   with respect to the permutations that fix that combo. *)
+let refine (p : Program.t) (sym : t) ~reads =
+  let groups =
+    List.filter_map
+      (fun g ->
+        match g.g_tier with
+        | Identical -> Some g
+        | Renamed -> (
+            match
+              List.filter
+                (fun t ->
+                  not
+                    (List.exists
+                       (fun v -> List.mem v reads)
+                       (holes p.Program.threads.(t))))
+                g.g_members
+            with
+            | _ :: _ :: _ as ms -> Some { g with g_members = ms }
+            | _ -> None))
+      sym.s_groups
+  in
+  { sym with s_groups = groups }
+
+(* ------------------------------------------------------------------ *)
+(* Applying a permutation to an outcome                                *)
+(* ------------------------------------------------------------------ *)
+
+let map_value perm v =
+  match List.assoc_opt v perm.p_value with Some v' -> v' | None -> v
+
+let map_registers perm regs =
+  List.sort compare
+    (List.map (fun ((t, r), v) -> ((perm.p_tid.(t), r), map_value perm v)) regs)
+
+let map_memory perm mem =
+  List.sort compare (List.map (fun (l, v) -> (l, map_value perm v)) mem)

@@ -1,0 +1,55 @@
+open Wmm_isa
+(** Thread-permutation symmetry for the graph enumerator.
+
+    Detects groups of interchangeable "emitter" threads (straight-line
+    immediate stores, barriers and nops) in two tiers: [Identical]
+    (byte-identical threads; outcomes are invariant under swapping)
+    and [Renamed] (identical up to privately-owned stored immediates;
+    outcomes transform by a value substitution).  The enumerator
+    explores only canonical representatives — first writes of a group
+    in thread order along their coherence chain — and expands the
+    outcome set back through {!t.s_perms}. *)
+
+type perm = {
+  p_tid : int array;  (** thread [t]'s role moves to [p_tid.(t)] *)
+  p_value : (Instr.value * Instr.value) list;
+      (** value substitution induced by the renaming; empty for
+          [Identical]-only permutations *)
+}
+
+type tier = Identical | Renamed
+
+type group = { g_members : int list; g_tier : tier }
+
+type t = { s_groups : group list; s_perms : perm list }
+
+val detect : Program.t -> t
+(** Find interchangeable-thread groups.  [s_perms] enumerates the full
+    product of member permutations across kept groups (identity
+    included), capped so the expansion stays cheap; groups beyond the
+    cap are dropped (less reduction, still sound). *)
+
+val trivial : t -> bool
+(** No groups: symmetry reduction is a no-op. *)
+
+val perm_count : t -> int
+
+val refine : Program.t -> t -> reads:Instr.value list -> t
+(** Restrict the groups to the stabilizer of a run combo whose loads
+    observe [reads]: [Renamed] members whose hole values are observed
+    leave their group, [Identical] groups are untouched.  The
+    enumerator searches only lex-least representative combos and
+    keeps each rep's coherence orders canonical with respect to this
+    refined (stabilizer) symmetry; expansion through the full
+    {!t.s_perms} then reconstructs every combo's outcomes. *)
+
+val map_value : perm -> Instr.value -> Instr.value
+
+val map_registers :
+  perm ->
+  ((int * Instr.reg) * Instr.value) list ->
+  ((int * Instr.reg) * Instr.value) list
+(** Apply the permutation to a final register assignment and re-sort. *)
+
+val map_memory :
+  perm -> (Instr.loc * Instr.value) list -> (Instr.loc * Instr.value) list

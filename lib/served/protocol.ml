@@ -2,8 +2,10 @@ open Wmm_model
 open Wmm_isa
 
 (* v2 added the optional per-request "deadline_ms" and "retry"
-   envelope fields and the "deadline_exceeded" response status. *)
-let schema_version = 2
+   envelope fields and the "deadline_exceeded" response status; v3
+   the conform "engine" field (named in the canonical key, so cached
+   results from different exploration engines cannot alias). *)
+let schema_version = 3
 
 type litmus_mode = Exhaustive | Random of int
 
@@ -17,7 +19,13 @@ type request =
       mode : litmus_mode;
     }
   | Analyze of { tests : string list; arch : Arch.t; cost : bool }
-  | Conform of { arch : Arch.t; max_edges : int; limit : int; infer_limit : int }
+  | Conform of {
+      arch : Arch.t;
+      max_edges : int;
+      limit : int;
+      infer_limit : int;
+      engine : Enumerate.engine_kind;
+    }
   | Lang of {
       action : lang_action;
       tests : string list;  (** Lock or litmus names; [] = default battery. *)
@@ -111,9 +119,17 @@ let parse_conform v =
   let* max_edges = int_field v "max_edges" 2 in
   let* limit = int_field v "limit" 64 in
   let* infer_limit = int_field v "infer_limit" 16 in
+  let* engine =
+    match Json.str_member "engine" v with
+    | None -> Ok Enumerate.Auto
+    | Some s -> (
+        match Enumerate.engine_of_string s with
+        | Some e -> Ok e
+        | None -> Error (Printf.sprintf "unknown engine %S" s))
+  in
   if max_edges < 1 then Error "field \"max_edges\" must be >= 1"
   else if limit < 1 then Error "field \"limit\" must be >= 1"
-  else Ok (Conform { arch; max_edges; limit; infer_limit })
+  else Ok (Conform { arch; max_edges; limit; infer_limit; engine })
 
 let lang_action_name = function
   | L_explore -> "explore"
@@ -209,9 +225,11 @@ let canonical_key req =
   | Analyze { tests; arch; cost } ->
       Printf.sprintf "served/v%d|analyze|tests=%s|arch=%s|cost=%b" schema_version
         (String.concat "," tests) (Arch.name arch) cost
-  | Conform { arch; max_edges; limit; infer_limit } ->
-      Printf.sprintf "served/v%d|conform|arch=%s|max_edges=%d|limit=%d|infer=%d"
+  | Conform { arch; max_edges; limit; infer_limit; engine } ->
+      Printf.sprintf
+        "served/v%d|conform|arch=%s|max_edges=%d|limit=%d|infer=%d|engine=%s"
         schema_version (Arch.name arch) max_edges limit infer_limit
+        (Enumerate.engine_name engine)
   | Lang { action; tests; schemes; limit } ->
       Printf.sprintf "served/v%d|lang|action=%s|tests=%s|schemes=%s|limit=%d"
         schema_version (lang_action_name action) (String.concat "," tests)

@@ -31,7 +31,15 @@ type request =
     }
   | Analyze of { tests : string list; arch : Arch.t; cost : bool }
       (** [tests = []] analyses the whole library. *)
-  | Conform of { arch : Arch.t; max_edges : int; limit : int; infer_limit : int }
+  | Conform of {
+      arch : Arch.t;
+      max_edges : int;
+      limit : int;
+      infer_limit : int;
+      engine : Enumerate.engine_kind;
+          (** Exploration engine for the explore layer; part of the
+              canonical key. *)
+    }
   | Lang of {
       action : lang_action;
       tests : string list;

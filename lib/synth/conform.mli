@@ -81,11 +81,15 @@ type config = {
       (** Inference-layer battery cap (it is the expensive layer);
           the first [infer_limit] tests are analysed.  [0] disables
           the layer. *)
+  explorer : Enumerate.engine_kind;
+      (** Exploration engine for the explore layer's fast side; part
+          of the task key, so verdicts from different engines never
+          alias in the cache. *)
 }
 
 val default_config : config
 (** Reference oracle, default models, machine layer on,
-    [infer_limit = 48]. *)
+    [infer_limit = 48], [explorer = Auto]. *)
 
 val run :
   ?config:config -> engine:Wmm_engine.Engine.t -> arch:Arch.t -> Test.t list -> report

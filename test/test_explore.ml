@@ -72,6 +72,116 @@ let test_golden_synthetic () =
       Alcotest.(check bool) "outcome lists identical" true (outcomes_equal fast slow))
     [ (iriw3, Axiomatic.Arm); (co_storm, Axiomatic.Tso) ]
 
+(* --- graph engine: golden vs reference, all five models ---------- *)
+
+let test_graph_golden_library model () =
+  List.iter
+    (fun (t : Test.t) ->
+      let p = t.Test.program in
+      let graph = Enumerate.allowed_outcomes ~engine:Enumerate.Graph model p in
+      let slow = Enumerate.Reference.allowed_outcomes model p in
+      if not (outcomes_equal graph slow) then
+        Alcotest.failf "%s under %s: graph %d outcomes, reference %d" t.Test.name
+          (Axiomatic.model_name model)
+          (List.length graph) (List.length slow))
+    Library.all
+
+let test_graph_golden_synthetic () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun (p : Program.t) ->
+          let graph = Enumerate.allowed_outcomes ~engine:Enumerate.Graph model p in
+          let slow = Enumerate.Reference.allowed_outcomes model p in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s graph = reference" p.Program.name
+               (Axiomatic.model_name model))
+            true (outcomes_equal graph slow))
+        [ iriw3; co_storm ])
+    Axiomatic.all_models
+
+(* A deterministic slice of the synthesized battery: shapes (address
+   dependencies, fences, mixed orders) the hand-written library does
+   not cover. *)
+let test_graph_golden_synth_sample () =
+  let battery = Wmm_synth.Synth.generate ~max_edges:4 Arch.Armv8 in
+  (* ~200 tests spread evenly across the deterministic size-4 battery
+     (the reference oracle prices larger synthesized programs out of a
+     test that runs it five times per program). *)
+  let stride = max 1 (List.length battery / 200) in
+  let sample = List.filteri (fun i _ -> i mod stride = 0) battery in
+  List.iter
+    (fun (g : Wmm_synth.Synth.generated) ->
+      let p = g.Wmm_synth.Synth.g_test.Test.program in
+      List.iter
+        (fun model ->
+          let graph = Enumerate.allowed_outcomes ~engine:Enumerate.Graph model p in
+          let slow = Enumerate.Reference.allowed_outcomes model p in
+          if not (outcomes_equal graph slow) then
+            Alcotest.failf "synth %s under %s: graph %d outcomes, reference %d"
+              p.Program.name
+              (Axiomatic.model_name model)
+              (List.length graph) (List.length slow))
+        Axiomatic.all_models)
+    sample
+
+(* --- symmetry quotient: graph searches 1/N! of the executions ----- *)
+
+let test_symmetry_quotient () =
+  (* Identical tier: three byte-identical writers - one canonical
+     coherence order stands for all 3! = 6. *)
+  let p =
+    Program.make ~name:"sym3" ~location_names:[| "x" |]
+      [ [| st 0 1 |]; [| st 0 1 |]; [| st 0 1 |] ]
+  in
+  let po, ps = Enumerate.allowed_outcomes_stats ~engine:Enumerate.Pruned Axiomatic.Sc p in
+  let go, gs = Enumerate.allowed_outcomes_stats ~engine:Enumerate.Graph Axiomatic.Sc p in
+  Alcotest.(check bool) "identical-tier outcomes agree" true (outcomes_equal po go);
+  Alcotest.(check int) "graph searches 1/3! of the executions"
+    ps.Enumerate.consistent
+    (6 * gs.Enumerate.graph_executions);
+  (* Renamed tier: private immediates - same 1/3! quotient, outcomes
+     reconstructed through the value substitutions. *)
+  let q =
+    Program.make ~name:"ren3" ~location_names:[| "x" |]
+      [ [| st 0 1 |]; [| st 0 2 |]; [| st 0 3 |] ]
+  in
+  let qo, qs = Enumerate.allowed_outcomes_stats ~engine:Enumerate.Pruned Axiomatic.Sc q in
+  let ho, hs = Enumerate.allowed_outcomes_stats ~engine:Enumerate.Graph Axiomatic.Sc q in
+  Alcotest.(check bool) "renamed-tier outcomes agree" true (outcomes_equal qo ho);
+  Alcotest.(check int) "renamed tier also quotients by 3!"
+    qs.Enumerate.consistent
+    (6 * hs.Enumerate.graph_executions)
+
+let test_graph_revisits_exercised () =
+  (* Load-buffering shapes force rf promises to writes not yet in the
+     graph; the library must exercise the revisit path. *)
+  let total =
+    List.fold_left
+      (fun n (t : Test.t) ->
+        let _, s =
+          Enumerate.allowed_outcomes_stats ~engine:Enumerate.Graph Axiomatic.Arm
+            t.Test.program
+        in
+        n + s.Enumerate.revisits)
+      0 Library.all
+  in
+  Alcotest.(check bool) "revisit path exercised" true (total > 0)
+
+(* --- adaptive cutover -------------------------------------------- *)
+
+let test_auto_cutover () =
+  let sb = (Option.get (Library.by_name "SB")).Test.program in
+  let _, s = Enumerate.allowed_outcomes_stats ~engine:Enumerate.Auto Axiomatic.Sc sb in
+  Alcotest.(check int) "small test routed to the pruned engine" 1
+    s.Enumerate.cutover_small;
+  Alcotest.(check int) "no graph executions on a cutover" 0
+    s.Enumerate.graph_executions;
+  let _, s = Enumerate.allowed_outcomes_stats ~engine:Enumerate.Auto Axiomatic.Arm iriw3 in
+  Alcotest.(check int) "big test stays on the graph engine" 0 s.Enumerate.cutover_small;
+  Alcotest.(check bool) "graph executions recorded" true
+    (s.Enumerate.graph_executions > 0)
+
 (* --- pruning invariants ------------------------------------------ *)
 
 (* On complete candidates the prune screen plus the residual axioms
@@ -157,6 +267,16 @@ let suite =
     Alcotest.test_case "golden library ARMv8" `Quick (test_golden_library Axiomatic.Arm);
     Alcotest.test_case "golden library POWER" `Quick (test_golden_library Axiomatic.Power);
     Alcotest.test_case "golden synthetic worst cases" `Slow test_golden_synthetic;
+    Alcotest.test_case "graph golden library SC" `Quick (test_graph_golden_library Axiomatic.Sc);
+    Alcotest.test_case "graph golden library TSO" `Quick (test_graph_golden_library Axiomatic.Tso);
+    Alcotest.test_case "graph golden library ARMv8" `Quick (test_graph_golden_library Axiomatic.Arm);
+    Alcotest.test_case "graph golden library POWER" `Quick (test_graph_golden_library Axiomatic.Power);
+    Alcotest.test_case "graph golden library RC11" `Quick (test_graph_golden_library Axiomatic.Rc11);
+    Alcotest.test_case "graph golden synthetic worst cases" `Slow test_graph_golden_synthetic;
+    Alcotest.test_case "graph golden synth sample" `Slow test_graph_golden_synth_sample;
+    Alcotest.test_case "symmetry quotient 1/N!" `Quick test_symmetry_quotient;
+    Alcotest.test_case "graph revisit path exercised" `Quick test_graph_revisits_exercised;
+    Alcotest.test_case "auto cutover routing" `Quick test_auto_cutover;
     Alcotest.test_case "prune+residual = consistent" `Quick test_prune_residual_invariant;
     Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
     Alcotest.test_case "global stats accumulate" `Quick test_global_stats_accumulate;
