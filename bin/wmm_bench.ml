@@ -91,6 +91,34 @@ let engine_arg =
 let apply_engine e = Wmm_model.Enumerate.set_default_engine e
 
 (* ------------------------------------------------------------------ *)
+(* Certificate emission helpers (litmus --certify / analyze --certify) *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let cert_file_name name model =
+  let safe s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+        | _ -> '-')
+      s
+  in
+  Printf.sprintf "%s__%s.cert" (safe name) (safe model)
+
+let write_cert dir name model cert =
+  mkdir_p dir;
+  let path = Filename.concat dir (cert_file_name name model) in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Wmm_cert.Certificate.to_string cert));
+  path
+
+(* ------------------------------------------------------------------ *)
 (* list                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -144,7 +172,21 @@ let litmus_cmd =
   let iterations_arg =
     Arg.(value & opt int 2000 & info [ "iterations" ] ~doc:"Random-run count")
   in
-  let run engine test_name file exhaustive iterations =
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Emit a proof-carrying certificate for every axiomatic verdict (witness \
+             execution for allowed, exhaustive execution set for forbidden), \
+             checkable offline with `wmm_bench check`")
+  in
+  let cert_dir_arg =
+    Arg.(
+      value & opt string "_wmm_certs"
+      & info [ "cert-dir" ] ~docv:"DIR" ~doc:"Directory certificates are written to")
+  in
+  let run engine test_name file exhaustive iterations certify cert_dir =
     apply_engine engine;
     let tests =
       match (test_name, file) with
@@ -192,7 +234,17 @@ let litmus_cmd =
                   else not (Check.sound v)
                 in
                 if unsound then incr failures;
-                print_endline (Check.describe v))
+                print_endline (Check.describe v);
+                if certify then begin
+                  match Wmm_certify.Emit.litmus model test with
+                  | Ok cert ->
+                      let path =
+                        write_cert cert_dir test.Test.name (Axiomatic.model_name model)
+                          cert
+                      in
+                      Printf.printf "  certificate: %s\n" path
+                  | Error msg -> Printf.printf "  certificate: skipped (%s)\n" msg
+                end)
           Axiomatic.all_models)
       tests;
     if !failures > 0 then begin
@@ -202,7 +254,9 @@ let litmus_cmd =
   in
   Cmd.v
     (Cmd.info "litmus" ~doc:"Run litmus tests on the operational machine and the models")
-    Term.(const run $ engine_arg $ test_arg $ file_arg $ exhaustive_arg $ iterations_arg)
+    Term.(
+      const run $ engine_arg $ test_arg $ file_arg $ exhaustive_arg $ iterations_arg
+      $ certify_arg $ cert_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* litmus-table                                                        *)
@@ -602,8 +656,22 @@ let analyze_cmd =
       & info [ "detail" ]
           ~doc:"Per-test breakdown: cost-ranked alternatives and minimality witnesses")
   in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Emit a minimality certificate for every inferred placement: the fenced \
+             program's exhaustive forbidden execution set plus a witness execution \
+             per dropped fence, checkable offline with `wmm_bench check`")
+  in
+  let cert_dir_arg =
+    Arg.(
+      value & opt string "_wmm_certs"
+      & info [ "cert-dir" ] ~docv:"DIR" ~doc:"Directory certificates are written to")
+  in
   let run engine names all arch_s jobs no_cache cache_dir telemetry_out retries resume
-      no_cost detail =
+      no_cost detail certify cert_dir =
     apply_engine engine;
     let archs =
       match arch_s with
@@ -659,7 +727,30 @@ let analyze_cmd =
           Wmm_analysis.Infer.analyze_all ~with_cost:(not no_cost) ~engine ~arch tests
         in
         print_string (Wmm_analysis.Infer.render ~detail arch rows);
-        print_newline ())
+        print_newline ();
+        if certify then
+          List.iter
+            (fun (row : Wmm_analysis.Infer.row) ->
+              match row.Wmm_analysis.Infer.status with
+              | Wmm_analysis.Infer.Inferred inf -> (
+                  match
+                    Wmm_certify.Emit.minimal row.Wmm_analysis.Infer.model
+                      row.Wmm_analysis.Infer.test inf.Wmm_analysis.Infer.minimal
+                  with
+                  | Ok cert ->
+                      let path =
+                        write_cert cert_dir
+                          (row.Wmm_analysis.Infer.test.Wmm_litmus.Test.name
+                         ^ "__minimal")
+                          (Wmm_model.Axiomatic.model_name row.Wmm_analysis.Infer.model)
+                          cert
+                      in
+                      Printf.printf "certificate: %s\n" path
+                  | Error msg ->
+                      Printf.printf "certificate: %s skipped (%s)\n"
+                        row.Wmm_analysis.Infer.test.Wmm_litmus.Test.name msg)
+              | _ -> ())
+            rows)
       archs;
     record_exploration engine;
     prerr_endline (Wmm_engine.Engine.render_summary engine);
@@ -677,7 +768,60 @@ let analyze_cmd =
     Term.(
       const run $ engine_arg $ tests_arg $ all_arg $ arch_arg $ jobs_arg $ no_cache_arg
       $ cache_dir_arg $ telemetry_arg $ retries_arg $ resume_arg $ no_cost_arg
-      $ detail_arg)
+      $ detail_arg $ certify_arg $ cert_dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Certificate validation.  Deliberately uses nothing but the
+   [wmm_cert] library: no exploration engine, no operational machine,
+   no shared code with the axiomatic core - a rejected certificate
+   here means the producing pipeline (or the file) is wrong. *)
+let check_cmd =
+  let paths_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"Certificate file, or directory containing .cert files (repeatable)")
+  in
+  let run paths =
+    let files =
+      List.concat_map
+        (fun p ->
+          if not (Sys.file_exists p) then die "no such file or directory: %s" p;
+          if Sys.is_directory p then
+            Sys.readdir p |> Array.to_list
+            |> List.filter (fun f -> Filename.check_suffix f ".cert")
+            |> List.sort compare
+            |> List.map (Filename.concat p)
+          else [ p ])
+        paths
+    in
+    if files = [] then die "no certificates found under %s" (String.concat " " paths);
+    let rejected = ref 0 in
+    List.iter
+      (fun path ->
+        let content = In_channel.with_open_text path In_channel.input_all in
+        match Wmm_cert.Checker.check_string content with
+        | Ok cert ->
+            Printf.printf "%-56s ok (%s, %s)\n" path
+              (Wmm_cert.Certificate.claim_name cert.Wmm_cert.Certificate.claim)
+              (Wmm_cert.Axioms.model_name cert.Wmm_cert.Certificate.model)
+        | Error r ->
+            incr rejected;
+            Printf.printf "%-56s REJECTED %s\n" path (Wmm_cert.Checker.reason_string r))
+      files;
+    Printf.printf "%d certificate(s) checked, %d rejected\n" (List.length files)
+      !rejected;
+    if !rejected > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate verdict certificates with the independent checker (no exploration; \
+          trusts only the certificate file and the checker's own replay and axioms)")
+    Term.(const run $ paths_arg)
 
 (* ------------------------------------------------------------------ *)
 (* conform                                                             *)
@@ -1602,6 +1746,7 @@ let () =
             sensitivity_cmd;
             figure_cmd;
             analyze_cmd;
+            check_cmd;
             conform_cmd;
             lang_cmd;
             serve_cmd;

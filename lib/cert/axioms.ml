@@ -1,0 +1,298 @@
+open Wmm_isa
+
+(* The five memory models, re-stated from their definitions over the
+   checker's own relation calculus.  Nothing here is imported from the
+   exploration core: this is an intentionally duplicated, list/matrix
+   level transcription of the axioms (herd-style), so a bug in the
+   explorer's bitset encodings cannot also hide here.  Axiom names
+   match the explorer's so planted-bug tests can compare reasons. *)
+
+type model = Sc | Tso | Arm | Power | Rc11
+
+let all_models = [ Sc; Tso; Arm; Power; Rc11 ]
+
+let model_name = function
+  | Sc -> "SC"
+  | Tso -> "TSO"
+  | Arm -> "ARMv8"
+  | Power -> "POWER"
+  | Rc11 -> "RC11"
+
+let model_of_name s =
+  List.find_opt (fun m -> model_name m = s) all_models
+
+type ctx = {
+  events : Trace.event array;
+  po : Rel.t;
+  addr : Rel.t;
+  data : Rel.t;
+  ctrl : Rel.t;
+  rmw : Rel.t;
+}
+
+let ctx_of_shape (s : Replay.shape) =
+  { events = s.Replay.events; po = s.Replay.po; addr = s.Replay.addr;
+    data = s.Replay.data; ctrl = s.Replay.ctrl; rmw = s.Replay.rmw }
+
+(* ------------------------------------------------------------------ *)
+(* RC11 access modes (C11 strengths for hardware barriers included,
+   so lifted hardware tests stay meaningful).                          *)
+(* ------------------------------------------------------------------ *)
+
+type mode = M_rlx | M_acq | M_rel | M_acq_rel | M_sc
+
+let read_mode = function
+  | Instr.Plain | Instr.Release -> M_rlx
+  | Instr.Acquire | Instr.Acq_rel -> M_acq
+  | Instr.Sc -> M_sc
+
+let write_mode = function
+  | Instr.Plain | Instr.Acquire -> M_rlx
+  | Instr.Release | Instr.Acq_rel -> M_rel
+  | Instr.Sc -> M_sc
+
+let fence_mode = function
+  | Instr.Fence_acq | Instr.Dmb_ishld -> M_acq
+  | Instr.Fence_rel | Instr.Dmb_ishst | Instr.Eieio -> M_rel
+  | Instr.Fence_acq_rel | Instr.Lwsync -> M_acq_rel
+  | Instr.Fence_sc | Instr.Dmb_ish | Instr.Sync -> M_sc
+  | Instr.Isb | Instr.Isync -> M_rlx
+
+let at_least_acq = function M_acq | M_acq_rel | M_sc -> true | M_rlx | M_rel -> false
+let at_least_rel = function M_rel | M_acq_rel | M_sc -> true | M_rlx | M_acq -> false
+
+let event_mode (e : Trace.event) =
+  match e.Trace.action with
+  | Trace.Read { order; _ } -> read_mode order
+  | Trace.Write { order; _ } -> write_mode order
+  | Trace.Fence b -> fence_mode b
+
+(* ------------------------------------------------------------------ *)
+(* Shared derived relations.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let violations model ctx ~rf ~co =
+  let ev = ctx.events in
+  let n = Array.length ev in
+  let is_read i = Trace.is_read ev.(i) in
+  let is_write i = Trace.is_write ev.(i) in
+  let is_mem i = is_read i || is_write i in
+  let same_loc a b = Trace.same_loc ev.(a) ev.(b) in
+  let external_part r =
+    Rel.filter (fun a b -> ev.(a).Trace.tid <> ev.(b).Trace.tid) r
+  in
+  let po_loc = Rel.filter same_loc ctx.po in
+  let fr = Rel.remove_diagonal (Rel.compose (Rel.inverse rf) co) in
+  let com = Rel.union_all n [ rf; co; fr ] in
+  let rfe = external_part rf in
+  let fre = external_part fr in
+  let coe = external_part co in
+  (* [M]; po; [F kind]; po; [M] *)
+  let through_fence kind =
+    let acc = Rel.create n in
+    for f = 0 to n - 1 do
+      if Trace.fence_kind kind ev.(f) then
+        for a = 0 to n - 1 do
+          if is_mem a && Rel.mem ctx.po a f then
+            for b = 0 to n - 1 do
+              if is_mem b && Rel.mem ctx.po f b then Rel.add acc a b
+            done
+        done
+    done;
+    acc
+  in
+  (* Reads with a ctrl edge into an isb/isync order everything po-after
+     the fence. *)
+  let ctrl_restore kind =
+    let acc = Rel.create n in
+    for f = 0 to n - 1 do
+      if Trace.fence_kind kind ev.(f) then
+        for r = 0 to n - 1 do
+          if is_read r && Rel.mem ctx.ctrl r f then
+            for b = 0 to n - 1 do
+              if is_mem b && Rel.mem ctx.po f b then Rel.add acc r b
+            done
+        done
+    done;
+    acc
+  in
+  let mem_po = Rel.restrict ctx.po ~domain:is_mem ~range:is_mem in
+  let ctrl_w = Rel.restrict ctx.ctrl ~domain:is_read ~range:is_write in
+  let addr_po_w =
+    Rel.restrict (Rel.compose ctx.addr ctx.po) ~domain:is_read ~range:is_write
+  in
+  let addr_data = Rel.union ctx.addr ctx.data in
+  let dep_rfi () = Rel.compose addr_data (Rel.diff rf rfe) in
+  (* RMW atomicity, common to every model: no external write may be
+     coherence-ordered between the exclusive read's source and the
+     paired exclusive write. *)
+  let atomicity () =
+    Rel.is_empty ctx.rmw
+    || Rel.is_empty (Rel.inter ctx.rmw (Rel.compose fre coe))
+  in
+  let checks =
+    ("atomicity", atomicity)
+    ::
+    (match model with
+    | Sc -> [ ("sc", fun () -> Rel.is_acyclic (Rel.union ctx.po com)) ]
+    | Tso ->
+        let ppo_static =
+          Rel.filter (fun a b -> not (is_write a && is_read b)) mem_po
+        in
+        let fence = Rel.union (through_fence Instr.Dmb_ish) (through_fence Instr.Sync) in
+        [
+          ("sc-per-location", fun () -> Rel.is_acyclic (Rel.union po_loc com));
+          ( "tso-global-happens-before",
+            fun () -> Rel.is_acyclic (Rel.union_all n [ ppo_static; fence; rfe; co; fr ])
+          );
+        ]
+    | Arm ->
+        let acq_rel =
+          let is_acq i = Trace.is_acquire ev.(i) in
+          let is_rel i = Trace.is_release ev.(i) in
+          Rel.union_all n
+            [
+              Rel.restrict ctx.po ~domain:is_acq ~range:is_mem;
+              Rel.restrict ctx.po ~domain:is_mem ~range:is_rel;
+              Rel.restrict ctx.po ~domain:is_rel ~range:is_acq;
+            ]
+        in
+        let ppo_static =
+          Rel.union_all n
+            [ ctx.addr; ctx.data; ctrl_w; addr_po_w; ctrl_restore Instr.Isb; acq_rel ]
+        in
+        let fence =
+          Rel.union_all n
+            [
+              through_fence Instr.Dmb_ish;
+              Rel.restrict (through_fence Instr.Dmb_ishld) ~domain:is_read ~range:is_mem;
+              Rel.restrict (through_fence Instr.Dmb_ishst) ~domain:is_write ~range:is_write;
+            ]
+        in
+        [
+          ("internal", fun () -> Rel.is_acyclic (Rel.union po_loc com));
+          ( "external",
+            fun () ->
+              Rel.is_acyclic
+                (Rel.union_all n [ rfe; fre; coe; ppo_static; dep_rfi (); fence ]) );
+        ]
+    | Power ->
+        let ppo_static =
+          Rel.union_all n
+            [ ctx.addr; ctx.data; ctrl_w; addr_po_w; ctrl_restore Instr.Isync ]
+        in
+        let sync = through_fence Instr.Sync in
+        let lwsync = through_fence Instr.Lwsync in
+        let fence =
+          Rel.union_all n
+            [
+              sync;
+              Rel.restrict lwsync ~domain:is_read ~range:is_mem;
+              Rel.restrict lwsync ~domain:is_write ~range:is_write;
+              Rel.restrict (through_fence Instr.Eieio) ~domain:is_write ~range:is_write;
+            ]
+        in
+        let fence_empty = Rel.is_empty fence in
+        let hb = Rel.union_all n [ ppo_static; dep_rfi (); fence; rfe ] in
+        let prop_parts () =
+          let hb_star = Rel.reflexive_transitive_closure hb in
+          let prop_base = Rel.compose (Rel.union fence (Rel.compose rfe fence)) hb_star in
+          let prop =
+            Rel.union
+              (Rel.restrict prop_base ~domain:is_write ~range:is_write)
+              (Rel.compose
+                 (Rel.reflexive_transitive_closure com)
+                 (Rel.compose
+                    (Rel.reflexive_transitive_closure prop_base)
+                    (Rel.compose sync hb_star)))
+          in
+          (prop, hb_star)
+        in
+        [
+          ("sc-per-location", fun () -> Rel.is_acyclic (Rel.union po_loc com));
+          ("no-thin-air", fun () -> Rel.is_acyclic hb);
+          ( "observation",
+            fun () ->
+              fence_empty
+              ||
+              let prop, hb_star = prop_parts () in
+              Rel.is_irreflexive (Rel.compose fre (Rel.compose prop hb_star)) );
+          ( "propagation",
+            fun () ->
+              if fence_empty then Rel.is_acyclic co
+              else
+                let prop, _ = prop_parts () in
+                Rel.is_acyclic (Rel.union co prop) );
+        ]
+    | Rc11 ->
+        let modes = Array.map event_mode ev in
+        let is_fence i = Trace.is_fence ev.(i) in
+        let po_nloc = Rel.diff ctx.po po_loc in
+        let ws_base =
+          Rel.union
+            (Rel.restrict po_loc ~domain:is_write ~range:is_write)
+            (Rel.id_on n is_write)
+        in
+        let pre_rel =
+          Rel.union
+            (Rel.id_on n (fun i -> is_write i && at_least_rel modes.(i)))
+            (Rel.restrict ctx.po
+               ~domain:(fun i -> is_fence i && at_least_rel modes.(i))
+               ~range:is_write)
+        in
+        let post_acq =
+          Rel.union
+            (Rel.id_on n (fun i -> is_read i && at_least_acq modes.(i)))
+            (Rel.restrict ctx.po ~domain:is_read
+               ~range:(fun i -> is_fence i && at_least_acq modes.(i)))
+        in
+        let is_sc_fence i = is_fence i && modes.(i) = M_sc in
+        let sc_id = Rel.id_on n (fun i -> modes.(i) = M_sc) in
+        let derived () =
+          let rs =
+            Rel.compose ws_base
+              (Rel.reflexive_transitive_closure (Rel.compose rf ctx.rmw))
+          in
+          let sw = Rel.compose pre_rel (Rel.compose rs (Rel.compose rf post_acq)) in
+          let hb = Rel.transitive_closure (Rel.union ctx.po sw) in
+          let eco = Rel.transitive_closure com in
+          (hb, eco)
+        in
+        [
+          ( "coherence",
+            fun () ->
+              let hb, eco = derived () in
+              Rel.is_irreflexive hb && Rel.is_irreflexive (Rel.compose hb eco) );
+          ("no-thin-air", fun () -> Rel.is_acyclic (Rel.union ctx.po rf));
+          ( "sc",
+            fun () ->
+              let hb, eco = derived () in
+              let scb =
+                Rel.union_all n
+                  [
+                    ctx.po;
+                    Rel.compose po_nloc (Rel.compose hb po_nloc);
+                    Rel.filter same_loc hb;
+                    co;
+                    fr;
+                  ]
+              in
+              let all i = i >= 0 in
+              let pre =
+                Rel.union sc_id (Rel.restrict hb ~domain:is_sc_fence ~range:all)
+              in
+              let post =
+                Rel.union sc_id (Rel.restrict hb ~domain:all ~range:is_sc_fence)
+              in
+              let psc_base = Rel.compose pre (Rel.compose scb post) in
+              let psc_f =
+                Rel.restrict
+                  (Rel.union hb (Rel.compose hb (Rel.compose eco hb)))
+                  ~domain:is_sc_fence ~range:is_sc_fence
+              in
+              Rel.is_acyclic (Rel.union psc_base psc_f) );
+        ])
+  in
+  List.filter_map (fun (name, ok) -> if ok () then None else Some name) checks
+
+let consistent model ctx ~rf ~co = violations model ctx ~rf ~co = []

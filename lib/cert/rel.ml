@@ -1,0 +1,120 @@
+(* Finite binary relations over event ids 0..n-1, as adjacency
+   matrices of booleans.  Executions certified here are tiny (a few
+   dozen events), so the n^3 closures below are instantaneous; the
+   point of this module is that every operation is a page of obvious
+   code, independent of the bitset machinery the fast explorer uses. *)
+
+type t = { n : int; m : bool array array }
+
+let create n = { n; m = Array.make_matrix n n false }
+
+let mem r a b = r.m.(a).(b)
+
+let add r a b = r.m.(a).(b) <- true
+
+let of_list n pairs =
+  let r = create n in
+  List.iter (fun (a, b) -> add r a b) pairs;
+  r
+
+let to_list r =
+  let acc = ref [] in
+  for a = r.n - 1 downto 0 do
+    for b = r.n - 1 downto 0 do
+      if r.m.(a).(b) then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let copy r = { n = r.n; m = Array.map Array.copy r.m }
+
+let map2 f a b =
+  if a.n <> b.n then invalid_arg "Rel: size mismatch";
+  { n = a.n; m = Array.init a.n (fun i -> Array.init a.n (fun j -> f a.m.(i).(j) b.m.(i).(j))) }
+
+let union a b = map2 ( || ) a b
+let inter a b = map2 ( && ) a b
+let diff a b = map2 (fun x y -> x && not y) a b
+
+let union_all n rs = List.fold_left union (create n) rs
+
+let inverse r =
+  { n = r.n; m = Array.init r.n (fun i -> Array.init r.n (fun j -> r.m.(j).(i))) }
+
+let compose a b =
+  if a.n <> b.n then invalid_arg "Rel: size mismatch";
+  let n = a.n in
+  let r = create n in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      if a.m.(i).(k) then
+        for j = 0 to n - 1 do
+          if b.m.(k).(j) then r.m.(i).(j) <- true
+        done
+    done
+  done;
+  r
+
+let filter p r =
+  { n = r.n; m = Array.init r.n (fun i -> Array.init r.n (fun j -> r.m.(i).(j) && p i j)) }
+
+let remove_diagonal r = filter (fun a b -> a <> b) r
+
+let restrict r ~domain ~range = filter (fun a b -> domain a && range b) r
+
+let cross n domain range =
+  let r = create n in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if domain a && range b then r.m.(a).(b) <- true
+    done
+  done;
+  r
+
+let identity n =
+  let r = create n in
+  for i = 0 to n - 1 do
+    r.m.(i).(i) <- true
+  done;
+  r
+
+let id_on n p =
+  let r = create n in
+  for i = 0 to n - 1 do
+    if p i then r.m.(i).(i) <- true
+  done;
+  r
+
+(* Floyd-Warshall reachability. *)
+let transitive_closure r =
+  let c = copy r in
+  let n = c.n in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if c.m.(i).(k) then
+        for j = 0 to n - 1 do
+          if c.m.(k).(j) then c.m.(i).(j) <- true
+        done
+    done
+  done;
+  c
+
+let reflexive_transitive_closure r = union (identity r.n) (transitive_closure r)
+
+let is_irreflexive r =
+  let ok = ref true in
+  for i = 0 to r.n - 1 do
+    if r.m.(i).(i) then ok := false
+  done;
+  !ok
+
+let is_acyclic r = is_irreflexive (transitive_closure r)
+
+let is_empty r =
+  let empty = ref true in
+  Array.iter (fun row -> Array.iter (fun b -> if b then empty := false) row) r.m;
+  !empty
+
+let equal a b = a.n = b.n && a.m = b.m
+
+let subset a b = is_empty (diff a b)

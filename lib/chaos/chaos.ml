@@ -155,7 +155,7 @@ let battery_of cfg =
         b_req =
           Protocol.Litmus
             { tests = [ name ]; program = None; model = None;
-              mode = Protocol.Exhaustive };
+              mode = Protocol.Exhaustive; certify = false };
       })
     names
 

@@ -403,7 +403,15 @@ let mark_executed ?(store_value = 0) t eid ~result ~resolved_loc =
 
 let read_memory memory loc = match IM.find_opt loc memory with Some v -> v | None -> 0
 
-let execute_entry config (program : Program.thread) state tid eid =
+(* [emit] receives the canonical memory event of each executed
+   instruction (reads, globally visible writes, fences) keyed by the
+   entry's eid, which numbers instructions in fetch = program order -
+   sorting a thread's emissions by eid therefore reconstructs the
+   program-order event trace even when the window executed them out of
+   order.  Failed store-exclusives emit nothing, matching the
+   canonical trace representation. *)
+let execute_entry ?(emit = fun ~tid:_ ~eid:_ _ -> ()) config (program : Program.thread)
+    state tid eid =
   let t = state.threads.(tid) in
   let e = List.find (fun e -> e.eid = eid) t.window in
   let values = source_values t.window e in
@@ -448,6 +456,7 @@ let execute_entry config (program : Program.thread) state tid eid =
       let t = if taken then { t with pc = e.at_pc + 1 + offset } else t in
       finish t
   | Instr.Barrier b ->
+      emit ~tid ~eid (Wmm_cert.Trace.Fence b);
       let t = mark_executed t eid ~result:0 ~resolved_loc:(-1) in
       (match b with
       | Instr.Dmb_ishst | Instr.Lwsync | Instr.Eieio | Instr.Fence_rel
@@ -469,6 +478,7 @@ let execute_entry config (program : Program.thread) state tid eid =
         | Instr.Reg _, Instr.Reg _, [ v; l ] -> (v, l)
         | _ -> failwith "Relaxed: malformed store operands"
       in
+      emit ~tid ~eid (Wmm_cert.Trace.Write { loc; value; order; rmw = false });
       if config.synchronous_stores then begin
         memory := IM.add loc value !memory;
         revoke_monitors loc
@@ -477,7 +487,7 @@ let execute_entry config (program : Program.thread) state tid eid =
         buffers.(tid) <-
           buffers.(tid) @ [ Bstore { loc; value; release = order = Instr.Release; eid } ];
       finish (mark_executed ~store_value:value t eid ~result:value ~resolved_loc:loc)
-  | Instr.Load { addr; _ } | Instr.Load_exclusive { addr; _ } ->
+  | Instr.Load { addr; order; _ } | Instr.Load_exclusive { addr; order; _ } ->
       let loc =
         match (addr, values) with
         | Instr.Imm l, [] -> l
@@ -489,11 +499,12 @@ let execute_entry config (program : Program.thread) state tid eid =
         | Some v -> v
         | None -> read_memory state.memory loc
       in
+      emit ~tid ~eid (Wmm_cert.Trace.Read { loc; value; order });
       (match e.instr with
       | Instr.Load_exclusive _ -> monitors.(tid) <- Some loc
       | _ -> ());
       finish (mark_executed t eid ~result:value ~resolved_loc:loc)
-  | Instr.Store_exclusive { src; addr; _ } ->
+  | Instr.Store_exclusive { src; addr; order; _ } ->
       let value, loc =
         match (src, addr, values) with
         | Instr.Imm v, Instr.Imm l, [] -> (v, l)
@@ -505,6 +516,7 @@ let execute_entry config (program : Program.thread) state tid eid =
       if monitors.(tid) = Some loc then begin
         (* Success: the exclusive write commits through the coherence
            layer immediately, revoking competing monitors. *)
+        emit ~tid ~eid (Wmm_cert.Trace.Write { loc; value; order; rmw = true });
         memory := IM.add loc value !memory;
         monitors.(tid) <- None;
         revoke_monitors loc;
@@ -608,8 +620,9 @@ let enabled_actions config state =
     state.threads;
   List.rev !actions
 
-let apply_action config (program : Program.t) state = function
-  | Execute (tid, eid) -> execute_entry config program.Program.threads.(tid) state tid eid
+let apply_action ?emit config (program : Program.t) state = function
+  | Execute (tid, eid) ->
+      execute_entry ?emit config program.Program.threads.(tid) state tid eid
   | Drain (tid, idx) -> drain_at config state tid idx
 
 let initial_state (program : Program.t) config =
@@ -658,7 +671,7 @@ let outcome_of_state (program : Program.t) state =
   in
   { registers; memory }
 
-let run config ~seed (program : Program.t) =
+let run_internal ?emit config ~seed (program : Program.t) =
   (match Program.validate program with Ok () -> () | Error m -> invalid_arg m);
   let rng = Rng.create seed in
   let rec go state steps =
@@ -669,9 +682,23 @@ let run config ~seed (program : Program.t) =
         else failwith "Relaxed.run: machine deadlocked"
     | actions ->
         let action = Rng.choose rng (Array.of_list actions) in
-        go (apply_action config program state action) (steps + 1)
+        go (apply_action ?emit config program state action) (steps + 1)
   in
   go (initial_state program config) 0
+
+let run config ~seed program = run_internal config ~seed program
+
+let run_traced config ~seed (program : Program.t) =
+  let traces = Array.map (fun _ -> ref []) program.Program.threads in
+  let emit ~tid ~eid action = traces.(tid) := (eid, action) :: !(traces.(tid)) in
+  let outcome = run_internal ~emit config ~seed program in
+  let per_thread =
+    Array.map
+      (fun entries ->
+        List.sort (fun (a, _) (b, _) -> compare a b) !entries |> List.map snd)
+      traces
+  in
+  (outcome, per_thread)
 
 let collect config ~seed ~iterations program =
   let table = Hashtbl.create 64 in

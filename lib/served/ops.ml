@@ -46,10 +46,17 @@ let models_for ~requested ~from_program test =
           || (from_program && (m = Axiomatic.Arm || m = Axiomatic.Power)))
         Axiomatic.all_models
 
-let verdict_item v =
+let verdict_item ?certificate v =
   let open Check in
+  let cert_fields =
+    match certificate with
+    | None -> []
+    | Some (Ok cert) ->
+        [ ("certificate", Json.Str (Wmm_cert.Certificate.to_string cert)) ]
+    | Some (Error msg) -> [ ("certificate_error", Json.Str msg) ]
+  in
   obj
-    [
+    ([
       ("test", Json.Str v.test.Test.name);
       ("model", Json.Str (Protocol.model_wire_name v.model));
       ("axiomatic_allowed", Json.Bool v.axiomatic_allowed);
@@ -61,8 +68,9 @@ let verdict_item v =
       ("sound", Json.Bool (Check.sound v));
       ("describe", Json.Str (Check.describe v));
     ]
+    @ cert_fields)
 
-let run_litmus ~engine ~tests ~program ~model ~mode =
+let run_litmus ~engine ~tests ~program ~model ~mode ~certify =
   let selected = resolve_litmus_tests ~tests ~program in
   let pairs =
     List.concat_map
@@ -85,8 +93,10 @@ let run_litmus ~engine ~tests ~program ~model ~mode =
       else test.Test.name
     in
     let key =
-      Printf.sprintf "served/litmus/v1|%s|%s|%s" content
-        (Protocol.model_wire_name m) mode_key
+      (* v2: the certify flag entered the key (certified and plain
+         results have different payloads and must not alias). *)
+      Printf.sprintf "served/litmus/v2|%s|%s|%s|certify=%b" content
+        (Protocol.model_wire_name m) mode_key certify
     in
     Task.pure ~key ~label:("litmus " ^ test.Test.name) (fun () ->
         let config = machine_config_for_model m in
@@ -95,7 +105,10 @@ let run_litmus ~engine ~tests ~program ~model ~mode =
           | Protocol.Exhaustive -> Check.run_exhaustive m config test
           | Protocol.Random iterations -> Check.run_random ~iterations m config test
         in
-        verdict_item v)
+        let certificate =
+          if certify then Some (Wmm_certify.Emit.litmus m test) else None
+        in
+        verdict_item ?certificate v)
   in
   let outcomes = Engine.run_all engine (Array.of_list (List.map task_of pairs)) in
   Array.to_list (Array.map Engine.get outcomes)
@@ -164,6 +177,8 @@ let run_conform ~engine ~arch ~max_edges ~limit ~infer_limit ~explorer =
         ("machine_checks", Json.of_int report.machine_checks);
         ("machine_skipped", Json.of_int report.machine_skipped);
         ("infer_checks", Json.of_int report.infer_checks);
+        ("cert_checks", Json.of_int report.cert_checks);
+        ("cert_skipped", Json.of_int report.cert_skipped);
         ("disagreements", Json.of_int (List.length report.disagreements));
       ]
   in
@@ -307,8 +322,8 @@ let run_lang ~engine ~action ~tests ~schemes ~limit =
 (* ------------------------------------------------------------------ *)
 
 let compute ~engine = function
-  | Protocol.Litmus { tests; program; model; mode } ->
-      run_litmus ~engine ~tests ~program ~model ~mode
+  | Protocol.Litmus { tests; program; model; mode; certify } ->
+      run_litmus ~engine ~tests ~program ~model ~mode ~certify
   | Protocol.Analyze { tests; arch; cost } -> run_analyze ~engine ~tests ~arch ~cost
   | Protocol.Conform { arch; max_edges; limit; infer_limit; engine = explorer } ->
       run_conform ~engine ~arch ~max_edges ~limit ~infer_limit ~explorer

@@ -4,8 +4,11 @@ open Wmm_isa
 (* v2 added the optional per-request "deadline_ms" and "retry"
    envelope fields and the "deadline_exceeded" response status; v3
    the conform "engine" field (named in the canonical key, so cached
-   results from different exploration engines cannot alias). *)
-let schema_version = 3
+   results from different exploration engines cannot alias); v4 the
+   litmus "certify" flag and the per-verdict "certificate" response
+   field carrying a proof-carrying certificate for the axiomatic
+   verdict. *)
+let schema_version = 4
 
 type litmus_mode = Exhaustive | Random of int
 
@@ -17,6 +20,7 @@ type request =
       program : string option;
       model : Axiomatic.model option;
       mode : litmus_mode;
+      certify : bool;
     }
   | Analyze of { tests : string list; arch : Arch.t; cost : bool }
   | Conform of {
@@ -106,7 +110,8 @@ let parse_litmus v =
         else Ok (Random iters)
     | Some m -> Error (Printf.sprintf "unknown litmus mode %S" m)
   in
-  Ok (Litmus { tests; program; model; mode })
+  let* certify = bool_field v "certify" false in
+  Ok (Litmus { tests; program; model; mode; certify })
 
 let parse_analyze v =
   let* tests = tests_field v in
@@ -211,8 +216,8 @@ let op_name = function
    program text is digested so keys stay bounded. *)
 let canonical_key req =
   match req with
-  | Litmus { tests; program; model; mode } ->
-      Printf.sprintf "served/v%d|litmus|tests=%s|program=%s|model=%s|mode=%s"
+  | Litmus { tests; program; model; mode; certify } ->
+      Printf.sprintf "served/v%d|litmus|tests=%s|program=%s|model=%s|mode=%s|certify=%b"
         schema_version
         (String.concat "," tests)
         (match program with
@@ -222,6 +227,7 @@ let canonical_key req =
         (match mode with
         | Exhaustive -> "exhaustive"
         | Random n -> Printf.sprintf "random:%d" n)
+        certify
   | Analyze { tests; arch; cost } ->
       Printf.sprintf "served/v%d|analyze|tests=%s|arch=%s|cost=%b" schema_version
         (String.concat "," tests) (Arch.name arch) cost

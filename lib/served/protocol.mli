@@ -28,6 +28,9 @@ type request =
           (** Litmus-format source text; overrides [tests]. *)
       model : Axiomatic.model option;  (** [None] = every annotated model. *)
       mode : litmus_mode;
+      certify : bool;
+          (** Attach a proof-carrying certificate (checkable with
+              [wmm_bench check]) to every axiomatic verdict. *)
     }
   | Analyze of { tests : string list; arch : Arch.t; cost : bool }
       (** [tests = []] analyses the whole library. *)

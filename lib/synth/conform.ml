@@ -7,13 +7,14 @@ module Relaxed = Wmm_machine.Relaxed
 module Infer = Wmm_analysis.Infer
 module Verify = Wmm_analysis.Verify
 
-type layer = Explore | Machine | Inference | Containment
+type layer = Explore | Machine | Inference | Containment | Certificate
 
 let layer_name = function
   | Explore -> "explore-vs-oracle"
   | Machine -> "machine-within-model"
   | Inference -> "fence-inference"
   | Containment -> "compilation-containment"
+  | Certificate -> "certificate"
 
 type disagreement = {
   layer : layer;
@@ -30,6 +31,8 @@ type report = {
   machine_checks : int;
   machine_skipped : int;
   infer_checks : int;
+  cert_checks : int;
+  cert_skipped : int;
   disagreements : disagreement list;
 }
 
@@ -47,6 +50,7 @@ type config = {
   machine : bool;
   infer_limit : int;
   explorer : Enumerate.engine_kind;
+  certificates : bool;
 }
 
 let default_config =
@@ -56,6 +60,7 @@ let default_config =
     machine = true;
     infer_limit = 48;
     explorer = Enumerate.Auto;
+    certificates = true;
   }
 
 (* Task result for the explore and machine layers.  Must stay
@@ -146,6 +151,28 @@ let machine_task model cfg cfg_id (t : Test.t) =
               C_fail
                 (Printf.sprintf "machine reaches %s, forbidden by the model"
                    (Enumerate.outcome_to_string p (to_enum o)))))
+
+(* Certificate layer: every axiomatic verdict must certify, and the
+   emitted certificate must survive serialization and the independent
+   checker.  A rejection means the explorer and the checker's
+   from-scratch revalidation of the same claim disagree - the
+   strongest cross-check in the suite, since the two sides share no
+   code beyond the ISA types. *)
+let cert_task model (t : Test.t) =
+  let key =
+    Printf.sprintf "conform/cert/v1|%s|%s" (Axiomatic.model_name model)
+      (Verify.test_digest t)
+  in
+  let label = Printf.sprintf "certify %s %s" (Axiomatic.model_name model) t.Test.name in
+  Task.pure ~key ~label (fun () ->
+      match Wmm_certify.Emit.litmus model t with
+      | Error msg -> C_skip msg
+      | exception Failure msg -> C_skip msg
+      | Ok cert -> (
+          match Wmm_cert.Checker.check_string (Wmm_cert.Certificate.to_string cert) with
+          | Ok _ -> C_ok
+          | Error r ->
+              C_fail ("certificate rejected: " ^ Wmm_cert.Checker.reason_string r)))
 
 let check_of_task task = task.Task.run (Task.rng_for ~root_seed:0 task.Task.key)
 
@@ -269,6 +296,13 @@ let run ?(config = default_config) ~engine ~arch tests =
             (machine_pairs arch))
         tests
   in
+  let certs =
+    if not config.certificates then []
+    else
+      List.concat_map
+        (fun t -> List.map (fun m -> (t, m, Engine.Batch.add batch (cert_task m t))) models)
+        tests
+  in
   Engine.Batch.run engine batch;
   let disagreements = ref [] in
   let disagree layer model test still_fails detail =
@@ -289,6 +323,24 @@ let run ?(config = default_config) ~engine ~arch tests =
       | exception Failure msg ->
           disagree Explore (Some m) t (fun _ -> false) ("task failed: " ^ msg))
     explore;
+  let cert_ran = ref 0 and cert_skipped = ref 0 in
+  List.iter
+    (fun (t, m, get) ->
+      let still_fails t' =
+        match check_of_task (cert_task m t') with
+        | C_fail _ -> true
+        | C_ok | C_skip _ -> false
+        | exception _ -> false
+      in
+      match Engine.get (get ()) with
+      | C_ok -> incr cert_ran
+      | C_skip _ -> incr cert_skipped
+      | C_fail detail ->
+          incr cert_ran;
+          disagree Certificate (Some m) t still_fails detail
+      | exception Failure msg ->
+          disagree Certificate (Some m) t (fun _ -> false) ("task failed: " ^ msg))
+    certs;
   let machine_ran = ref 0 and machine_skipped = ref 0 in
   List.iter
     (fun (t, m, cfg, cfg_id, get) ->
@@ -342,6 +394,8 @@ let run ?(config = default_config) ~engine ~arch tests =
     machine_checks = !machine_ran;
     machine_skipped = !machine_skipped;
     infer_checks = List.length infer_rows;
+    cert_checks = !cert_ran;
+    cert_skipped = !cert_skipped;
     disagreements = List.rev !disagreements;
   }
 
@@ -356,6 +410,8 @@ let render r =
   Printf.bprintf b "  machine-within-model checks: %d (%d skipped)\n" r.machine_checks
     r.machine_skipped;
   Printf.bprintf b "  fence-inference checks: %d\n" r.infer_checks;
+  Printf.bprintf b "  certificate checks: %d (%d skipped)\n" r.cert_checks
+    r.cert_skipped;
   (match r.disagreements with
   | [] -> Buffer.add_string b "  disagreements: none\n"
   | ds ->

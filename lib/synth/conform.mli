@@ -26,6 +26,14 @@ open Wmm_litmus
       out.  An [Unfixed] result or a failed witness is a
       disagreement.
 
+    A fifth layer, {b certificate}, closes the loop on the axiomatic
+    side itself: every verdict of the battery is certified
+    ({!Wmm_certify.Emit}) and the certificate revalidated by the
+    independent checker ({!Wmm_cert.Checker}), which replays threads,
+    recounts the rf/co candidate space and re-applies the axioms from
+    its own transcription.  A rejected certificate is a
+    disagreement.
+
     A fourth layer, {b containment}, is produced by the language tier
     ({!Wmm_lang.Contain}): outcomes of a compiled program under the
     target hardware model must be a subset of the RC11-allowed
@@ -36,7 +44,7 @@ open Wmm_litmus
     so conformance runs fan out across domains and replay from
     cache/journal exactly like the analysis pipeline. *)
 
-type layer = Explore | Machine | Inference | Containment
+type layer = Explore | Machine | Inference | Containment | Certificate
 
 val layer_name : layer -> string
 
@@ -58,6 +66,10 @@ type report = {
       (** Machine enumerations that hit the state bound (recorded,
           not failed: subset checks are vacuous there). *)
   infer_checks : int;
+  cert_checks : int;  (** Certificate emission+check rounds that ran. *)
+  cert_skipped : int;
+      (** Verdicts whose certificate was skipped (emission failure or
+          size cap). *)
   disagreements : disagreement list;
 }
 
@@ -85,11 +97,12 @@ type config = {
       (** Exploration engine for the explore layer's fast side; part
           of the task key, so verdicts from different engines never
           alias in the cache. *)
+  certificates : bool;  (** Run the certificate layer. *)
 }
 
 val default_config : config
-(** Reference oracle, default models, machine layer on,
-    [infer_limit = 48], [explorer = Auto]. *)
+(** Reference oracle, default models, machine and certificate layers
+    on, [infer_limit = 48], [explorer = Auto]. *)
 
 val run :
   ?config:config -> engine:Wmm_engine.Engine.t -> arch:Arch.t -> Test.t list -> report

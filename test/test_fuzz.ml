@@ -131,6 +131,59 @@ let soundness_property ~name ~arch ~machine_config ~model ~salt =
             (Axiomatic.model_name model)
             (Wmm_litmus.Parse.to_text ~arch shrunk))
 
+(* Certify-and-check: verdicts over fuzzed programs must yield
+   certificates the independent checker accepts.  The allowed verdict
+   takes the first axiomatically allowed outcome as its condition; the
+   forbidden one conditions on a register the generator never writes.
+   On rejection the certificate is written out so the report names its
+   path alongside the replay seed. *)
+let certify_property ~name ~arch ~model ~salt =
+  QCheck.Test.make ~name ~count:iterations QCheck.small_int (fun qcheck_seed ->
+      let seed = match pinned_seed with Some s -> s | None -> qcheck_seed in
+      let rng = Rng.create (seed + salt) in
+      let program = random_program rng arch in
+      let fail_cert kind cert (r : Wmm_cert.Checker.reason) =
+        let path = Filename.temp_file "wmm_fuzz" ".cert" in
+        let oc = open_out_bin path in
+        output_string oc (Wmm_cert.Certificate.to_string cert);
+        close_out oc;
+        QCheck.Test.fail_reportf
+          "%s certificate rejected at seed %d (replay: WMM_FUZZ_SEED=%d \
+           WMM_FUZZ_ITERS=1): %s\nfailing certificate: %s"
+          kind seed seed
+          (Wmm_cert.Checker.reason_string r)
+          path
+      in
+      let checked kind cert =
+        match Wmm_cert.Checker.check cert with
+        | Ok () -> true
+        | Error r -> fail_cert kind cert r
+      in
+      let allowed_ok =
+        match Enumerate.allowed_outcomes model program with
+        | [] -> true
+        | o :: _ -> (
+            let cond =
+              { Wmm_cert.Certificate.c_regs = o.Enumerate.registers;
+                c_mem = o.Enumerate.memory }
+            in
+            match Wmm_certify.Emit.allowed model program cond with
+            | Ok cert -> checked "allowed" cert
+            | Error msg ->
+                QCheck.Test.fail_reportf
+                  "allowed verdict not certifiable at seed %d (replay: \
+                   WMM_FUZZ_SEED=%d WMM_FUZZ_ITERS=1): %s"
+                  seed seed msg)
+      in
+      (* Register 9 is outside the generator's range, so this
+         condition is forbidden under every model. *)
+      let unreachable = { Wmm_cert.Certificate.c_regs = [ ((0, 9), 1) ]; c_mem = [] } in
+      allowed_ok
+      &&
+      match Wmm_certify.Emit.forbidden model program unreachable with
+      | Ok cert -> checked "forbidden" cert
+      | Error _ -> true (* size cap / fuel: emission declined, nothing to check *))
+
 let fuzz_arm =
   soundness_property ~name:"random programs: operational within ARMv8 model"
     ~arch:Arch.Armv8 ~machine_config:Relaxed.relaxed_config ~model:Axiomatic.Arm ~salt:0
@@ -150,10 +203,20 @@ let fuzz_tso_within_arm =
     ~arch:Arch.Armv8 ~machine_config:Relaxed.tso_config ~model:Axiomatic.Arm
     ~salt:13_131
 
+let fuzz_certify_arm =
+  certify_property ~name:"random programs: ARMv8 verdict certificates check"
+    ~arch:Arch.Armv8 ~model:Axiomatic.Arm ~salt:27_000
+
+let fuzz_certify_power =
+  certify_property ~name:"random programs: POWER verdict certificates check"
+    ~arch:Arch.Power7 ~model:Axiomatic.Power ~salt:28_000
+
 let suite =
   [
     QCheck_alcotest.to_alcotest ~long:true fuzz_arm;
     QCheck_alcotest.to_alcotest ~long:true fuzz_power;
     QCheck_alcotest.to_alcotest ~long:true fuzz_sc_within_tso;
     QCheck_alcotest.to_alcotest ~long:true fuzz_tso_within_arm;
+    QCheck_alcotest.to_alcotest ~long:true fuzz_certify_arm;
+    QCheck_alcotest.to_alcotest ~long:true fuzz_certify_power;
   ]

@@ -29,6 +29,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("synth", Test_synth.suite);
       ("conform", Test_conform.suite);
+      ("cert", Test_cert.suite);
       ("optimizer+counters", Test_optimizer.suite);
       ("rmw", Test_rmw.suite);
       ("lang", Test_lang.suite);

@@ -92,7 +92,7 @@ let test_protocol_requests () =
   in
   (match env.Protocol.request with
   | Protocol.Litmus { tests = [ "SB" ]; model = Some Wmm_model.Axiomatic.Tso;
-                      mode = Protocol.Random 50; program = None } ->
+                      mode = Protocol.Random 50; program = None; certify = false } ->
       ()
   | _ -> Alcotest.fail "litmus fields mis-parsed");
   ignore (parse_request_err {|{"tests": ["SB"]}|});
